@@ -1,0 +1,61 @@
+// Ablation: the link-layer retransmission budget. The paper fixes
+// "retransmitted ... up for four times" with a 0.1 s ack timeout; this
+// sweep shows the reliability/latency trade-off that justifies the choice
+// (and how the 0.25 s receiver abort interacts with deep retry budgets).
+#include "bench_common.h"
+
+using namespace agilla;
+using namespace agilla::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  if (args.trials == 100) {
+    args.trials = 80;
+  }
+  print_header("Ablation — link retransmission budget (smove, 3 hops)",
+               "Fok et al., Sec. 3.2 (ack timeout 0.1 s, 4 retransmissions)");
+  const double loss = 0.12;
+  std::printf("trials/point = %d, per-link loss = %.0f %%, hops = 3\n\n",
+              args.trials, loss * 100.0);
+
+  std::printf("  retries   success    median latency (ms, successes)\n");
+  std::printf("  -------   -------    -------------------------------\n");
+  for (int retries = 0; retries <= 6; ++retries) {
+    core::AgillaConfig config;
+    config.link.max_retries = retries;
+    sim::TrialCounter counter;
+    sim::Summary latency;
+    Testbed bed(args.seed + static_cast<std::uint64_t>(retries), loss,
+                config);
+    for (int t = 0; t < args.trials; ++t) {
+      char source[200];
+      std::snprintf(source, sizeof(source),
+                    "pushloc 4 1\nsmove\nrjumpc OK\nhalt\n"
+                    "OK pushn end\npushcl %d\npushc 2\nout\nhalt\n",
+                    t + 1);
+      const sim::SimTime start = bed.simulator().now();
+      bed.mote(0).inject(core::assemble_or_die(source));
+      const auto done = bed.await_tuple(
+          bed.mote(3),
+          ts::Template{ts::Value::string("end"),
+                       ts::Value::number(static_cast<std::int16_t>(t + 1))},
+          15 * sim::kSecond);
+      counter.record(done.has_value());
+      if (done.has_value()) {
+        latency.add(static_cast<double>(*done - start) / 1000.0);
+      }
+      bed.clear_all_stores();
+    }
+    std::printf("     %d       %5.1f %%      %8.1f   |%s|\n", retries,
+                counter.success_rate() * 100.0, latency.median(),
+                sim::ascii_bar(counter.success_rate(), 28).c_str());
+  }
+
+  std::printf(
+      "\nreading: 0-1 retries leave multi-message transfers fragile; the\n"
+      "curve saturates around 3-4 retries — more retries buy little\n"
+      "because the 0.25 s receiver abort fires once a message has stalled\n"
+      "through ~3 consecutive losses. The paper's choice of 4 sits at the\n"
+      "knee; latency grows only on the (rare) retransmitting transfers.\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Shared infrastructure for the paper-reproduction benches: the 5x5
+// experimental testbed of paper Fig. 3, trial runners for the Fig. 8
+// agents, and table/ASCII-plot printing.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/agent_library.h"
+#include "core/assembler.h"
+#include "core/injector.h"
+#include "core/middleware.h"
+#include "sim/stats.h"
+#include "sim/topology.h"
+
+namespace agilla::bench {
+
+/// Channel parameters for the reliability/latency experiments: loss has a
+/// per-packet floor plus a per-byte component (longer frames fade more),
+/// calibrated so the Fig. 9 anchors land near the paper: smove ~90 % and
+/// rout ~80-88 % at 5 hops (see DESIGN.md). A 37-byte data frame loses
+/// ~8 % of packets; a 10-byte ack ~3.6 %.
+inline constexpr double kExperimentLoss = 0.02;
+inline constexpr double kExperimentPerByteLoss = 0.0016;
+
+/// The paper's testbed: a 5x5 MICA2 grid, lower-left node at (1,1).
+class Testbed {
+ public:
+  explicit Testbed(std::uint64_t seed, double packet_loss = kExperimentLoss,
+                   core::AgillaConfig config = core::AgillaConfig(),
+                   std::size_t width = 5, std::size_t height = 5,
+                   double per_byte_loss = 0.0)
+      : simulator_(seed),
+        network_(simulator_,
+                 std::make_unique<sim::GridNeighborRadio>(
+                     sim::GridNeighborRadio::Options{
+                         .spacing = 1.0,
+                         .packet_loss = packet_loss,
+                         .per_byte_loss = per_byte_loss})) {
+    topology_ = sim::make_grid(network_, width, height);
+    for (const sim::NodeId id : topology_.nodes) {
+      motes_.push_back(std::make_unique<core::AgillaMiddleware>(
+          network_, id, &environment_, config));
+      motes_.back()->start();
+    }
+    simulator_.run_for(5 * sim::kSecond);  // neighbour discovery warm-up
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] sim::Network& network() { return network_; }
+  [[nodiscard]] sim::SensorEnvironment& environment() {
+    return environment_;
+  }
+  [[nodiscard]] const sim::Topology& topology() const { return topology_; }
+
+  [[nodiscard]] core::AgillaMiddleware& mote(std::size_t index) {
+    return *motes_.at(index);
+  }
+  [[nodiscard]] core::AgillaMiddleware& mote_at(double x, double y) {
+    return *motes_.at(
+        sim::nearest_node(network_, topology_, sim::Location{x, y}).value);
+  }
+  [[nodiscard]] std::size_t mote_count() const { return motes_.size(); }
+
+  /// Empties every mote's tuple store (between independent trials, so
+  /// result markers from earlier trials cannot fill the 600-byte stores).
+  void clear_all_stores() {
+    for (const auto& mote : motes_) {
+      mote->tuple_space().store().clear();
+    }
+  }
+
+  /// Polls until `space` holds a tuple matching `templ` or `timeout`
+  /// elapses; returns the virtual time of first observation.
+  std::optional<sim::SimTime> await_tuple(core::AgillaMiddleware& mote,
+                                          const ts::Template& templ,
+                                          sim::SimTime timeout,
+                                          sim::SimTime poll_step =
+                                              2 * sim::kMillisecond) {
+    const sim::SimTime deadline = simulator_.now() + timeout;
+    while (simulator_.now() < deadline) {
+      if (mote.tuple_space().rdp(templ).has_value()) {
+        return simulator_.now();
+      }
+      simulator_.run_for(poll_step);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  sim::Simulator simulator_;
+  sim::Network network_;
+  sim::SensorEnvironment environment_;
+  sim::Topology topology_;
+  std::vector<std::unique_ptr<core::AgillaMiddleware>> motes_;
+};
+
+/// One reliability/latency trial outcome.
+struct TrialResult {
+  bool success = false;
+  double latency_ms = 0.0;
+};
+
+/// Prints "key = value"-style experiment headers uniformly.
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Simple aligned series printer with an ASCII bar per row.
+inline void print_series_row(const std::string& label, double value,
+                             double bar_max, const std::string& unit,
+                             double stddev = -1.0) {
+  std::string bar = sim::ascii_bar(bar_max > 0 ? value / bar_max : 0.0, 32);
+  if (stddev >= 0.0) {
+    std::printf("  %-14s %9.2f %-4s (+/- %7.2f)  |%s|\n", label.c_str(),
+                value, unit.c_str(), stddev, bar.c_str());
+  } else {
+    std::printf("  %-14s %9.2f %-4s                |%s|\n", label.c_str(),
+                value, unit.c_str(), bar.c_str());
+  }
+}
+
+/// Parses "--trials N" / "--loss P" style overrides (very small CLI).
+struct BenchArgs {
+  int trials = 100;
+  double loss = kExperimentLoss;
+  std::uint64_t seed = 1;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i + 1 < argc; i += 2) {
+      const std::string key = argv[i];
+      const std::string value = argv[i + 1];
+      if (key == "--trials") {
+        args.trials = std::stoi(value);
+      } else if (key == "--loss") {
+        args.loss = std::stod(value);
+      } else if (key == "--seed") {
+        args.seed = std::stoull(value);
+      }
+    }
+    return args;
+  }
+};
+
+}  // namespace agilla::bench

@@ -1,0 +1,60 @@
+// Paper Fig. 10: "The latency of smove vs. rout" — milliseconds per
+// successful operation over 1..5 hops (smove halved for the round trip).
+//
+// Expected shape (paper): both linear in hop count; smove ~225 ms/hop
+// (multi-message acked transfer), rout ~55 ms/hop pair (request+reply);
+// 5-hop smove < 1.1 s. Medians are reported alongside means because rout
+// retransmissions (2 s timeout) put a long tail on the successful-trial
+// distribution at high hop counts.
+#include "fig8_experiment.h"
+
+using namespace agilla;
+using namespace agilla::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  print_header("Figure 10 — latency of smove vs rout, 1-5 hops",
+               "Fok et al., Sec. 4, Fig. 10");
+  std::printf("trials/point = %d, loss = %.0f %% + %.2f %%/byte (37 B data frame ~8 %%)\n\n",
+              args.trials, args.loss * 100.0,
+              kExperimentPerByteLoss * 100.0);
+
+  std::printf(
+      "  hops   smove mean/median (ms)    rout mean/median (ms)\n");
+  std::printf(
+      "  ----   ----------------------    ---------------------\n");
+  double smove_per_hop = 0.0;
+  double rout_per_hop = 0.0;
+  double smove5 = 0.0;
+  for (int hops = 1; hops <= 5; ++hops) {
+    const HopSeries smove =
+        run_smove_series(hops, args.trials, args.loss, args.seed + hops);
+    const HopSeries rout =
+        run_rout_series(hops, args.trials, args.loss, args.seed + 50 + hops);
+    std::printf("   %d       %7.1f / %7.1f          %7.1f / %7.1f\n", hops,
+                smove.latency_ms.mean(), smove.latency_ms.median(),
+                rout.latency_ms.mean(), rout.latency_ms.median());
+    if (hops == 1) {
+      smove_per_hop = smove.latency_ms.median();
+      rout_per_hop = rout.latency_ms.median();
+    }
+    if (hops == 5) {
+      smove5 = smove.latency_ms.median();
+    }
+  }
+
+  std::printf("\nmeasured anchors: one-hop smove %.0f ms (paper ~225 ms), "
+              "one-hop rout %.0f ms (paper ~55 ms)\n",
+              smove_per_hop, rout_per_hop);
+  std::printf("5-hop smove median %.2f s (paper: <1.1 s with 92 %% success)\n",
+              smove5 / 1000.0);
+  // Paper Sec. 4 aside: at >=0.3 s per migration and ~50 m radio range, an
+  // agent sweeps across a network at ~600 km/h.
+  const double min_hop_s = smove_per_hop / 1000.0;
+  if (min_hop_s > 0.0) {
+    std::printf("derived agent 'speed' at 50 m/hop: %.0f km/h "
+                "(paper: ~600 km/h)\n",
+                0.05 / min_hop_s * 3600.0);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Paper Fig. 9: "The reliability of smove vs. rout" — percent success of
+// the Fig. 8 agents over 1..5 hops, 100 trials each.
+//
+// Expected shape (paper): both near 97-100 % at 1 hop, degrading with hop
+// count; smove (hop-by-hop acked custody transfer) stays above rout
+// (end-to-end, unacked, 2 retransmissions); smove ~92 % at 5 hops.
+#include "fig8_experiment.h"
+
+using namespace agilla;
+using namespace agilla::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  print_header("Figure 9 — reliability of smove vs rout, 1-5 hops",
+               "Fok et al., Sec. 4, Fig. 9 (5x5 MICA2 grid, 100 runs/point)");
+  std::printf("trials/point = %d, loss = %.0f %% + %.2f %%/byte (37 B data frame ~8 %%)\n\n",
+              args.trials, args.loss * 100.0,
+              kExperimentPerByteLoss * 100.0);
+
+  std::printf("  hops   smove        rout\n");
+  std::printf("  ----   ----------   ----------\n");
+  double smove5 = 0.0;
+  for (int hops = 1; hops <= 5; ++hops) {
+    const HopSeries smove =
+        run_smove_series(hops, args.trials, args.loss, args.seed + hops);
+    const HopSeries rout =
+        run_rout_series(hops, args.trials, args.loss, args.seed + 50 + hops);
+    const double smove_rate = smove.per_migration_rate();
+    std::printf("   %d     %5.1f %%      %5.1f %%     smove |%s|\n", hops,
+                smove_rate * 100.0,
+                rout.reliability.success_rate() * 100.0,
+                sim::ascii_bar(smove_rate, 24).c_str());
+    std::printf("                                  rout  |%s|\n",
+                sim::ascii_bar(rout.reliability.success_rate(), 24).c_str());
+    if (hops == 5) {
+      smove5 = smove_rate;
+    }
+  }
+
+  std::printf(
+      "\npaper anchors: smove ~0.92 at 5 hops; rout below smove at every\n"
+      "hop count; both >0.95 at 1 hop.  measured smove@5 = %.2f\n",
+      smove5);
+  std::printf(
+      "why: a migration fails if ANY of its messages dies (Sec. 3.2); the\n"
+      "per-hop ack+retransmit protocol suppresses per-link loss, while\n"
+      "rout's end-to-end datagrams must survive 2x<hops> unacked links.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Host-speed microbenchmarks (google-benchmark): how fast the building
+// blocks run on the host, independent of the simulated mote clock. Useful
+// for keeping the simulator itself fast and for spotting regressions.
+#include <benchmark/benchmark.h>
+
+#include "core/agent_library.h"
+#include "core/agent_serializer.h"
+#include "core/assembler.h"
+#include "core/code_pool.h"
+#include "sim/rng.h"
+#include "tuplespace/store.h"
+
+namespace {
+
+using namespace agilla;
+
+void BM_TemplateMatch(benchmark::State& state) {
+  const ts::Tuple tuple{ts::Value::string("fir"),
+                        ts::Value::location({3, 3}), ts::Value::number(7)};
+  const ts::Template templ{
+      ts::Value::string("fir"),
+      ts::Value::type_wildcard(ts::ValueType::kLocation),
+      ts::Value::type_wildcard(ts::ValueType::kNumber)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(templ.matches(tuple));
+  }
+}
+BENCHMARK(BM_TemplateMatch);
+
+void BM_StoreProbe(benchmark::State& state) {
+  // rdp cost as a function of store occupancy (the store scans linearly).
+  ts::LinearTupleStore store(600);
+  const auto occupancy = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < occupancy; ++i) {
+    store.insert(ts::Tuple{ts::Value::number(static_cast<std::int16_t>(i))});
+  }
+  const ts::Template missing{ts::Value::string("zzz")};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.read(missing));
+  }
+  state.SetLabel(std::to_string(store.tuple_count()) + " tuples");
+}
+BENCHMARK(BM_StoreProbe)->Arg(0)->Arg(20)->Arg(60)->Arg(100);
+
+void BM_StoreInsertTake(benchmark::State& state) {
+  ts::LinearTupleStore store(600);
+  const ts::Tuple tuple{ts::Value::number(1), ts::Value::location({2, 2})};
+  const ts::Template templ{
+      ts::Value::number(1),
+      ts::Value::type_wildcard(ts::ValueType::kLocation)};
+  for (auto _ : state) {
+    store.insert(tuple);
+    benchmark::DoNotOptimize(store.take(templ));
+  }
+}
+BENCHMARK(BM_StoreInsertTake);
+
+void BM_TupleWireRoundTrip(benchmark::State& state) {
+  const ts::Tuple tuple{ts::Value::string("abc"),
+                        ts::Value::reading(sim::SensorType::kPhoto, 321),
+                        ts::Value::location({4, 4})};
+  for (auto _ : state) {
+    net::Writer w;
+    tuple.encode(w);
+    net::Reader r(w.data());
+    benchmark::DoNotOptimize(ts::Tuple::decode(r));
+  }
+}
+BENCHMARK(BM_TupleWireRoundTrip);
+
+void BM_Assemble(benchmark::State& state) {
+  const std::string source = core::agents::fire_tracker();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::assemble(source));
+  }
+}
+BENCHMARK(BM_Assemble);
+
+void BM_CodePoolFetch(benchmark::State& state) {
+  core::CodePool pool;
+  std::vector<std::uint8_t> code(200, 0x01);
+  const auto handle = pool.store(code);
+  std::uint16_t pc = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.fetch(*handle, pc));
+    pc = static_cast<std::uint16_t>((pc + 1) % 200);
+  }
+}
+BENCHMARK(BM_CodePoolFetch);
+
+void BM_AgentSerializeRoundTrip(benchmark::State& state) {
+  core::AgentImage image;
+  image.agent_id = 7;
+  image.op = core::MigrationOp::kSClone;
+  image.code.assign(120, 0x01);
+  for (int i = 0; i < 8; ++i) {
+    image.stack.push_back(ts::Value::number(static_cast<std::int16_t>(i)));
+  }
+  image.heap = {{0, ts::Value::location({1, 1})}};
+  for (auto _ : state) {
+    const auto messages = core::to_messages(image, 1);
+    core::ImageAssembler assembler;
+    for (const auto& m : messages) {
+      assembler.feed(m.am, m.payload);
+    }
+    benchmark::DoNotOptimize(assembler.take());
+  }
+}
+BENCHMARK(BM_AgentSerializeRoundTrip);
+
+void BM_RngUniform(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform(1000));
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+}  // namespace
+
+BENCHMARK_MAIN();

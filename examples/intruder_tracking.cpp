@@ -1,0 +1,122 @@
+// The paper's Sec. 1 programming-model claim, running: "instead of
+// worrying about how nodes must coordinate to track an intruder, a mobile
+// agent programmer can think of an agent following the intruder by
+// repeatedly migrating to the node that best detects it."
+//
+// An intruder (a moving magnetometer source) patrols the field; SENTINEL
+// agents on every node publish their current reading as a tuple; a single
+// PURSUER agent polls its neighbours' tuples with rrdp and strong-moves to
+// whichever node hears the intruder loudest.
+//
+//   $ ./examples/intruder_tracking
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/agent_library.h"
+#include "sim/stats.h"
+#include "core/injector.h"
+#include "core/middleware.h"
+#include "sim/topology.h"
+
+using namespace agilla;
+
+namespace {
+
+constexpr std::size_t kGrid = 5;
+
+/// The pursuer is wherever its breadcrumb tuple is freshest: find the node
+/// currently hosting 2 agents (sentinel + pursuer).
+int pursuer_index(std::vector<std::unique_ptr<core::AgillaMiddleware>>& motes) {
+  for (std::size_t i = 0; i < motes.size(); ++i) {
+    if (motes[i]->agents().count() >= 2) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator simulator(/*seed=*/17);
+  sim::Network network(
+      simulator, std::make_unique<sim::GridNeighborRadio>(
+                     sim::GridNeighborRadio::Options{.spacing = 1.0,
+                                                     .packet_loss = 0.02}));
+  const sim::Topology grid = sim::make_grid(network, kGrid, kGrid);
+
+  // The intruder walks the perimeter of the field, slowly.
+  const sim::MovingBumpField::Options intruder_options{
+      .waypoints = {{1, 1}, {5, 1}, {5, 5}, {1, 5}},
+      .speed = 0.05,
+      .peak = 400.0,
+      .sigma = 1.0,
+      .ambient = 5.0,
+      .loop = true};
+  sim::SensorEnvironment environment;
+  environment.set_field(
+      sim::SensorType::kMagnetometer,
+      std::make_unique<sim::MovingBumpField>(intruder_options));
+  const sim::MovingBumpField intruder(intruder_options);  // for rendering
+
+  std::vector<std::unique_ptr<core::AgillaMiddleware>> motes;
+  for (const sim::NodeId id : grid.nodes) {
+    motes.push_back(
+        std::make_unique<core::AgillaMiddleware>(network, id, &environment));
+    motes.back()->start();
+  }
+  simulator.run_for(5 * sim::kSecond);
+
+  core::BaseStation base(*motes.front());
+  std::puts("injecting SENTINEL (flood-deploys, publishes <sig, reading>)");
+  base.inject(core::agents::sentinel(/*sample_ticks=*/8));
+  simulator.run_for(30 * sim::kSecond);  // let sentinels claim the grid
+  std::puts("injecting PURSUER (follows the loudest magnetometer signal)\n");
+  base.inject(core::agents::pursuer(/*nap_ticks=*/8));
+
+  sim::Summary distance_track;
+  for (int frame = 0; frame < 10; ++frame) {
+    simulator.run_for(20 * sim::kSecond);
+    const sim::Location truth = intruder.center(simulator.now());
+    const int pursuer = pursuer_index(motes);
+    const sim::Location at =
+        pursuer >= 0 ? motes[static_cast<std::size_t>(pursuer)]->location()
+                     : sim::Location{0, 0};
+    if (pursuer >= 0) {
+      distance_track.add(distance(truth, at));
+    }
+
+    std::printf("t = %3.0f s   intruder at (%.1f,%.1f)\n",
+                static_cast<double>(simulator.now()) / 1e6, truth.x,
+                truth.y);
+    for (std::size_t row = kGrid; row-- > 0;) {
+      std::string line = "  ";
+      for (std::size_t col = 0; col < kGrid; ++col) {
+        const std::size_t index = row * kGrid + col;
+        const sim::Location cell = motes[index]->location();
+        const bool is_intruder = distance(cell, truth) < 0.71;
+        const bool is_pursuer = static_cast<int>(index) == pursuer;
+        char glyph = '.';
+        if (is_intruder && is_pursuer) {
+          glyph = '@';  // caught!
+        } else if (is_intruder) {
+          glyph = 'I';
+        } else if (is_pursuer) {
+          glyph = 'P';
+        }
+        line += glyph;
+        line += ' ';
+      }
+      std::puts(line.c_str());
+    }
+    std::puts("");
+  }
+
+  std::printf("mean pursuer-to-intruder distance: %.2f grid units "
+              "(grid diagonal: %.1f)\n",
+              distance_track.mean(), std::sqrt(2.0) * (kGrid - 1));
+  std::puts("The pursuer's entire \"coordination protocol\" is 60 lines of");
+  std::puts("agent assembly: sense, rrdp the neighbours, smove to the max.");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// The second half of the paper's Sec. 2.1 scenario: fire fighters inject
+// SEARCHRESCUE agents that spread and repeatedly clone themselves,
+// "scouring the region looking for lost hikers". Hikers are modelled as
+// <"hkr", id> tuples pre-planted on a few motes (a stand-in for a detector
+// of human presence); every find is reported back to the base station as a
+// <"fnd", location, id> tuple.
+//
+//   $ ./examples/search_rescue
+#include <cstdio>
+
+#include "core/injector.h"
+#include "core/middleware.h"
+#include "sim/topology.h"
+
+using namespace agilla;
+
+namespace {
+
+// A custom application agent, written against the public assembly language:
+// claim the node, report any hiker found here to the base, then clone to
+// every neighbour and die. The claim marker bounds the flood.
+std::string search_rescue_agent() {
+  return R"(
+      BEGIN   pushn sar
+              pusht LOCATION
+              pushc 2
+              rdp            // already searched?
+              rjumpc DIE2
+              pushn sar
+              loc
+              pushc 2
+              out            // claim this node
+              pushn hkr
+              pusht NUMBER
+              pushc 2
+              rdp            // a hiker here?
+              rjumpc FOUND
+              rjump SPREAD
+      FOUND   pop            // drop "hkr"; hiker id on top
+              setvar 2
+              pushn fnd
+              loc
+              getvar 2
+              pushc 3        // report tuple <"fnd", loc, id>
+              pushloc 1 1
+              rout           // to the base station at (1,1)
+      SPREAD  pushc 0
+              setvar 1
+      LOOP    getvar 1
+              numnbrs
+              cgt
+              rjumpc NEXT
+              halt           // all neighbours visited: die quietly
+      NEXT    getvar 1
+              getnbr
+              wclone         // restart from BEGIN on the neighbour
+              getvar 1
+              inc
+              setvar 1
+              rjump LOOP
+      DIE2    pop
+              pop
+              halt
+  )";
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator simulator(/*seed=*/11);
+  sim::Network network(
+      simulator, std::make_unique<sim::GridNeighborRadio>(
+                     sim::GridNeighborRadio::Options{.spacing = 1.0,
+                                                     .packet_loss = 0.03}));
+  const sim::Topology grid = sim::make_grid(network, 5, 5);
+
+  sim::SensorEnvironment environment;  // no sensors needed for this app
+  std::vector<std::unique_ptr<core::AgillaMiddleware>> motes;
+  for (const sim::NodeId id : grid.nodes) {
+    motes.push_back(
+        std::make_unique<core::AgillaMiddleware>(network, id, &environment));
+    motes.back()->start();
+  }
+  simulator.run_for(5 * sim::kSecond);
+
+  // Three lost hikers, scattered over the burned region.
+  struct Hiker {
+    sim::Location at;
+    std::int16_t id;
+  };
+  const Hiker hikers[] = {{{4, 2}, 17}, {{2, 5}, 23}, {{5, 5}, 31}};
+  for (const Hiker& hiker : hikers) {
+    motes[sim::nearest_node(network, grid, hiker.at).value]
+        ->tuple_space()
+        .out(ts::Tuple{ts::Value::string("hkr"), ts::Value::number(hiker.id)});
+    std::printf("hiker #%d lost near (%.0f,%.0f)\n", hiker.id, hiker.at.x,
+                hiker.at.y);
+  }
+
+  core::BaseStation base(*motes.front());
+  std::puts("\ninjecting SEARCHRESCUE at the base station (1,1)...");
+  if (!base.inject(search_rescue_agent()).has_value()) {
+    std::puts("injection failed");
+    return 1;
+  }
+
+  for (int tick = 0; tick < 6; ++tick) {
+    simulator.run_for(20 * sim::kSecond);
+    std::size_t searched = 0;
+    for (const auto& mote : motes) {
+      if (mote->tuple_space()
+              .rdp(ts::Template{ts::Value::string("sar"),
+                                ts::Value::type_wildcard(
+                                    ts::ValueType::kLocation)})
+              .has_value()) {
+        ++searched;
+      }
+    }
+    const auto reports = motes.front()->tuple_space().tcount(ts::Template{
+        ts::Value::string("fnd"),
+        ts::Value::type_wildcard(ts::ValueType::kLocation),
+        ts::Value::type_wildcard(ts::ValueType::kNumber)});
+    std::printf("t=%3.0fs  nodes searched: %2zu/25   hikers reported: %zu/3\n",
+                static_cast<double>(simulator.now()) / 1e6, searched,
+                reports);
+  }
+
+  std::puts("\nreports received at the base station:");
+  auto& base_space = motes.front()->tuple_space();
+  const ts::Template report{
+      ts::Value::string("fnd"),
+      ts::Value::type_wildcard(ts::ValueType::kLocation),
+      ts::Value::type_wildcard(ts::ValueType::kNumber)};
+  while (const auto t = base_space.inp(report)) {
+    std::printf("  %s\n", t->to_string().c_str());
+  }
+  return 0;
+}

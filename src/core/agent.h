@@ -1,0 +1,100 @@
+// The mobile-agent context (paper Fig. 6): operand stack, 12-slot heap, and
+// the ID / PC / condition registers. The agent is a passive record; the
+// engine interprets it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/code_pool.h"
+#include "core/isa.h"
+#include "tuplespace/tuple.h"
+
+namespace agilla::core {
+
+/// Network-unique agent identity: high byte derives from the node that
+/// created the agent, low byte is a per-node counter (see DESIGN.md).
+struct AgentId {
+  std::uint16_t value = 0;
+
+  friend constexpr auto operator<=>(AgentId, AgentId) = default;
+};
+
+enum class AgentRunState : std::uint8_t {
+  kReady,       ///< in the engine's round-robin queue
+  kSleeping,    ///< in `sleep`; a timer will wake it
+  kBlockedTs,   ///< blocked in `in`/`rd`, re-probes on insertion
+  kWaitingRxn,  ///< in `wait`; a firing reaction resumes it
+  kBlockedOp,   ///< a migration / remote op is in flight
+  kDead,
+};
+
+[[nodiscard]] const char* to_string(AgentRunState s);
+
+class Agent {
+ public:
+  static constexpr std::size_t kStackDepth = 16;  ///< paper Fig. 6
+
+  Agent(AgentId id, CodeHandle code);
+
+  // --- registers -----------------------------------------------------------
+  [[nodiscard]] AgentId id() const { return id_; }
+  void set_id(AgentId id) { id_ = id; }
+  [[nodiscard]] std::uint16_t pc() const { return pc_; }
+  void set_pc(std::uint16_t pc) { pc_ = pc; }
+  [[nodiscard]] std::int16_t condition() const { return condition_; }
+  void set_condition(std::int16_t c) { condition_ = c; }
+  [[nodiscard]] CodeHandle code() const { return code_; }
+  void set_code(CodeHandle code) { code_ = code; }
+
+  // --- operand stack ---------------------------------------------------------
+  /// False on overflow (a VM error; the engine kills the agent).
+  [[nodiscard]] bool push(const ts::Value& v);
+  /// Invalid Value on underflow.
+  ts::Value pop();
+  [[nodiscard]] const ts::Value& peek(std::size_t depth_from_top = 0) const;
+  [[nodiscard]] std::size_t stack_depth() const { return stack_.size(); }
+  [[nodiscard]] const std::vector<ts::Value>& stack() const { return stack_; }
+  void clear_stack() { stack_.clear(); }
+  /// Replaces the whole stack (migration restore); excess entries dropped.
+  void restore_stack(std::vector<ts::Value> values);
+
+  // --- heap -------------------------------------------------------------------
+  [[nodiscard]] const ts::Value& heap(std::size_t slot) const;
+  bool set_heap(std::size_t slot, const ts::Value& v);
+  /// Slots holding valid values, as (slot, value) pairs (migration image).
+  [[nodiscard]] std::vector<std::pair<std::uint8_t, ts::Value>>
+  heap_entries() const;
+  void clear_heap();
+
+  // --- run state ---------------------------------------------------------------
+  [[nodiscard]] AgentRunState run_state() const { return run_state_; }
+  void set_run_state(AgentRunState s) { run_state_ = s; }
+
+  /// While blocked in `in`/`rd`: the probe to retry on wakeup.
+  struct BlockedProbe {
+    ts::Template templ;
+    bool remove = false;  ///< true for `in`, false for `rd`
+  };
+  [[nodiscard]] const std::optional<BlockedProbe>& blocked_probe() const {
+    return blocked_probe_;
+  }
+  void set_blocked_probe(std::optional<BlockedProbe> probe) {
+    blocked_probe_ = std::move(probe);
+  }
+
+ private:
+  AgentId id_;
+  std::uint16_t pc_ = 0;
+  std::int16_t condition_ = 0;
+  CodeHandle code_;
+  std::vector<ts::Value> stack_;
+  std::array<ts::Value, kHeapSlots> heap_{};
+  AgentRunState run_state_ = AgentRunState::kReady;
+  std::optional<BlockedProbe> blocked_probe_;
+};
+
+}  // namespace agilla::core

@@ -1,0 +1,325 @@
+#include "core/agent_library.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace agilla::core::agents {
+namespace {
+
+std::string pushloc(sim::Location loc) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "pushloc %g %g", loc.x, loc.y);
+  return buffer;
+}
+
+}  // namespace
+
+std::string smove_round_trip(sim::Location there, sim::Location home) {
+  std::ostringstream os;
+  os << pushloc(there) << "\n"
+     << "smove        // strong move out\n"
+     << pushloc(home) << "\n"
+     << "smove        // strong move back\n"
+     << "halt\n";
+  return os.str();
+}
+
+std::string move_once(const std::string& mnemonic, sim::Location there) {
+  std::ostringstream os;
+  os << pushloc(there) << "\n" << mnemonic << "\nhalt\n";
+  return os.str();
+}
+
+std::string rout_once(sim::Location there) {
+  std::ostringstream os;
+  os << "pushc 1      // field <1>\n"
+     << "pushc 1      // field count\n"
+     << pushloc(there) << "\n"
+     << "rout\n"
+     << "halt\n";
+  return os.str();
+}
+
+std::string remote_probe_once(const std::string& mnemonic,
+                              sim::Location there) {
+  std::ostringstream os;
+  os << "pusht NUMBER // match any number field\n"
+     << "pushc 1      // field count\n"
+     << pushloc(there) << "\n"
+     << mnemonic << "\nhalt\n";
+  return os.str();
+}
+
+std::string fire_detector(sim::Location alert_to, int threshold,
+                          int sample_ticks) {
+  std::ostringstream os;
+  os <<
+      // --- bootstrap: claim this node, flood-clone to neighbours ---------
+      "BEGIN   pushn det\n"
+      "        pusht LOCATION\n"
+      "        pushc 2\n"
+      "        rdp             // detector already claims this node?\n"
+      "        rjumpc DIE2     // yes -> discard fields and die\n"
+      "        pushn det\n"
+      "        loc\n"
+      "        pushc 2\n"
+      "        out             // claim it\n"
+      "        pushc 0\n"
+      "        setvar 1        // i = 0\n"
+      "SPREAD  getvar 1\n"
+      "        numnbrs\n"
+      "        cgt             // cond = (numnbrs > i)\n"
+      "        rjumpc DO\n"
+      "        rjump MAIN      // spread finished\n"
+      "DO      getvar 1\n"
+      "        getnbr          // neighbour i's location\n"
+      "        wclone          // weak clone restarts at BEGIN there\n"
+      "        getvar 1\n"
+      "        inc\n"
+      "        setvar 1\n"
+      "        rjump SPREAD\n"
+      // --- detection loop (paper Fig. 13 lines 1-8) -----------------------
+      "MAIN    pushc TEMPERATURE\n"
+      "        sense           // measure the temperature\n"
+      "        pushcl " << threshold << "\n"
+      "        clt             // cond = 1 if temperature > threshold\n"
+      "        rjumpc FIRE\n"
+      "        pushcl " << sample_ticks << "\n"
+      "        sleep\n"
+      "        rjump MAIN\n"
+      // --- alert (paper Fig. 13 lines 9-14) -------------------------------
+      "FIRE    pushn fir\n"
+      "        loc\n"
+      "        pushc 2         // fire alert tuple <\"fir\", loc>\n"
+      "        " << pushloc(alert_to) << "\n"
+      "        rout            // notify the tracker host\n"
+      "        halt\n"
+      "DIE2    pop\n"
+      "        pop\n"
+      "        halt\n";
+  return os.str();
+}
+
+std::string fire_tracker(int threshold, int nap_ticks) {
+  std::ostringstream os;
+  os <<
+      // --- paper Fig. 2: arm the fire-alert reaction and wait -------------
+      "BEGIN   pushn fir\n"
+      "        pusht LOCATION\n"
+      "        pushc 2\n"
+      "        pushc FIRE\n"
+      "        regrxn          // register fire alert reaction\n"
+      "WAITL   wait            // wait for the reaction to fire\n"
+      // reaction entry: stack = [return-pc, location, \"fir\"]
+      "FIRE    pop             // drop \"fir\"; alert location on top\n"
+      "        sclone          // strong clone to the node that saw fire\n"
+      "        cpush\n"
+      "        pushc 1\n"
+      "        ceq             // clone arrives with condition 1\n"
+      "        rjumpc CLONE\n"
+      "        pop             // original: drop return pc\n"
+      "        rjump WAITL     // and keep waiting for more alerts\n"
+      "CLONE   pop             // tracker at the fire: drop return pc\n"
+      // --- tracking loop ----------------------------------------------------
+      "TRACK   pushc TEMPERATURE\n"
+      "        sense\n"
+      "        pushcl " << threshold << "\n"
+      "        clt             // cond = 1 while this node is hot\n"
+      "        rjumpc HOT\n"
+      "        pushn trk       // node cooled: remove our marker and die\n"
+      "        pusht LOCATION\n"
+      "        pushc 2\n"
+      "        inp\n"
+      "        rjumpc GONE2\n"
+      "        halt\n"
+      "GONE2   pop\n"
+      "        pop\n"
+      "        halt\n"
+      "HOT     pushn trk       // refresh our perimeter marker\n"
+      "        pusht LOCATION\n"
+      "        pushc 2\n"
+      "        inp             // drop a stale one if present\n"
+      "        rjumpc DROP2\n"
+      "        rjump MARK\n"
+      "DROP2   pop\n"
+      "        pop\n"
+      "MARK    pushn trk\n"
+      "        loc\n"
+      "        pushc 2\n"
+      "        out             // <\"trk\", loc> advertises the perimeter\n"
+      // --- spread to an unoccupied neighbour --------------------------------
+      "        randnbr\n"
+      "        rjumpc CAND\n"
+      "        pop             // no neighbours known yet\n"
+      "        rjump NAP\n"
+      "CAND    setvar 0        // candidate neighbour location\n"
+      "        pushn trk\n"
+      "        pusht LOCATION\n"
+      "        pushc 2\n"
+      "        getvar 0\n"
+      "        rrdp            // tracker already there?\n"
+      "        rjumpc OCCUP\n"
+      "        getvar 0\n"
+      "        sclone          // spread the perimeter\n"
+      "        rjump NAP\n"
+      "OCCUP   pop\n"
+      "        pop             // discard the probed tuple\n"
+      "NAP     pushcl " << nap_ticks << "\n"
+      "        sleep\n"
+      "        rjump TRACK\n";
+  return os.str();
+}
+
+std::string habitat_monitor(int sample_ticks) {
+  std::ostringstream os;
+  os <<
+      "BEGIN   pushn fir\n"
+      "        pusht LOCATION\n"
+      "        pushc 2\n"
+      "        pushc DIE\n"
+      "        regrxn          // fire alert -> free our resources\n"
+      "MAIN    pushn hab\n"
+      "        pushc TEMPERATURE\n"
+      "        sense\n"
+      "        pushc 2\n"
+      "        out             // log <\"hab\", reading>\n"
+      "        pushcl " << sample_ticks << "\n"
+      "        sleep\n"
+      "        rjump MAIN\n"
+      "DIE     halt            // voluntary exit (Sec. 2.2 scenario)\n";
+  return os.str();
+}
+
+std::string blinker(int period_ticks) {
+  std::ostringstream os;
+  os <<
+      "BEGIN   pushc 1\n"
+      "        putled\n"
+      "        pushc " << period_ticks << "\n"
+      "        sleep\n"
+      "        pushc 2\n"
+      "        putled\n"
+      "        pushc " << period_ticks << "\n"
+      "        sleep\n"
+      "        rjump BEGIN\n";
+  return os.str();
+}
+
+
+std::string sentinel(int sample_ticks) {
+  std::ostringstream os;
+  os <<
+      // --- bootstrap: claim this node, flood-clone to neighbours ---------
+      "BEGIN   pushn stl\n"
+      "        pusht LOCATION\n"
+      "        pushc 2\n"
+      "        rdp             // sentinel already claims this node?\n"
+      "        rjumpc DIE2\n"
+      "        pushn stl\n"
+      "        loc\n"
+      "        pushc 2\n"
+      "        out\n"
+      "        pushc 0\n"
+      "        setvar 1\n"
+      "SPREAD  getvar 1\n"
+      "        numnbrs\n"
+      "        cgt\n"
+      "        rjumpc DO\n"
+      "        rjump MAIN\n"
+      "DO      getvar 1\n"
+      "        getnbr\n"
+      "        wclone\n"
+      "        getvar 1\n"
+      "        inc\n"
+      "        setvar 1\n"
+      "        rjump SPREAD\n"
+      // --- publish a fresh signal-strength tuple forever ------------------
+      "MAIN    pushn sig\n"
+      "        pusht READING\n"
+      "        pushc 2\n"
+      "        inp             // drop the stale reading if present\n"
+      "        rjumpc DROP2\n"
+      "        rjump PUB\n"
+      "DROP2   pop\n"
+      "        pop\n"
+      "PUB     pushn sig\n"
+      "        pushc MAG\n"
+      "        sense\n"
+      "        pushc 2\n"
+      "        out             // <\"sig\", reading>\n"
+      "        pushc " << sample_ticks << "\n"
+      "        sleep\n"
+      "        rjump MAIN\n"
+      "DIE2    pop\n"
+      "        pop\n"
+      "        halt\n";
+  return os.str();
+}
+
+std::string pursuer(int nap_ticks) {
+  std::ostringstream os;
+  os <<
+      // heap: 0 = best reading, 1 = best location, 2 = neighbour index,
+      //       3 = candidate location, 4 = candidate reading
+      "TRACK   pushc MAG\n"
+      "        sense           // how well do WE hear the intruder?\n"
+      "        setvar 0\n"
+      "        loc\n"
+      "        setvar 1\n"
+      "        pushc 0\n"
+      "        setvar 2\n"
+      "SCAN    getvar 2\n"
+      "        numnbrs\n"
+      "        cgt             // more neighbours to poll?\n"
+      "        rjumpc PROBE\n"
+      "        rjump DECIDE\n"
+      "PROBE   getvar 2\n"
+      "        getnbr\n"
+      "        setvar 3\n"
+      "        pushn sig\n"
+      "        pusht READING\n"
+      "        pushc 2\n"
+      "        getvar 3\n"
+      "        rrdp            // read the sentinel's published reading\n"
+      "        rjumpc GOT\n"
+      "        rjump NEXT\n"
+      "GOT     pop             // drop \"sig\"; reading on top\n"
+      "        copy\n"
+      "        setvar 4\n"
+      "        getvar 0\n"
+      "        clt             // best < candidate ?\n"
+      "        rjumpc BETTER\n"
+      "        rjump NEXT\n"
+      "BETTER  getvar 4\n"
+      "        setvar 0\n"
+      "        getvar 3\n"
+      "        setvar 1\n"
+      "NEXT    getvar 2\n"
+      "        inc\n"
+      "        setvar 2\n"
+      "        rjump SCAN\n"
+      "DECIDE  loc\n"
+      "        getvar 1\n"
+      "        ceq             // already at the loudest node?\n"
+      "        rjumpc STAY\n"
+      "        getvar 1\n"
+      "        smove           // chase the intruder\n"
+      "STAY    pushn pur\n"
+      "        pusht LOCATION\n"
+      "        pushc 2\n"
+      "        inp             // refresh our breadcrumb\n"
+      "        rjumpc DROP2\n"
+      "        rjump MARK\n"
+      "DROP2   pop\n"
+      "        pop\n"
+      "MARK    pushn pur\n"
+      "        loc\n"
+      "        pushc 2\n"
+      "        out\n"
+      "        pushc " << nap_ticks << "\n"
+      "        sleep\n"
+      "        rjump TRACK\n";
+  return os.str();
+}
+
+}  // namespace agilla::core::agents

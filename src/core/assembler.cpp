@@ -1,0 +1,514 @@
+#include "core/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+#include "net/packet.h"
+#include "sim/environment.h"
+#include "tuplespace/value.h"
+
+namespace agilla::core {
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+
+std::optional<long> parse_int(const std::string& token) {
+  if (token.empty()) {
+    return std::nullopt;
+  }
+  int base = 10;
+  std::size_t start = 0;
+  bool negative = false;
+  if (token[0] == '-') {
+    negative = true;
+    start = 1;
+  }
+  std::string_view body(token);
+  body.remove_prefix(start);
+  if (body.starts_with("0x") || body.starts_with("0X")) {
+    base = 16;
+    body.remove_prefix(2);
+  }
+  if (body.empty()) {
+    return std::nullopt;
+  }
+  long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), value, base);
+  if (ec != std::errc{} || ptr != body.data() + body.size()) {
+    return std::nullopt;
+  }
+  return negative ? -value : value;
+}
+
+std::optional<double> parse_double(const std::string& token) {
+  if (token.empty()) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<std::uint8_t> sensor_constant(const std::string& token) {
+  static const std::unordered_map<std::string, sim::SensorType> kSensors = {
+      {"TEMPERATURE", sim::SensorType::kTemperature},
+      {"TEMP", sim::SensorType::kTemperature},
+      {"PHOTO", sim::SensorType::kPhoto},
+      {"LIGHT", sim::SensorType::kPhoto},
+      {"MIC", sim::SensorType::kMicrophone},
+      {"MICROPHONE", sim::SensorType::kMicrophone},
+      {"SOUND", sim::SensorType::kMicrophone},
+      {"MAGNETOMETER", sim::SensorType::kMagnetometer},
+      {"MAG", sim::SensorType::kMagnetometer},
+      {"ACCEL", sim::SensorType::kAccelerometer},
+      {"ACCELEROMETER", sim::SensorType::kAccelerometer},
+  };
+  const auto it = kSensors.find(to_upper(token));
+  if (it == kSensors.end()) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint8_t>(it->second);
+}
+
+std::optional<std::uint8_t> field_type_constant(const std::string& token) {
+  static const std::unordered_map<std::string, ts::ValueType> kTypes = {
+      {"NUMBER", ts::ValueType::kNumber},
+      {"VALUE", ts::ValueType::kNumber},
+      {"INT", ts::ValueType::kNumber},
+      {"STRING", ts::ValueType::kString},
+      {"LOCATION", ts::ValueType::kLocation},
+      {"READING", ts::ValueType::kReading},
+      {"AGENTID", ts::ValueType::kAgentId},
+      {"READINGTYPE", ts::ValueType::kReadingType},
+  };
+  const auto it = kTypes.find(to_upper(token));
+  if (it == kTypes.end()) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint8_t>(it->second);
+}
+
+struct ParsedLine {
+  std::size_t source_line = 0;
+  std::optional<std::string> label;
+  std::string mnemonic;  // lowercase; empty for label-only lines
+  std::vector<std::string> operands;
+  std::uint16_t address = 0;  // filled in pass 1
+  std::size_t size = 0;
+};
+
+void strip_comment(std::string& line) {
+  for (const std::string_view marker : {"//", "#", ";"}) {
+    const auto pos = line.find(marker);
+    if (pos != std::string::npos) {
+      line.resize(pos);
+    }
+  }
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    tokens.push_back(std::move(current));
+  }
+  return tokens;
+}
+
+bool is_mnemonic(const std::string& token) {
+  return opcode_by_mnemonic(token).has_value();
+}
+
+/// getvar/setvar embed the heap slot in the opcode; everything else takes
+/// instruction_length() of its base opcode.
+std::optional<std::size_t> line_size(const ParsedLine& line,
+                                     std::string* error) {
+  const auto op = opcode_by_mnemonic(line.mnemonic);
+  if (!op.has_value()) {
+    *error = "unknown instruction '" + line.mnemonic + "'";
+    return std::nullopt;
+  }
+  if (*op == Opcode::kGetVar0 || *op == Opcode::kSetVar0) {
+    return 1;
+  }
+  return instruction_length(static_cast<std::uint8_t>(*op));
+}
+
+class Emitter {
+ public:
+  Emitter(const std::unordered_map<std::string, std::uint16_t>& labels,
+          std::vector<std::uint8_t>& code)
+      : labels_(labels), code_(code) {}
+
+  /// Resolves `token` as number first, then label.
+  std::optional<long> value_or_label(const std::string& token) const {
+    if (const auto n = parse_int(token); n.has_value()) {
+      return n;
+    }
+    const auto it = labels_.find(token);
+    if (it != labels_.end()) {
+      return static_cast<long>(it->second);
+    }
+    return std::nullopt;
+  }
+
+  void byte(std::uint8_t b) { code_.push_back(b); }
+  void word(std::uint16_t w) {
+    code_.push_back(static_cast<std::uint8_t>(w & 0xFF));
+    code_.push_back(static_cast<std::uint8_t>(w >> 8));
+  }
+
+ private:
+  const std::unordered_map<std::string, std::uint16_t>& labels_;
+  std::vector<std::uint8_t>& code_;
+};
+
+}  // namespace
+
+std::string AssemblyResult::error_text() const {
+  std::ostringstream os;
+  for (const auto& e : errors) {
+    os << "line " << e.line << ": " << e.message << "\n";
+  }
+  return os.str();
+}
+
+AssemblyResult assemble(std::string_view source) {
+  AssemblyResult result;
+  std::vector<ParsedLine> lines;
+  std::unordered_map<std::string, std::uint16_t> labels;
+
+  // --- pass 1: parse, size, and collect labels -----------------------------
+  std::size_t line_no = 0;
+  std::uint16_t address = 0;
+  std::istringstream stream{std::string(source)};
+  std::string raw;
+  std::optional<std::string> pending_label;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    strip_comment(raw);
+    auto tokens = tokenize(raw);
+    // The paper prefixes some lines with a numeric listing index ("7: FIRE
+    // pop"); tolerate and drop it.
+    if (!tokens.empty() && tokens[0].size() >= 2 &&
+        tokens[0].back() == ':' &&
+        parse_int(tokens[0].substr(0, tokens[0].size() - 1)).has_value()) {
+      tokens.erase(tokens.begin());
+    }
+    if (tokens.empty()) {
+      continue;
+    }
+
+    ParsedLine line;
+    line.source_line = line_no;
+
+    // Optional label: "NAME:" or a bare non-mnemonic word followed by a
+    // mnemonic (the paper's style).
+    if (tokens[0].back() == ':') {
+      line.label = tokens[0].substr(0, tokens[0].size() - 1);
+      tokens.erase(tokens.begin());
+    } else if (!is_mnemonic(tokens[0]) && tokens.size() >= 2 &&
+               is_mnemonic(tokens[1])) {
+      line.label = tokens[0];
+      tokens.erase(tokens.begin());
+    }
+
+    if (tokens.empty()) {
+      // Label-only line: attach to the next instruction.
+      if (line.label.has_value()) {
+        pending_label = line.label;
+      }
+      continue;
+    }
+    if (pending_label.has_value()) {
+      if (line.label.has_value()) {
+        result.errors.push_back(
+            {line_no, "instruction has two labels ('" + *pending_label +
+                          "' and '" + *line.label + "')"});
+      } else {
+        line.label = pending_label;
+      }
+      pending_label.reset();
+    }
+
+    line.mnemonic = to_lower(tokens[0]);
+    line.operands.assign(tokens.begin() + 1, tokens.end());
+
+    std::string error;
+    const auto size = line_size(line, &error);
+    if (!size.has_value()) {
+      result.errors.push_back({line_no, error});
+      continue;
+    }
+    line.address = address;
+    line.size = *size;
+    address = static_cast<std::uint16_t>(address + *size);
+
+    if (line.label.has_value()) {
+      if (labels.contains(*line.label)) {
+        result.errors.push_back(
+            {line_no, "duplicate label '" + *line.label + "'"});
+      } else {
+        labels[*line.label] = line.address;
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  if (pending_label.has_value()) {
+    result.errors.push_back(
+        {line_no, "label '" + *pending_label + "' has no instruction"});
+  }
+  if (!result.ok()) {
+    return result;
+  }
+
+  // --- pass 2: emit ---------------------------------------------------------
+  Emitter emit(labels, result.code);
+  for (const ParsedLine& line : lines) {
+    const Opcode op = *opcode_by_mnemonic(line.mnemonic);
+    auto fail = [&](const std::string& message) {
+      result.errors.push_back({line.source_line, message});
+    };
+    auto want_operands = [&](std::size_t n) {
+      if (line.operands.size() != n) {
+        fail(line.mnemonic + " expects " + std::to_string(n) +
+             " operand(s), got " + std::to_string(line.operands.size()));
+        return false;
+      }
+      return true;
+    };
+
+    switch (op) {
+      case Opcode::kGetVar0:
+      case Opcode::kSetVar0: {
+        if (!want_operands(1)) {
+          break;
+        }
+        const auto slot = parse_int(line.operands[0]);
+        if (!slot.has_value() || *slot < 0 ||
+            *slot >= static_cast<long>(kHeapSlots)) {
+          fail("heap slot must be 0.." + std::to_string(kHeapSlots - 1));
+          break;
+        }
+        emit.byte(static_cast<std::uint8_t>(static_cast<std::uint8_t>(op) +
+                                            *slot));
+        break;
+      }
+      case Opcode::kPushc: {
+        if (!want_operands(1)) {
+          break;
+        }
+        std::optional<long> v = emit.value_or_label(line.operands[0]);
+        if (!v.has_value()) {
+          if (const auto s = sensor_constant(line.operands[0])) {
+            v = *s;
+          }
+        }
+        if (!v.has_value() || *v < 0 || *v > 255) {
+          fail("pushc operand must be 0..255, a sensor name, or a label");
+          break;
+        }
+        emit.byte(static_cast<std::uint8_t>(op));
+        emit.byte(static_cast<std::uint8_t>(*v));
+        break;
+      }
+      case Opcode::kPushcl: {
+        if (!want_operands(1)) {
+          break;
+        }
+        const auto v = emit.value_or_label(line.operands[0]);
+        if (!v.has_value() || *v < -32768 || *v > 65535) {
+          fail("pushcl operand must be a 16-bit value or label");
+          break;
+        }
+        emit.byte(static_cast<std::uint8_t>(op));
+        emit.word(static_cast<std::uint16_t>(*v));
+        break;
+      }
+      case Opcode::kPushn: {
+        if (!want_operands(1)) {
+          break;
+        }
+        std::string text = line.operands[0];
+        if (text.size() >= 2 && text.front() == '"' && text.back() == '"') {
+          text = text.substr(1, text.size() - 2);
+        }
+        if (text.empty() || text.size() > 3) {
+          fail("pushn takes a 1..3 character string");
+          break;
+        }
+        emit.byte(static_cast<std::uint8_t>(op));
+        emit.word(ts::pack_string(text));
+        break;
+      }
+      case Opcode::kPusht: {
+        if (!want_operands(1)) {
+          break;
+        }
+        const auto t = field_type_constant(line.operands[0]);
+        if (!t.has_value()) {
+          fail("pusht operand must be a field type "
+               "(NUMBER/STRING/LOCATION/READING/AGENTID/READINGTYPE)");
+          break;
+        }
+        emit.byte(static_cast<std::uint8_t>(op));
+        emit.byte(*t);
+        break;
+      }
+      case Opcode::kPushrt: {
+        if (!want_operands(1)) {
+          break;
+        }
+        auto s = sensor_constant(line.operands[0]);
+        if (!s.has_value()) {
+          if (const auto n = parse_int(line.operands[0]);
+              n.has_value() && *n >= 0 &&
+              *n < static_cast<long>(sim::kNumSensorTypes)) {
+            s = static_cast<std::uint8_t>(*n);
+          }
+        }
+        if (!s.has_value()) {
+          fail("pushrt operand must be a sensor name or index");
+          break;
+        }
+        emit.byte(static_cast<std::uint8_t>(op));
+        emit.byte(*s);
+        break;
+      }
+      case Opcode::kPushloc: {
+        if (!want_operands(2)) {
+          break;
+        }
+        const auto x = parse_double(line.operands[0]);
+        const auto y = parse_double(line.operands[1]);
+        if (!x.has_value() || !y.has_value()) {
+          fail("pushloc takes two numeric coordinates");
+          break;
+        }
+        emit.byte(static_cast<std::uint8_t>(op));
+        emit.word(static_cast<std::uint16_t>(net::encode_coordinate(*x)));
+        emit.word(static_cast<std::uint16_t>(net::encode_coordinate(*y)));
+        break;
+      }
+      case Opcode::kRjump:
+      case Opcode::kRjumpc: {
+        if (!want_operands(1)) {
+          break;
+        }
+        const auto target = emit.value_or_label(line.operands[0]);
+        if (!target.has_value()) {
+          fail("unknown jump target '" + line.operands[0] + "'");
+          break;
+        }
+        long offset = *target;
+        if (labels.contains(line.operands[0])) {
+          // Label targets are absolute; encode relative to the next
+          // instruction.
+          offset = *target - (static_cast<long>(line.address) + 2);
+        }
+        if (offset < -128 || offset > 127) {
+          fail("relative jump target out of range (" +
+               std::to_string(offset) + ")");
+          break;
+        }
+        emit.byte(static_cast<std::uint8_t>(op));
+        emit.byte(static_cast<std::uint8_t>(static_cast<std::int8_t>(offset)));
+        break;
+      }
+      case Opcode::kJump: {
+        if (!want_operands(1)) {
+          break;
+        }
+        const auto target = emit.value_or_label(line.operands[0]);
+        if (!target.has_value() || *target < 0 || *target > 255) {
+          fail("jump target must be a label or address 0..255");
+          break;
+        }
+        emit.byte(static_cast<std::uint8_t>(op));
+        emit.byte(static_cast<std::uint8_t>(*target));
+        break;
+      }
+      default: {
+        if (!want_operands(0)) {
+          break;
+        }
+        emit.byte(static_cast<std::uint8_t>(op));
+        break;
+      }
+    }
+  }
+  if (!result.ok()) {
+    result.code.clear();
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> assemble_or_die(std::string_view source) {
+  AssemblyResult result = assemble(source);
+  if (!result.ok()) {
+    std::fprintf(stderr, "assemble_or_die failed:\n%s\n",
+                 result.error_text().c_str());
+    std::abort();
+  }
+  return std::move(result.code);
+}
+
+std::string disassemble(std::span<const std::uint8_t> code) {
+  std::ostringstream os;
+  std::size_t pc = 0;
+  while (pc < code.size()) {
+    const std::uint8_t raw = code[pc];
+    const std::size_t len = instruction_length(raw);
+    char addr[24];
+    std::snprintf(addr, sizeof(addr), "0x%02zx: ", pc);
+    os << addr << opcode_name(raw);
+    if (len == 0) {
+      os << "  ; undefined, aborting\n";
+      break;
+    }
+    if (len > 1 && pc + len <= code.size()) {
+      os << " ";
+      for (std::size_t i = 1; i < len; ++i) {
+        char byte[8];
+        std::snprintf(byte, sizeof(byte), "%02x", code[pc + i]);
+        os << byte;
+      }
+    }
+    os << "\n";
+    pc += len;
+  }
+  return os.str();
+}
+
+}  // namespace agilla::core

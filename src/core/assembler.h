@@ -1,0 +1,52 @@
+// A two-pass assembler for the textual agent language used throughout the
+// paper (Figs. 2, 8, 13).
+//
+// Syntax, matching the paper's listings:
+//   * one instruction per line; `//` or `#` start a comment;
+//   * an optional leading label — either `NAME:` or, as printed in the
+//     paper, a bare word that is not a mnemonic (`BEGIN pushn fir`);
+//   * operands: decimal / 0x-hex numbers, label names, 3-letter strings
+//     (for pushn), field-type names for pusht (NUMBER, STRING, LOCATION,
+//     READING, AGENTID, READINGTYPE), sensor names for pushrt/pushc
+//     (TEMPERATURE, PHOTO, MIC, MAGNETOMETER, ACCEL), and `x y` coordinate
+//     pairs for pushloc (fractions allowed).
+//
+// Relative jumps (rjump/rjumpc) store a signed byte offset from the address
+// of the *following* instruction; the assembler computes it from a label.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/isa.h"
+
+namespace agilla::core {
+
+struct AssemblyError {
+  std::size_t line = 0;  ///< 1-based source line
+  std::string message;
+};
+
+struct AssemblyResult {
+  std::vector<std::uint8_t> code;
+  std::vector<AssemblyError> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  /// All error messages joined with newlines (for test failure output).
+  [[nodiscard]] std::string error_text() const;
+};
+
+/// Assembles `source` into Agilla bytecode.
+AssemblyResult assemble(std::string_view source);
+
+/// Convenience: assemble-or-abort, for code known good at build time.
+std::vector<std::uint8_t> assemble_or_die(std::string_view source);
+
+/// Disassembles bytecode into one instruction per line ("0x12: smove").
+std::string disassemble(std::span<const std::uint8_t> code);
+
+}  // namespace agilla::core

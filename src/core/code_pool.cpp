@@ -1,0 +1,109 @@
+#include "core/code_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace agilla::core {
+
+CodePool::CodePool(std::size_t num_blocks) : blocks_(num_blocks) {}
+
+std::size_t CodePool::free_blocks() const {
+  return static_cast<std::size_t>(
+      std::count_if(blocks_.begin(), blocks_.end(),
+                    [](const Block& b) { return !b.used; }));
+}
+
+std::optional<CodeHandle> CodePool::store(
+    std::span<const std::uint8_t> code) {
+  if (code.empty() || code.size() > capacity_bytes() ||
+      code.size() > 0xFFFF) {
+    return std::nullopt;
+  }
+  const std::size_t needed = blocks_needed(code.size());
+  if (needed > free_blocks()) {
+    return std::nullopt;
+  }
+
+  CodeHandle handle;
+  handle.size = static_cast<std::uint16_t>(code.size());
+  std::int16_t prev = -1;
+  std::size_t copied = 0;
+  for (std::size_t b = 0; b < needed; ++b) {
+    // First-fit scan; the free list on the mote is a bitmap scan too.
+    std::size_t index = 0;
+    while (blocks_[index].used) {
+      ++index;
+    }
+    Block& block = blocks_[index];
+    block.used = true;
+    block.next = -1;
+    const std::size_t chunk = std::min(kBlockSize, code.size() - copied);
+    std::copy_n(code.begin() + static_cast<std::ptrdiff_t>(copied), chunk,
+                block.data.begin());
+    copied += chunk;
+    if (prev < 0) {
+      handle.first_block = static_cast<std::int16_t>(index);
+    } else {
+      blocks_[static_cast<std::size_t>(prev)].next =
+          static_cast<std::int16_t>(index);
+    }
+    prev = static_cast<std::int16_t>(index);
+  }
+  return handle;
+}
+
+void CodePool::release(CodeHandle handle) {
+  std::int16_t index = handle.first_block;
+  while (index >= 0) {
+    Block& block = blocks_[static_cast<std::size_t>(index)];
+    assert(block.used);
+    const std::int16_t next = block.next;
+    block.used = false;
+    block.next = -1;
+    index = next;
+  }
+}
+
+std::uint8_t CodePool::fetch(CodeHandle handle, std::uint16_t addr,
+                             bool* ok) const {
+  if (!handle.valid() || addr >= handle.size) {
+    if (ok != nullptr) {
+      *ok = false;
+    }
+    return 0;
+  }
+  std::size_t hops = addr / kBlockSize;
+  std::int16_t index = handle.first_block;
+  while (hops > 0 && index >= 0) {
+    index = blocks_[static_cast<std::size_t>(index)].next;
+    --hops;
+  }
+  if (index < 0) {
+    if (ok != nullptr) {
+      *ok = false;
+    }
+    return 0;
+  }
+  if (ok != nullptr) {
+    *ok = true;
+  }
+  return blocks_[static_cast<std::size_t>(index)].data[addr % kBlockSize];
+}
+
+std::vector<std::uint8_t> CodePool::copy_out(CodeHandle handle) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(handle.size);
+  std::int16_t index = handle.first_block;
+  std::size_t remaining = handle.size;
+  while (index >= 0 && remaining > 0) {
+    const Block& block = blocks_[static_cast<std::size_t>(index)];
+    const std::size_t chunk = std::min(kBlockSize, remaining);
+    out.insert(out.end(), block.data.begin(),
+               block.data.begin() + static_cast<std::ptrdiff_t>(chunk));
+    remaining -= chunk;
+    index = block.next;
+  }
+  return out;
+}
+
+}  // namespace agilla::core

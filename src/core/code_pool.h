@@ -1,0 +1,71 @@
+// The Instruction Manager's dynamic code memory (paper Sec. 3.2):
+// "the instruction manager allocates the minimum number of 22 byte blocks
+// necessary to store the agent's code. ... By default, the instruction
+// manager is allocated 440 bytes (20 blocks)."
+//
+// Blocks are chained with forward indices; code addresses are resolved by
+// walking the chain, exactly the cost profile the paper describes as "undue
+// forward pointer overhead" for smaller blocks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace agilla::core {
+
+struct CodeHandle {
+  std::int16_t first_block = -1;
+  std::uint16_t size = 0;
+
+  [[nodiscard]] bool valid() const { return first_block >= 0; }
+  friend bool operator==(CodeHandle, CodeHandle) = default;
+};
+
+class CodePool {
+ public:
+  static constexpr std::size_t kBlockSize = 22;  ///< paper Sec. 3.2
+  static constexpr std::size_t kDefaultBlocks = 20;
+
+  explicit CodePool(std::size_t num_blocks = kDefaultBlocks);
+
+  /// Copies `code` into freshly allocated blocks. Returns nullopt when the
+  /// pool lacks space (the migration receiver then rejects the agent).
+  std::optional<CodeHandle> store(std::span<const std::uint8_t> code);
+
+  /// Frees the handle's block chain; invalid handles are ignored.
+  void release(CodeHandle handle);
+
+  /// Byte at code address `addr`; 0 with *ok=false when out of range.
+  [[nodiscard]] std::uint8_t fetch(CodeHandle handle, std::uint16_t addr,
+                                   bool* ok = nullptr) const;
+
+  /// Contiguous copy of an agent's code (for migration).
+  [[nodiscard]] std::vector<std::uint8_t> copy_out(CodeHandle handle) const;
+
+  [[nodiscard]] static std::size_t blocks_needed(std::size_t code_bytes) {
+    return (code_bytes + kBlockSize - 1) / kBlockSize;
+  }
+
+  [[nodiscard]] std::size_t total_blocks() const { return blocks_.size(); }
+  [[nodiscard]] std::size_t free_blocks() const;
+  [[nodiscard]] std::size_t used_blocks() const {
+    return total_blocks() - free_blocks();
+  }
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    return blocks_.size() * kBlockSize;
+  }
+
+ private:
+  struct Block {
+    std::array<std::uint8_t, kBlockSize> data{};
+    std::int16_t next = -1;
+    bool used = false;
+  };
+
+  std::vector<Block> blocks_;
+};
+
+}  // namespace agilla::core

@@ -1,0 +1,47 @@
+#include "core/context_manager.h"
+
+#include <array>
+
+namespace agilla::core {
+
+std::optional<sim::Location> ContextManager::neighbor_location(
+    std::size_t index) const {
+  const auto entry = neighbors_.by_index(index);
+  if (!entry.has_value()) {
+    return std::nullopt;
+  }
+  return entry->location;
+}
+
+std::optional<sim::Location> ContextManager::random_neighbor(
+    sim::Rng& rng) const {
+  const auto entry = neighbors_.random(rng);
+  if (!entry.has_value()) {
+    return std::nullopt;
+  }
+  return entry->location;
+}
+
+void ContextManager::seed_context_tuples(ts::TupleSpace& space,
+                                         const SensorBoard& sensors) const {
+  // Short names keep within the 3-char packed-string format.
+  struct Entry {
+    sim::SensorType type;
+    const char* name;
+  };
+  static constexpr std::array<Entry, sim::kNumSensorTypes> kEntries = {{
+      {sim::SensorType::kTemperature, "tmp"},
+      {sim::SensorType::kPhoto, "pho"},
+      {sim::SensorType::kMicrophone, "mic"},
+      {sim::SensorType::kMagnetometer, "mag"},
+      {sim::SensorType::kAccelerometer, "acc"},
+  }};
+  for (const Entry& e : kEntries) {
+    if (sensors.has(e.type)) {
+      space.out(ts::Tuple{ts::Value::string(e.name),
+                          ts::Value::reading_type(e.type)});
+    }
+  }
+}
+
+}  // namespace agilla::core

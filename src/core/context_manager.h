@@ -1,0 +1,44 @@
+// The Context Manager (paper Fig. 4): node location, the acquaintance
+// list accessors backing numnbrs/getnbr/randnbr, and the pre-defined
+// context tuples that advertise available sensors (paper Sec. 2.2: "If a
+// node has a thermometer, Agilla would insert a 'temperature tuple' into
+// its tuple space").
+#pragma once
+
+#include <optional>
+
+#include "core/sensors.h"
+#include "net/neighbor_table.h"
+#include "tuplespace/tuple_space.h"
+
+namespace agilla::core {
+
+class ContextManager {
+ public:
+  ContextManager(sim::Location self, const net::NeighborTable& neighbors)
+      : self_(self), neighbors_(neighbors) {}
+
+  [[nodiscard]] sim::Location location() const { return self_; }
+
+  [[nodiscard]] std::size_t num_neighbors() const {
+    return neighbors_.size();
+  }
+  [[nodiscard]] std::optional<sim::Location> neighbor_location(
+      std::size_t index) const;
+  [[nodiscard]] std::optional<sim::Location> random_neighbor(
+      sim::Rng& rng) const;
+  [[nodiscard]] const net::NeighborTable& neighbors() const {
+    return neighbors_;
+  }
+
+  /// Inserts one <sensor-name, reading-type> tuple per available sensor so
+  /// agents can discover the node's capabilities by pattern matching.
+  void seed_context_tuples(ts::TupleSpace& space,
+                           const SensorBoard& sensors) const;
+
+ private:
+  sim::Location self_;
+  const net::NeighborTable& neighbors_;
+};
+
+}  // namespace agilla::core

@@ -1,0 +1,149 @@
+// The Agilla Engine (paper Fig. 4 / Sec. 3.2): the virtual-machine kernel
+// that runs every agent on a node with round-robin scheduling, "each agent
+// can execute a fixed number of instructions (default 4) before switching
+// context", yielding immediately on long-running instructions (sleep,
+// sense, wait, migration, remote tuple-space ops, blocked in/rd).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "core/agent_manager.h"
+#include "core/agent_serializer.h"
+#include "core/context_manager.h"
+#include "core/migration.h"
+#include "core/remote_ts.h"
+#include "core/sensors.h"
+#include "core/vm_costs.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace agilla::core {
+
+/// Accumulated simulated execution cost per opcode — the raw data behind
+/// the paper's Fig. 12 local-instruction latencies.
+struct OpcodeProfile {
+  std::uint64_t count = 0;
+  sim::SimTime total_cost = 0;
+
+  [[nodiscard]] double mean_us() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_cost) /
+                            static_cast<double>(count);
+  }
+};
+
+struct EngineStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t slices = 0;
+  std::uint64_t vm_errors = 0;
+  std::uint64_t agents_launched = 0;
+  std::uint64_t agents_halted = 0;
+  std::uint64_t agents_installed = 0;   ///< arrived via migration
+  std::uint64_t agents_rejected = 0;    ///< arrival refused (no resources)
+  std::uint64_t migrations_started = 0;
+  std::uint64_t migrations_failed = 0;  ///< resumed with condition 0
+  std::uint64_t remote_ops = 0;
+  std::uint64_t reactions_fired = 0;
+};
+
+class AgillaEngine {
+ public:
+  struct Options {
+    std::size_t instructions_per_slice = 4;  ///< paper default (as in Mate)
+    VmCostModel costs;
+    double epsilon = 0.3;  ///< location-addressing tolerance
+  };
+
+  AgillaEngine(sim::Simulator& sim, sim::NodeId node, Options options,
+               AgentManager& agents, CodePool& code_pool,
+               ts::TupleSpace& tuple_space, ContextManager& context,
+               SensorBoard& sensors, MigrationManager& migration,
+               RemoteTsManager& remote_ts, sim::Trace* trace = nullptr);
+
+  AgillaEngine(const AgillaEngine&) = delete;
+  AgillaEngine& operator=(const AgillaEngine&) = delete;
+
+  /// Injects a locally-created agent (base-station injection or test).
+  /// Returns the new agent's id, or nullopt when out of resources.
+  std::optional<AgentId> launch(std::span<const std::uint8_t> code);
+
+  /// Installs an agent arriving via migration. `reached_dest` false means
+  /// custody resume: the agent continues with condition 0.
+  bool install(AgentImage image, bool reached_dest);
+
+  /// Tuple-space hooks (wired by the middleware facade).
+  void on_tuple_inserted(const ts::Tuple& tuple);
+  void on_reaction(const ts::Reaction& reaction, const ts::Tuple& tuple);
+
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+
+  /// Per-opcode execution profile (key: raw opcode byte; getvar/setvar
+  /// collapse onto their base opcode).
+  [[nodiscard]] const std::unordered_map<std::uint8_t, OpcodeProfile>&
+  opcode_profile() const {
+    return profile_;
+  }
+
+  [[nodiscard]] std::uint8_t leds() const { return leds_; }
+  [[nodiscard]] AgentManager& agents() { return agents_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// True when any agent is alive on this node.
+  [[nodiscard]] bool busy() const { return agents_.count() > 0; }
+
+ private:
+  enum class StepResult : std::uint8_t {
+    kContinue,  ///< keep executing this slice
+    kYield,     ///< long-running op issued; end slice, agent stays ready
+    kBlocked,   ///< agent left the ready state
+    kGone,      ///< agent died or migrated away
+  };
+
+  void make_ready(Agent& agent);
+  void schedule_tick(sim::SimTime delay);
+  void tick();
+  StepResult step(Agent& agent, sim::SimTime& cost);
+  void die(Agent& agent, const std::string& reason);
+  void destroy(AgentId id, bool drop_reactions);
+
+  // Instruction groups (implemented in engine.cpp).
+  StepResult exec_tuple_op(Agent& agent, Opcode op, sim::SimTime& cost);
+  StepResult exec_migration(Agent& agent, Opcode op);
+  StepResult exec_remote(Agent& agent, Opcode op);
+  bool pop_fields(Agent& agent, std::vector<ts::Value>* out);
+
+  AgentImage make_image(Agent& agent, MigrationOp op, sim::Location dest);
+  void deliver_reaction(Agent& agent, const ts::Reaction& reaction,
+                        const ts::Tuple& tuple);
+  void trace_agent(const Agent& agent, const std::string& message);
+
+  sim::Simulator& sim_;
+  sim::NodeId node_;
+  Options options_;
+  AgentManager& agents_;
+  CodePool& code_pool_;
+  ts::TupleSpace& tuple_space_;
+  ContextManager& context_;
+  SensorBoard& sensors_;
+  MigrationManager& migration_;
+  RemoteTsManager& remote_ts_;
+  sim::Trace* trace_;
+
+  std::deque<AgentId> ready_;
+  bool tick_scheduled_ = false;
+  std::unordered_map<std::uint16_t, sim::EventHandle> sleep_timers_;
+  struct PendingReaction {
+    ts::Reaction reaction;
+    ts::Tuple tuple;
+  };
+  std::unordered_map<std::uint16_t, std::deque<PendingReaction>>
+      pending_reactions_;
+  std::uint8_t leds_ = 0;
+  EngineStats stats_;
+  std::unordered_map<std::uint8_t, OpcodeProfile> profile_;
+};
+
+}  // namespace agilla::core

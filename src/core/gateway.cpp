@@ -1,0 +1,368 @@
+#include "core/gateway.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/agent_library.h"
+
+namespace agilla::core {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool parse_number(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size() && !text.empty();
+}
+
+/// Parses one "kind:payload" field token into a value.
+bool parse_field(const std::string& token, ts::Value* out,
+                 std::string* error) {
+  const auto colon = token.find(':');
+  if (colon == std::string::npos) {
+    *error = "field '" + token + "' needs kind:payload syntax";
+    return false;
+  }
+  const std::string kind = token.substr(0, colon);
+  const std::string payload = token.substr(colon + 1);
+  if (kind == "num") {
+    double v = 0;
+    if (!parse_number(payload, &v)) {
+      *error = "bad number '" + payload + "'";
+      return false;
+    }
+    *out = ts::Value::number(static_cast<std::int16_t>(v));
+    return true;
+  }
+  if (kind == "str") {
+    if (payload.empty() || payload.size() > 3) {
+      *error = "strings are 1..3 characters";
+      return false;
+    }
+    *out = ts::Value::string(payload);
+    return true;
+  }
+  if (kind == "loc") {
+    const auto comma = payload.find(',');
+    double x = 0;
+    double y = 0;
+    if (comma == std::string::npos ||
+        !parse_number(payload.substr(0, comma), &x) ||
+        !parse_number(payload.substr(comma + 1), &y)) {
+      *error = "bad location '" + payload + "' (want loc:x,y)";
+      return false;
+    }
+    *out = ts::Value::location({x, y});
+    return true;
+  }
+  if (kind == "agent") {
+    double v = 0;
+    if (!parse_number(payload, &v)) {
+      *error = "bad agent id '" + payload + "'";
+      return false;
+    }
+    *out = ts::Value::agent_id(static_cast<std::uint16_t>(v));
+    return true;
+  }
+  if (kind == "reading") {
+    const auto comma = payload.find(',');
+    double sensor = 0;
+    double v = 0;
+    if (comma == std::string::npos ||
+        !parse_number(payload.substr(0, comma), &sensor) ||
+        !parse_number(payload.substr(comma + 1), &v)) {
+      *error = "bad reading '" + payload + "' (want reading:sensor,value)";
+      return false;
+    }
+    *out = ts::Value::reading(static_cast<sim::SensorType>(sensor),
+                              static_cast<std::int16_t>(v));
+    return true;
+  }
+  *error = "unknown field kind '" + kind + "'";
+  return false;
+}
+
+bool parse_wildcard(const std::string& token, ts::Value* out) {
+  if (token == "?num") {
+    *out = ts::Value::type_wildcard(ts::ValueType::kNumber);
+  } else if (token == "?str") {
+    *out = ts::Value::type_wildcard(ts::ValueType::kString);
+  } else if (token == "?loc") {
+    *out = ts::Value::type_wildcard(ts::ValueType::kLocation);
+  } else if (token == "?reading") {
+    *out = ts::Value::type_wildcard(ts::ValueType::kReading);
+  } else if (token == "?agent") {
+    *out = ts::Value::type_wildcard(ts::ValueType::kAgentId);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char kHelp[] =
+    "commands:\n"
+    "  inject agent <firedetector|firetracker|habitat|blinker|sentinel|"
+    "pursuer> [x y]\n"
+    "  inject asm <code, ';' separates lines>\n"
+    "  inject at <x> <y> asm <code>\n"
+    "  rout <x> <y> <fields>      fields: num:7 str:abc loc:1,2 "
+    "agent:3 reading:0,42\n"
+    "  rinp <x> <y> <template>    template adds wildcards: ?num ?str ?loc "
+    "?reading ?agent\n"
+    "  rrdp <x> <y> <template>\n"
+    "  region <x> <y> <radius> <any|all> <fields>\n"
+    "  status\n"
+    "  help";
+
+}  // namespace
+
+GatewayConsole::GatewayConsole(BaseStation& base, OutputSink output)
+    : base_(base), output_(std::move(output)) {}
+
+void GatewayConsole::emit(const std::string& line) {
+  if (output_) {
+    output_(line);
+  }
+}
+
+bool GatewayConsole::parse_tuple(const std::vector<std::string>& tokens,
+                                 std::size_t first, ts::Tuple* out,
+                                 std::string* error) {
+  if (first >= tokens.size()) {
+    *error = "no fields given";
+    return false;
+  }
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    ts::Value value;
+    if (!parse_field(tokens[i], &value, error)) {
+      return false;
+    }
+    if (!out->add(value)) {
+      *error = "tuple exceeds the 25-byte wire budget";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool GatewayConsole::parse_template(const std::vector<std::string>& tokens,
+                                    std::size_t first, ts::Template* out,
+                                    std::string* error) {
+  if (first >= tokens.size()) {
+    *error = "no fields given";
+    return false;
+  }
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    ts::Value value;
+    if (!parse_wildcard(tokens[i], &value) &&
+        !parse_field(tokens[i], &value, error)) {
+      return false;
+    }
+    if (!out->add(value)) {
+      *error = "template exceeds the 25-byte wire budget";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string GatewayConsole::cmd_inject(
+    const std::vector<std::string>& tokens, const std::string& raw_line) {
+  if (tokens.size() < 2) {
+    return "error: inject needs a mode (agent/asm/at)";
+  }
+  if (tokens[1] == "agent") {
+    if (tokens.size() < 3) {
+      return "error: inject agent needs a name";
+    }
+    const std::string& name = tokens[2];
+    sim::Location where{1, 1};
+    if (tokens.size() >= 5) {
+      parse_number(tokens[3], &where.x);
+      parse_number(tokens[4], &where.y);
+    }
+    std::string source;
+    if (name == "firedetector") {
+      source = agents::fire_detector(where);
+    } else if (name == "firetracker") {
+      source = agents::fire_tracker();
+    } else if (name == "habitat") {
+      source = agents::habitat_monitor();
+    } else if (name == "blinker") {
+      source = agents::blinker();
+    } else if (name == "sentinel") {
+      source = agents::sentinel();
+    } else if (name == "pursuer") {
+      source = agents::pursuer();
+    } else {
+      return "error: unknown agent '" + name + "'";
+    }
+    const auto id = base_.inject(source);
+    if (!id.has_value()) {
+      return "error: injection failed (resources?)";
+    }
+    return "ok: injected " + name + " as agent#" +
+           std::to_string(id->value);
+  }
+
+  if (tokens[1] == "asm" || (tokens[1] == "at" && tokens.size() >= 5)) {
+    std::string code_text;
+    sim::Location dest{0, 0};
+    bool remote = false;
+    if (tokens[1] == "asm") {
+      const auto pos = raw_line.find("asm");
+      code_text = raw_line.substr(pos + 3);
+    } else {
+      parse_number(tokens[2], &dest.x);
+      parse_number(tokens[3], &dest.y);
+      const auto pos = raw_line.find("asm");
+      if (pos == std::string::npos) {
+        return "error: inject at <x> <y> asm <code>";
+      }
+      code_text = raw_line.substr(pos + 3);
+      remote = true;
+    }
+    for (char& c : code_text) {
+      if (c == ';') {
+        c = '\n';
+      }
+    }
+    const AssemblyResult assembled = assemble(code_text);
+    if (!assembled.ok()) {
+      return "error: " + assembled.error_text();
+    }
+    if (remote) {
+      base_.inject_at(assembled.code, dest, [this, dest](bool ok) {
+        emit(std::string("async: remote injection toward (") +
+             std::to_string(dest.x) + "," + std::to_string(dest.y) + ") " +
+             (ok ? "handed off" : "FAILED"));
+      });
+      return "ok: agent dispatched";
+    }
+    const auto id = base_.inject_code(assembled.code);
+    if (!id.has_value()) {
+      return "error: injection failed (resources?)";
+    }
+    return "ok: injected agent#" + std::to_string(id->value);
+  }
+  return "error: inject needs a mode (agent/asm/at)";
+}
+
+std::string GatewayConsole::cmd_remote(
+    const std::string& op, const std::vector<std::string>& tokens) {
+  if (tokens.size() < 4) {
+    return "error: " + op + " <x> <y> <fields>";
+  }
+  sim::Location dest{0, 0};
+  if (!parse_number(tokens[1], &dest.x) ||
+      !parse_number(tokens[2], &dest.y)) {
+    return "error: bad destination";
+  }
+  std::string error;
+  auto completion = [this, op](bool success, std::optional<ts::Tuple> t) {
+    ++async_results_;
+    if (!success) {
+      emit("async: " + op + " failed");
+    } else if (t.has_value()) {
+      emit("async: " + op + " -> " + t->to_string());
+    } else {
+      emit("async: " + op + " ok");
+    }
+  };
+  if (op == "rout") {
+    ts::Tuple tuple;
+    if (!parse_tuple(tokens, 3, &tuple, &error)) {
+      return "error: " + error;
+    }
+    base_.rout(dest, tuple, completion);
+  } else {
+    ts::Template templ;
+    if (!parse_template(tokens, 3, &templ, &error)) {
+      return "error: " + error;
+    }
+    if (op == "rinp") {
+      base_.rinp(dest, templ, completion);
+    } else {
+      base_.rrdp(dest, templ, completion);
+    }
+  }
+  return "ok: " + op + " dispatched";
+}
+
+std::string GatewayConsole::cmd_region(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() < 6) {
+    return "error: region <x> <y> <radius> <any|all> <fields>";
+  }
+  sim::Location center{0, 0};
+  double radius = 0;
+  if (!parse_number(tokens[1], &center.x) ||
+      !parse_number(tokens[2], &center.y) ||
+      !parse_number(tokens[3], &radius)) {
+    return "error: bad region geometry";
+  }
+  RegionMode mode;
+  if (tokens[4] == "any") {
+    mode = RegionMode::kAnyNode;
+  } else if (tokens[4] == "all") {
+    mode = RegionMode::kAllNodes;
+  } else {
+    return "error: mode must be any|all";
+  }
+  ts::Tuple tuple;
+  std::string error;
+  if (!parse_tuple(tokens, 5, &tuple, &error)) {
+    return "error: " + error;
+  }
+  base_.out_region(tuple, center, radius, mode);
+  return "ok: region out dispatched";
+}
+
+std::string GatewayConsole::cmd_status() const {
+  auto& gw = base_.gateway();
+  std::ostringstream os;
+  os << "gateway node " << gw.node_id() << " at (" << gw.location().x << ","
+     << gw.location().y << "): " << gw.agents().count() << "/"
+     << gw.agents().capacity() << " agents, "
+     << gw.tuple_space().store().tuple_count() << " tuples, "
+     << gw.neighbors().size() << " neighbours; launched "
+     << gw.engine().stats().agents_launched << ", migrations "
+     << gw.engine().stats().migrations_started << ", remote ops "
+     << gw.engine().stats().remote_ops;
+  return os.str();
+}
+
+std::string GatewayConsole::execute(const std::string& line) {
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) {
+    return "";
+  }
+  const std::string& cmd = tokens[0];
+  std::string response;
+  if (cmd == "help") {
+    response = kHelp;
+  } else if (cmd == "inject") {
+    response = cmd_inject(tokens, line);
+  } else if (cmd == "rout" || cmd == "rinp" || cmd == "rrdp") {
+    response = cmd_remote(cmd, tokens);
+  } else if (cmd == "region") {
+    response = cmd_region(tokens);
+  } else if (cmd == "status") {
+    response = cmd_status();
+  } else {
+    response = "error: unknown command '" + cmd + "' (try help)";
+  }
+  emit(response);
+  return response;
+}
+
+}  // namespace agilla::core

@@ -1,0 +1,70 @@
+// GatewayConsole — the text front-end of paper Sec. 3.1: "The laptop runs
+// a Java application that allows a user to interact with the WSN by
+// injecting agents and performing remote tuple space operations. It also
+// starts an RMI server that allows anyone on the Internet to remotely
+// access the sensor network."
+//
+// We reproduce that interaction surface as a command interpreter over the
+// BaseStation API, so a driver program (or a test, or an actual socket
+// server) can operate the network with plain text:
+//
+//   inject agent firedetector 1 1
+//   inject asm "pushc 1; pushc 1; out; halt"
+//   rout 3 1 str:cmd num:7
+//   rrdp 3 1 str:dat ?reading
+//   region 4 4 1.5 all str:evc num:1
+//   status
+//
+// Asynchronous results (remote-op replies) are delivered to the output
+// sink when the simulation processes them.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/injector.h"
+
+namespace agilla::core {
+
+class GatewayConsole {
+ public:
+  /// `output` receives one line per event (command echo, async results).
+  using OutputSink = std::function<void(const std::string&)>;
+
+  explicit GatewayConsole(BaseStation& base, OutputSink output = nullptr);
+
+  /// Executes one command line; returns the immediate response. Errors are
+  /// reported in the response text ("error: ..."), never thrown.
+  std::string execute(const std::string& line);
+
+  /// Parses a whitespace-separated field list into a tuple. Field syntax:
+  ///   num:<n>  str:<abc>  loc:<x>,<y>  agent:<id>  reading:<sensor>,<v>
+  /// Returns false (with *error set) on malformed input.
+  static bool parse_tuple(const std::vector<std::string>& tokens,
+                          std::size_t first, ts::Tuple* out,
+                          std::string* error);
+
+  /// Same, with wildcards allowed: ?num ?str ?loc ?reading ?agent.
+  static bool parse_template(const std::vector<std::string>& tokens,
+                             std::size_t first, ts::Template* out,
+                             std::string* error);
+
+  /// Number of async results delivered so far (for tests).
+  [[nodiscard]] std::size_t async_results() const { return async_results_; }
+
+ private:
+  std::string cmd_inject(const std::vector<std::string>& tokens,
+                         const std::string& raw_line);
+  std::string cmd_remote(const std::string& op,
+                         const std::vector<std::string>& tokens);
+  std::string cmd_region(const std::vector<std::string>& tokens);
+  std::string cmd_status() const;
+  void emit(const std::string& line);
+
+  BaseStation& base_;
+  OutputSink output_;
+  std::size_t async_results_ = 0;
+};
+
+}  // namespace agilla::core

@@ -1,0 +1,30 @@
+#include "core/memory_budget.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace agilla::core {
+
+std::size_t MemoryBudget::total_bytes() const {
+  std::size_t total = 0;
+  for (const Item& item : items_) {
+    total += item.bytes;
+  }
+  return total;
+}
+
+std::string MemoryBudget::to_table() const {
+  std::ostringstream os;
+  for (const Item& item : items_) {
+    os << "  " << std::left << std::setw(40) << item.label << std::right
+       << std::setw(6) << item.bytes << " B\n";
+  }
+  os << "  " << std::left << std::setw(40) << "TOTAL" << std::right
+     << std::setw(6) << total_bytes() << " B  ("
+     << std::fixed << std::setprecision(2)
+     << static_cast<double>(total_bytes()) / 1024.0 << " KB of "
+     << kMica2RamBytes / 1024 << " KB MICA2 RAM)\n";
+  return os.str();
+}
+
+}  // namespace agilla::core

@@ -1,0 +1,36 @@
+// A RAM ledger modelling the MICA2's 4 KB data memory, reproducing the
+// paper's "3.59KB of data memory" accounting (abstract / Sec. 1). Every
+// sized structure the middleware allocates registers a line item; the
+// bench_memory_footprint binary prints the table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace agilla::core {
+
+class MemoryBudget {
+ public:
+  struct Item {
+    std::string label;
+    std::size_t bytes = 0;
+  };
+
+  void add(std::string label, std::size_t bytes) {
+    items_.push_back(Item{std::move(label), bytes});
+  }
+
+  [[nodiscard]] const std::vector<Item>& items() const { return items_; }
+  [[nodiscard]] std::size_t total_bytes() const;
+
+  /// MICA2 data memory (paper Sec. 3.1).
+  static constexpr std::size_t kMica2RamBytes = 4 * 1024;
+
+  [[nodiscard]] std::string to_table() const;
+
+ private:
+  std::vector<Item> items_;
+};
+
+}  // namespace agilla::core

@@ -1,0 +1,95 @@
+#include "core/middleware.h"
+
+namespace agilla::core {
+
+AgillaMiddleware::AgillaMiddleware(sim::Network& network, sim::NodeId self,
+                                   const sim::SensorEnvironment* environment,
+                                   AgillaConfig config, sim::Trace* trace)
+    : network_(network),
+      self_(self),
+      location_(network.info(self).location),
+      config_(config),
+      tuple_space_(config.tuple_space),
+      code_pool_(config.code_pool_blocks),
+      agents_(self, config.agents),
+      sensors_(environment, location_) {
+  link_ = std::make_unique<net::LinkLayer>(network_, self_, config_.link,
+                                           trace);
+  neighbors_ = std::make_unique<net::NeighborTable>(
+      network_, *link_, location_, config_.neighbors, trace);
+  router_ = std::make_unique<net::GeoRouter>(network_, *link_, *neighbors_,
+                                             location_, trace);
+  context_ = std::make_unique<ContextManager>(location_, *neighbors_);
+  migration_ = std::make_unique<MigrationManager>(
+      network_, *link_, *router_, location_, config_.migration, trace);
+  remote_ts_ = std::make_unique<RemoteTsManager>(
+      network_.simulator(), *router_, tuple_space_, location_,
+      config_.remote_ts, trace);
+  region_ops_ = std::make_unique<RegionOps>(network_, *link_, *router_,
+                                            tuple_space_, location_,
+                                            config_.region, trace);
+  engine_ = std::make_unique<AgillaEngine>(
+      network_.simulator(), self_, config_.engine, agents_, code_pool_,
+      tuple_space_, *context_, sensors_, *migration_, *remote_ts_, trace);
+
+  // Wire the upcalls: reactions and wakeups flow from the tuple space to
+  // the engine; arriving agents flow from the migration manager.
+  tuple_space_.set_reaction_callback(
+      [this](const ts::Reaction& r, const ts::Tuple& t) {
+        engine_->on_reaction(r, t);
+      });
+  tuple_space_.set_insertion_callback(
+      [this](const ts::Tuple& t) { engine_->on_tuple_inserted(t); });
+  migration_->set_arrival_handler(
+      [this](AgentImage image, bool reached_dest) {
+        engine_->install(std::move(image), reached_dest);
+      });
+}
+
+void AgillaMiddleware::start() {
+  link_->attach();
+  neighbors_->start();
+  context_->seed_context_tuples(tuple_space_, sensors_);
+}
+
+std::optional<AgentId> AgillaMiddleware::inject(
+    std::span<const std::uint8_t> code) {
+  return engine_->launch(code);
+}
+
+MemoryBudget AgillaMiddleware::memory_budget() const {
+  // Struct sizes model the nesC structs on the mote (16-bit MCU layouts),
+  // not this host's sizeof(); see DESIGN.md.
+  constexpr std::size_t kValueBytes = 5;    // type + 2x int16
+  constexpr std::size_t kNeighborBytes = 10;  // id + location + age
+  MemoryBudget budget;
+  budget.add("tuple space store",
+             config_.tuple_space.store_capacity_bytes);
+  budget.add("reaction registry", config_.tuple_space.registry.capacity_bytes);
+  budget.add("instruction manager (code pool)",
+             config_.code_pool_blocks * CodePool::kBlockSize);
+  budget.add("code pool block table (next+flags)",
+             config_.code_pool_blocks * 3);
+  const std::size_t per_agent =
+      Agent::kStackDepth * kValueBytes +  // operand stack
+      kHeapSlots * kValueBytes +          // heap
+      10;                                 // id, pc, condition, code handle
+  budget.add("agent contexts (" + std::to_string(config_.agents.max_agents) +
+                 " x " + std::to_string(per_agent) + ")",
+             config_.agents.max_agents * per_agent);
+  budget.add("acquaintance list (" +
+                 std::to_string(config_.neighbors.capacity) + " entries)",
+             config_.neighbors.capacity * kNeighborBytes);
+  budget.add("link layer (dedup cache + pending)",
+             config_.link.dedup_cache * 4 + 64);
+  budget.add("migration assembler buffer",
+             kStateMessageBytes + config_.code_pool_blocks / 2 * 2 +
+                 Agent::kStackDepth * kValueBytes / 2 + 128);
+  budget.add("remote-op replay cache",
+             config_.remote_ts.replay_cache * 32);
+  budget.add("radio tx/rx buffers (2 x 48 + queue)", 2 * 48 + 96);
+  budget.add("engine (ready queue, timers, misc)", 96);
+  return budget;
+}
+
+}  // namespace agilla::core

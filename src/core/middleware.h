@@ -1,0 +1,98 @@
+// AgillaMiddleware: the per-node facade that instantiates and wires every
+// manager of paper Fig. 4 — link layer, neighbour discovery, geographic
+// routing, tuple space, agent/context/instruction managers, the migration
+// and remote-op protocols, and the engine.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/agent_manager.h"
+#include "core/context_manager.h"
+#include "core/engine.h"
+#include "core/memory_budget.h"
+#include "core/migration.h"
+#include "core/region_ops.h"
+#include "core/remote_ts.h"
+#include "net/geo_router.h"
+#include "net/link_layer.h"
+#include "net/neighbor_table.h"
+#include "sim/environment.h"
+#include "sim/network.h"
+
+namespace agilla::core {
+
+struct AgillaConfig {
+  std::size_t code_pool_blocks = CodePool::kDefaultBlocks;  ///< 440 bytes
+  AgentManager::Options agents{};            ///< 4 agents (paper default)
+  ts::TupleSpace::Options tuple_space{};     ///< 600 B store, 400 B registry
+  net::LinkLayer::Options link{};            ///< 0.1 s ack timeout, 4 retries
+  net::NeighborTable::Options neighbors{};
+  MigrationManager::Options migration{};     ///< 0.25 s receiver abort
+  RemoteTsManager::Options remote_ts{};      ///< 2 s timeout, 2 retries
+  RegionOps::Options region{};               ///< Sec. 2.2 region extension
+  AgillaEngine::Options engine{};            ///< 4-instruction slices
+};
+
+class AgillaMiddleware {
+ public:
+  /// Creates the middleware stack for node `self`. `environment` may be
+  /// nullptr (no sensors). The instance must outlive the simulation run.
+  AgillaMiddleware(sim::Network& network, sim::NodeId self,
+                   const sim::SensorEnvironment* environment,
+                   AgillaConfig config = AgillaConfig(),
+                   sim::Trace* trace = nullptr);
+
+  AgillaMiddleware(const AgillaMiddleware&) = delete;
+  AgillaMiddleware& operator=(const AgillaMiddleware&) = delete;
+
+  /// Attaches the radio, starts beaconing, and seeds the context tuples.
+  void start();
+
+  /// Injects an agent on this node (the paper's base-station injection).
+  std::optional<AgentId> inject(std::span<const std::uint8_t> code);
+
+  [[nodiscard]] sim::NodeId node_id() const { return self_; }
+  [[nodiscard]] sim::Location location() const { return location_; }
+
+  [[nodiscard]] AgillaEngine& engine() { return *engine_; }
+  [[nodiscard]] const AgillaEngine& engine() const { return *engine_; }
+  [[nodiscard]] ts::TupleSpace& tuple_space() { return tuple_space_; }
+  [[nodiscard]] AgentManager& agents() { return agents_; }
+  [[nodiscard]] CodePool& code_pool() { return code_pool_; }
+  [[nodiscard]] ContextManager& context() { return *context_; }
+  [[nodiscard]] net::LinkLayer& link() { return *link_; }
+  [[nodiscard]] net::NeighborTable& neighbors() { return *neighbors_; }
+  [[nodiscard]] net::GeoRouter& router() { return *router_; }
+  [[nodiscard]] MigrationManager& migration() { return *migration_; }
+  [[nodiscard]] RemoteTsManager& remote_ts() { return *remote_ts_; }
+  [[nodiscard]] RegionOps& region_ops() { return *region_ops_; }
+  [[nodiscard]] const AgillaConfig& config() const { return config_; }
+
+  /// The data-RAM ledger for this node's configuration (paper's 3.59 KB
+  /// figure). Computed from the concrete config, not hard-coded.
+  [[nodiscard]] MemoryBudget memory_budget() const;
+
+ private:
+  sim::Network& network_;
+  sim::NodeId self_;
+  sim::Location location_;
+  AgillaConfig config_;
+
+  // Construction order matters: each layer takes references to the ones
+  // before it.
+  std::unique_ptr<net::LinkLayer> link_;
+  std::unique_ptr<net::NeighborTable> neighbors_;
+  std::unique_ptr<net::GeoRouter> router_;
+  ts::TupleSpace tuple_space_;
+  CodePool code_pool_;
+  AgentManager agents_;
+  SensorBoard sensors_;
+  std::unique_ptr<ContextManager> context_;
+  std::unique_ptr<MigrationManager> migration_;
+  std::unique_ptr<RemoteTsManager> remote_ts_;
+  std::unique_ptr<RegionOps> region_ops_;
+  std::unique_ptr<AgillaEngine> engine_;
+};
+
+}  // namespace agilla::core

@@ -1,0 +1,139 @@
+#include "core/region_ops.h"
+
+#include "net/packet.h"
+
+namespace agilla::core {
+namespace {
+
+std::uint64_t flood_key(sim::Location origin, std::uint16_t flood_id) {
+  const auto x = static_cast<std::uint16_t>(net::encode_coordinate(origin.x));
+  const auto y = static_cast<std::uint16_t>(net::encode_coordinate(origin.y));
+  return (static_cast<std::uint64_t>(x) << 32) |
+         (static_cast<std::uint64_t>(y) << 16) | flood_id;
+}
+
+}  // namespace
+
+RegionOps::RegionOps(sim::Network& network, net::LinkLayer& link,
+                     net::GeoRouter& router, ts::TupleSpace& space,
+                     sim::Location self)
+    : RegionOps(network, link, router, space, self, Options{}) {}
+
+RegionOps::RegionOps(sim::Network& network, net::LinkLayer& link,
+                     net::GeoRouter& router, ts::TupleSpace& space,
+                     sim::Location self, Options options, sim::Trace* trace)
+    : network_(network),
+      link_(link),
+      router_(router),
+      space_(space),
+      self_(self),
+      options_(options),
+      trace_(trace) {
+  router_.register_handler(
+      sim::AmType::kRegionOut,
+      [this](const net::GeoHeader& h, std::span<const std::uint8_t> p) {
+        on_seed(h, p);
+      });
+  link_.register_handler(
+      sim::AmType::kRegionFlood,
+      [this](sim::NodeId from, std::span<const std::uint8_t> p) {
+        on_flood(from, p);
+        return true;
+      });
+}
+
+bool RegionOps::remember(std::uint64_t key) {
+  for (const std::uint64_t seen : seen_) {
+    if (seen == key) {
+      return false;
+    }
+  }
+  seen_.push_back(key);
+  while (seen_.size() > options_.flood_dedup_cache) {
+    seen_.pop_front();
+  }
+  return true;
+}
+
+void RegionOps::out_region(const ts::Tuple& tuple, sim::Location center,
+                           double radius, RegionMode mode) {
+  stats_.originated++;
+  net::Writer w;
+  w.u16(next_flood_id_++);
+  net::write_location(w, self_);
+  net::write_location(w, center);
+  w.u8(net::encode_epsilon(radius));
+  w.u8(static_cast<std::uint8_t>(mode));
+  w.u8(options_.flood_ttl);
+  tuple.encode(w);
+
+  // Widening the geo epsilon to the region radius makes "deliver to the
+  // first node inside the region" fall out of the ordinary routing rule.
+  if (within(self_, center, radius)) {
+    handle_region_payload(w.data(), /*from_flood=*/false);
+    return;
+  }
+  router_.send(center, radius, sim::AmType::kRegionOut, w.take(), self_);
+}
+
+void RegionOps::on_seed(const net::GeoHeader& /*header*/,
+                        std::span<const std::uint8_t> payload) {
+  handle_region_payload(payload, /*from_flood=*/false);
+}
+
+void RegionOps::on_flood(sim::NodeId /*from*/,
+                         std::span<const std::uint8_t> payload) {
+  handle_region_payload(payload, /*from_flood=*/true);
+}
+
+void RegionOps::handle_region_payload(std::span<const std::uint8_t> payload,
+                                      bool from_flood) {
+  net::Reader r(payload);
+  const std::uint16_t flood_id = r.u16();
+  const sim::Location origin = net::read_location(r);
+  const sim::Location center = net::read_location(r);
+  const double radius = net::decode_epsilon(r.u8());
+  const auto mode = static_cast<RegionMode>(r.u8());
+  const std::uint8_t ttl = r.u8();
+  const auto tuple = ts::Tuple::decode(r);
+  if (!r.ok() || !tuple.has_value()) {
+    return;
+  }
+  if (!remember(flood_key(origin, flood_id))) {
+    stats_.duplicates_dropped++;
+    return;
+  }
+  if (!within(self_, center, radius)) {
+    // Region floods stop at the geographic boundary.
+    stats_.out_of_region_dropped++;
+    return;
+  }
+
+  if (!from_flood) {
+    stats_.seeds_delivered++;
+  }
+  if (space_.out(*tuple)) {
+    stats_.tuples_inserted++;
+  }
+  if (trace_ != nullptr) {
+    trace_->emit(network_.simulator().now(), sim::TraceCategory::kTupleSpace,
+                 link_.self(),
+                 "region out " + tuple->to_string());
+  }
+
+  if (mode == RegionMode::kAllNodes && ttl > 0) {
+    net::Writer w;
+    w.u16(flood_id);
+    net::write_location(w, origin);
+    net::write_location(w, center);
+    w.u8(net::encode_epsilon(radius));
+    w.u8(static_cast<std::uint8_t>(mode));
+    w.u8(static_cast<std::uint8_t>(ttl - 1));
+    tuple->encode(w);
+    stats_.floods_relayed++;
+    link_.send_unacked(sim::kBroadcastNode, sim::AmType::kRegionFlood,
+                       w.take());
+  }
+}
+
+}  // namespace agilla::core

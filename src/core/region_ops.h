@@ -1,0 +1,92 @@
+// Region operations — the generalization paper Sec. 2.2 sketches: "By
+// using location as addresses, Agilla primitives can be easily generalized
+// to enable operations on a region. For example, a fire detection node can
+// clone itself on all nodes in a geographic area, or alternatively it can
+// clone itself to at least one node in the region."
+//
+// Implemented for tuples (a tuple fits one frame):
+//  * out_region(..., kAnyNode)  — geo-route toward the region centre with
+//    the addressing epsilon widened to the region radius: the first
+//    in-region node performs the out. (Exactly the paper's epsilon
+//    generalization.)
+//  * out_region(..., kAllNodes) — the same geo-routed seed, then a scoped
+//    flood inside the region: every in-region node inserts the tuple and
+//    rebroadcasts once (duplicate-suppressed); out-of-region nodes drop
+//    the flood, which bounds it geographically.
+//
+// Region-wide agent placement composes from this + the agent library's
+// claim-marker flood pattern (FIREDETECTOR, SEARCHRESCUE): see
+// examples/search_rescue.cpp.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/geo_router.h"
+#include "tuplespace/tuple_space.h"
+
+namespace agilla::core {
+
+enum class RegionMode : std::uint8_t {
+  kAnyNode = 0,  ///< deliver to at least one node in the region
+  kAllNodes = 1, ///< deliver to every reachable node in the region
+};
+
+class RegionOps {
+ public:
+  struct Options {
+    std::size_t flood_dedup_cache = 16;
+    std::uint8_t flood_ttl = 8;  ///< bounds the in-region rebroadcast depth
+  };
+
+  struct Stats {
+    std::uint64_t originated = 0;
+    std::uint64_t seeds_delivered = 0;   ///< geo seed reached the region
+    std::uint64_t floods_relayed = 0;
+    std::uint64_t tuples_inserted = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t out_of_region_dropped = 0;
+  };
+
+  RegionOps(sim::Network& network, net::LinkLayer& link,
+            net::GeoRouter& router, ts::TupleSpace& space,
+            sim::Location self);
+  RegionOps(sim::Network& network, net::LinkLayer& link,
+            net::GeoRouter& router, ts::TupleSpace& space,
+            sim::Location self, Options options,
+            sim::Trace* trace = nullptr);
+
+  RegionOps(const RegionOps&) = delete;
+  RegionOps& operator=(const RegionOps&) = delete;
+
+  /// Inserts `tuple` into the tuple space of node(s) within `radius` of
+  /// `center`. Best-effort (like every Agilla remote op); no reply.
+  void out_region(const ts::Tuple& tuple, sim::Location center,
+                  double radius, RegionMode mode);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  // Wire: flood_id(2) origin(4) center(4) radius(1, epsilon-coded)
+  //       mode(1) ttl(1) tuple...
+  void on_seed(const net::GeoHeader& header,
+               std::span<const std::uint8_t> payload);
+  void on_flood(sim::NodeId from, std::span<const std::uint8_t> payload);
+  void handle_region_payload(std::span<const std::uint8_t> payload,
+                             bool from_flood);
+  [[nodiscard]] bool remember(std::uint64_t key);
+
+  sim::Network& network_;
+  net::LinkLayer& link_;
+  net::GeoRouter& router_;
+  ts::TupleSpace& space_;
+  sim::Location self_;
+  Options options_;
+  sim::Trace* trace_;
+  std::deque<std::uint64_t> seen_;
+  std::uint16_t next_flood_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace agilla::core

@@ -1,0 +1,18 @@
+#include "core/sensors.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agilla::core {
+
+std::optional<std::int16_t> SensorBoard::read(sim::SensorType type,
+                                              sim::SimTime when) const {
+  if (!has(type)) {
+    return std::nullopt;
+  }
+  const double raw = environment_->read(type, at_, when);
+  const double clamped = std::clamp(std::round(raw), -32768.0, 32767.0);
+  return static_cast<std::int16_t>(clamped);
+}
+
+}  // namespace agilla::core

@@ -1,0 +1,35 @@
+// The node's sensor board: binds the `sense` instruction to the simulated
+// SensorEnvironment and clamps raw field values to the mote's 10-bit-ADC
+// style integer readings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/environment.h"
+#include "sim/types.h"
+
+namespace agilla::core {
+
+class SensorBoard {
+ public:
+  SensorBoard(const sim::SensorEnvironment* environment, sim::Location at)
+      : environment_(environment), at_(at) {}
+
+  [[nodiscard]] bool has(sim::SensorType type) const {
+    return environment_ != nullptr && environment_->has(type);
+  }
+
+  /// Reading at `when`; nullopt when the sensor is absent. Values clamp to
+  /// int16 (the VM's numeric range).
+  [[nodiscard]] std::optional<std::int16_t> read(sim::SensorType type,
+                                                 sim::SimTime when) const;
+
+  [[nodiscard]] sim::Location location() const { return at_; }
+
+ private:
+  const sim::SensorEnvironment* environment_;
+  sim::Location at_;
+};
+
+}  // namespace agilla::core

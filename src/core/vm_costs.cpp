@@ -1,0 +1,33 @@
+#include "core/vm_costs.h"
+
+namespace agilla::core {
+
+sim::SimTime VmCostModel::instruction_cost(std::uint8_t raw_opcode,
+                                           std::size_t bytes_touched,
+                                           bool blocking_wrapper) const {
+  const OpcodeInfo* info = opcode_info(raw_opcode);
+  if (info == nullptr) {
+    return to_time(simple_us);
+  }
+  double us = 0.0;
+  switch (info->cost) {
+    case CostClass::kSimple:
+      us = simple_us;
+      break;
+    case CostClass::kMemory:
+      us = memory_us;
+      break;
+    case CostClass::kTupleOp:
+      us = tuple_base_us + per_byte_us * static_cast<double>(bytes_touched);
+      break;
+    case CostClass::kLongRun:
+      us = long_run_us;
+      break;
+  }
+  if (blocking_wrapper) {
+    us += blocking_extra_us;
+  }
+  return to_time(us);
+}
+
+}  // namespace agilla::core

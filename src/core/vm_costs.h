@@ -1,0 +1,44 @@
+// The CPU cost model that stands in for the 8 MHz ATmega128L.
+//
+// Paper Fig. 12 groups local instructions into three latency classes
+// (~75 us plain pushes, ~150 us memory-touching ops, ~292 us average for
+// tuple-space ops, 60-440 us overall). We charge
+//     cost = base(cost class) + per_byte * bytes_touched
+// so the ordering between instructions (in > inp, rd > rdp, out grows with
+// tuple size) emerges from the bytes each handler actually moves rather
+// than from per-instruction constants. Calibration notes live in DESIGN.md.
+#pragma once
+
+#include "core/isa.h"
+#include "sim/types.h"
+
+namespace agilla::core {
+
+struct VmCostModel {
+  double simple_us = 72.0;
+  double memory_us = 138.0;
+  double tuple_base_us = 240.0;
+  double per_byte_us = 0.33;      ///< per byte scanned/moved by TS ops
+  double blocking_extra_us = 28.0;///< in/rd wrap inp/rdp (paper Sec. 4)
+  double long_run_us = 120.0;     ///< issue cost of sense/sleep/migration
+  double sense_latency_us = 210.0;///< simulated ADC acquisition
+  double context_switch_us = 9.0; ///< round-robin switch between slices
+
+  /// Cost of one instruction; `bytes_touched` only matters for kTupleOp.
+  [[nodiscard]] sim::SimTime instruction_cost(std::uint8_t raw_opcode,
+                                              std::size_t bytes_touched,
+                                              bool blocking_wrapper) const;
+
+  [[nodiscard]] sim::SimTime context_switch_cost() const {
+    return to_time(context_switch_us);
+  }
+  [[nodiscard]] sim::SimTime sense_cost() const {
+    return to_time(sense_latency_us);
+  }
+
+  [[nodiscard]] static sim::SimTime to_time(double us) {
+    return us <= 0.0 ? 0 : static_cast<sim::SimTime>(us + 0.5);
+  }
+};
+
+}  // namespace agilla::core

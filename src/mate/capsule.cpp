@@ -1,0 +1,38 @@
+#include "mate/capsule.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace agilla::mate {
+
+void Capsule::write(net::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(version);
+  w.u8(length);
+  w.bytes(code);
+}
+
+Capsule Capsule::read(net::Reader& r) {
+  Capsule c;
+  c.type = static_cast<CapsuleType>(r.u8());
+  c.version = r.u8();
+  c.length = r.u8();
+  r.bytes(c.code);
+  if (c.length > kCapsuleCodeBytes) {
+    c.length = kCapsuleCodeBytes;
+  }
+  return c;
+}
+
+Capsule make_capsule(CapsuleType type, std::uint8_t version,
+                     std::span<const std::uint8_t> code) {
+  assert(code.size() <= kCapsuleCodeBytes);
+  Capsule c;
+  c.type = type;
+  c.version = version;
+  c.length = static_cast<std::uint8_t>(code.size());
+  std::copy(code.begin(), code.end(), c.code.begin());
+  return c;
+}
+
+}  // namespace agilla::mate

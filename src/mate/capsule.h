@@ -1,0 +1,50 @@
+// A Mate-style code capsule (Levis & Culler, ASPLOS'02 — the baseline the
+// paper compares against in Secs. 1 and 5).
+//
+// "applications are divided into capsules that are flooded throughout the
+// network. Each node stores the most recent version of each capsule and
+// runs the application by interpreting the instructions within them."
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/serialize.h"
+
+namespace agilla::mate {
+
+/// Capsule roles, mirroring Mate's clock/receive/send/subroutine split.
+enum class CapsuleType : std::uint8_t {
+  kClock = 0,    ///< runs on every timer tick
+  kReceive = 1,  ///< runs on packet reception
+  kSend = 2,
+  kSub0 = 3,     ///< subroutine
+};
+
+inline constexpr std::size_t kCapsuleTypes = 4;
+inline constexpr std::size_t kCapsuleCodeBytes = 24;  ///< as in Mate
+
+struct Capsule {
+  CapsuleType type = CapsuleType::kClock;
+  std::uint8_t version = 0;
+  std::uint8_t length = 0;
+  std::array<std::uint8_t, kCapsuleCodeBytes> code{};
+
+  static constexpr std::size_t kWireSize = 3 + kCapsuleCodeBytes;
+
+  void write(net::Writer& w) const;
+  static Capsule read(net::Reader& r);
+
+  [[nodiscard]] bool newer_than(const Capsule& other) const {
+    // Wrapping 8-bit version comparison (Mate uses wrapping counters).
+    return static_cast<std::int8_t>(version - other.version) > 0;
+  }
+};
+
+/// Builds a capsule from Mate bytecode (see mate_vm.h for the ISA).
+Capsule make_capsule(CapsuleType type, std::uint8_t version,
+                     std::span<const std::uint8_t> code);
+
+}  // namespace agilla::mate

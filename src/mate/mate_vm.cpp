@@ -1,0 +1,102 @@
+#include "mate/mate_vm.h"
+
+namespace agilla::mate {
+
+MateVmResult run_capsule(const Capsule& capsule, const MateHost& host) {
+  MateVmResult result;
+  std::vector<std::int16_t> stack;
+  stack.reserve(8);
+  std::size_t pc = 0;
+
+  auto pop = [&](std::int16_t* out) {
+    if (stack.empty()) {
+      return false;
+    }
+    *out = stack.back();
+    stack.pop_back();
+    return true;
+  };
+
+  while (pc < capsule.length) {
+    const auto op = static_cast<MateOp>(capsule.code[pc]);
+    ++pc;
+    ++result.instructions;
+    switch (op) {
+      case MateOp::kHalt:
+        result.halted = true;
+        return result;
+      case MateOp::kForw:
+        if (host.forw) {
+          host.forw();
+        }
+        break;
+      case MateOp::kPushc:
+        if (pc >= capsule.length) {
+          result.error = true;
+          return result;
+        }
+        stack.push_back(capsule.code[pc]);
+        ++pc;
+        break;
+      case MateOp::kAdd: {
+        std::int16_t a = 0;
+        std::int16_t b = 0;
+        if (!pop(&a) || !pop(&b)) {
+          result.error = true;
+          return result;
+        }
+        stack.push_back(static_cast<std::int16_t>(a + b));
+        break;
+      }
+      case MateOp::kInc: {
+        std::int16_t a = 0;
+        if (!pop(&a)) {
+          result.error = true;
+          return result;
+        }
+        stack.push_back(static_cast<std::int16_t>(a + 1));
+        break;
+      }
+      case MateOp::kPutLed: {
+        std::int16_t a = 0;
+        if (!pop(&a)) {
+          result.error = true;
+          return result;
+        }
+        if (host.set_leds) {
+          host.set_leds(static_cast<std::uint8_t>(a & 0x7));
+        }
+        break;
+      }
+      case MateOp::kRand:
+        stack.push_back(host.rand
+                            ? static_cast<std::int16_t>(host.rand() & 0x7FFF)
+                            : 0);
+        break;
+      case MateOp::kSense:
+        stack.push_back(host.sense ? host.sense() : 0);
+        break;
+      case MateOp::kCopy:
+        if (stack.empty()) {
+          result.error = true;
+          return result;
+        }
+        stack.push_back(stack.back());
+        break;
+      case MateOp::kPop: {
+        std::int16_t a = 0;
+        if (!pop(&a)) {
+          result.error = true;
+          return result;
+        }
+        break;
+      }
+      default:
+        result.error = true;
+        return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace agilla::mate

@@ -1,0 +1,45 @@
+// A compact Mate-like stack interpreter. Just enough of the ASPLOS'02 ISA
+// to express the paper's comparison point: a clock capsule that senses,
+// blinks, and `forw`ards itself so new versions spread virally.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mate/capsule.h"
+
+namespace agilla::mate {
+
+enum class MateOp : std::uint8_t {
+  kHalt = 0x00,
+  kForw = 0x01,    ///< broadcast the running capsule (viral propagation)
+  kPushc = 0x02,   ///< +1 operand byte
+  kAdd = 0x03,
+  kInc = 0x04,
+  kPutLed = 0x05,
+  kRand = 0x06,
+  kSense = 0x07,   ///< reads the host's temperature equivalent
+  kCopy = 0x08,
+  kPop = 0x09,
+};
+
+/// Host services a capsule needs; provided by MateNode.
+struct MateHost {
+  std::function<void()> forw;                ///< re-broadcast capsules
+  std::function<std::int16_t()> sense;
+  std::function<void(std::uint8_t)> set_leds;
+  std::function<std::uint16_t()> rand;
+};
+
+struct MateVmResult {
+  std::size_t instructions = 0;
+  bool halted = false;   ///< saw an explicit halt
+  bool error = false;    ///< stack fault / undefined opcode
+};
+
+/// Interprets one capsule to completion (capsules are short and run to
+/// halt/end; Mate has no blocking ops in this subset).
+MateVmResult run_capsule(const Capsule& capsule, const MateHost& host);
+
+}  // namespace agilla::mate

@@ -1,0 +1,103 @@
+#include "net/geo_router.h"
+
+#include <utility>
+
+namespace agilla::net {
+
+GeoRouter::GeoRouter(sim::Network& network, LinkLayer& link,
+                     const NeighborTable& neighbors, sim::Location self,
+                     sim::Trace* trace)
+    : network_(network),
+      link_(link),
+      neighbors_(neighbors),
+      self_(self),
+      trace_(trace) {
+  link_.register_handler(
+      sim::AmType::kGeo,
+      [this](sim::NodeId from, std::span<const std::uint8_t> payload) {
+        on_geo_frame(from, payload);
+        return true;
+      });
+}
+
+void GeoRouter::register_handler(sim::AmType inner_am, Handler handler) {
+  handlers_[inner_am] = std::move(handler);
+}
+
+GeoRouter::Decision GeoRouter::decide(sim::Location dest,
+                                      double epsilon) const {
+  if (within(self_, dest, epsilon)) {
+    return Decision{Decision::Kind::kDeliverLocal, sim::NodeId{}};
+  }
+  const double self_distance = distance(self_, dest);
+  const auto closest = neighbors_.closest_to(dest);
+  if (closest.has_value() &&
+      distance(closest->location, dest) < self_distance) {
+    return Decision{Decision::Kind::kForward, closest->id};
+  }
+  return Decision{Decision::Kind::kNoRoute, sim::NodeId{}};
+}
+
+void GeoRouter::send(sim::Location dest, double epsilon,
+                     sim::AmType inner_am, std::vector<std::uint8_t> payload,
+                     sim::Location origin) {
+  stats_.originated++;
+  GeoHeader header;
+  header.inner_am = inner_am;
+  header.dest = dest;
+  header.origin = origin;
+  header.epsilon = epsilon;
+  forward(header, payload);
+}
+
+void GeoRouter::forward(const GeoHeader& header,
+                        std::span<const std::uint8_t> inner) {
+  const Decision decision = decide(header.dest, header.epsilon);
+  switch (decision.kind) {
+    case Decision::Kind::kDeliverLocal: {
+      stats_.delivered++;
+      const auto it = handlers_.find(header.inner_am);
+      if (it != handlers_.end() && it->second) {
+        it->second(header, inner);
+      }
+      return;
+    }
+    case Decision::Kind::kForward: {
+      if (header.ttl == 0) {
+        stats_.ttl_expired++;
+        return;
+      }
+      GeoHeader next = header;
+      next.ttl--;
+      Writer w;
+      next.write(w);
+      w.bytes(inner);
+      stats_.forwarded++;
+      link_.send_unacked(decision.next_hop, sim::AmType::kGeo, w.take());
+      return;
+    }
+    case Decision::Kind::kNoRoute: {
+      stats_.no_route++;
+      if (trace_ != nullptr) {
+        trace_->emit(network_.simulator().now(),
+                     sim::TraceCategory::kRouting, link_.self(),
+                     "no route toward destination");
+      }
+      return;
+    }
+  }
+}
+
+void GeoRouter::on_geo_frame(sim::NodeId /*from*/,
+                             std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const GeoHeader header = GeoHeader::read(r);
+  if (!r.ok()) {
+    return;
+  }
+  const std::span<const std::uint8_t> inner =
+      payload.subspan(GeoHeader::kWireSize);
+  forward(header, inner);
+}
+
+}  // namespace agilla::net

@@ -1,0 +1,80 @@
+// Best-effort greedy geographic forwarding (paper Sec. 4: "we implemented a
+// simple best-effort greedy-forwarding algorithm that forwards messages to
+// the neighbor closest to the destination").
+//
+// Two services share the same next-hop policy:
+//  * decide()         — used by agent migration, which transfers the agent
+//                       reliably hop by hop and picks each hop itself;
+//  * send()/handlers  — a datagram service for geographically-addressed
+//                       payloads (remote tuple-space ops). Packets are
+//                       wrapped in a GeoHeader and forwarded without link
+//                       acks, end-to-end (paper Sec. 3.2).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "net/neighbor_table.h"
+#include "net/packet.h"
+
+namespace agilla::net {
+
+class GeoRouter {
+ public:
+  struct Stats {
+    std::uint64_t originated = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t no_route = 0;
+    std::uint64_t ttl_expired = 0;
+  };
+
+  /// Delivered packets hand the inner payload plus the origin location (so
+  /// the receiver can reply without knowing sender node ids).
+  using Handler = std::function<void(const GeoHeader&,
+                                     std::span<const std::uint8_t>)>;
+
+  GeoRouter(sim::Network& network, LinkLayer& link,
+            const NeighborTable& neighbors, sim::Location self,
+            sim::Trace* trace = nullptr);
+
+  GeoRouter(const GeoRouter&) = delete;
+  GeoRouter& operator=(const GeoRouter&) = delete;
+
+  /// Register the upcall for an inner AM type (kTsRequest / kTsReply).
+  void register_handler(sim::AmType inner_am, Handler handler);
+
+  /// Originate a geographically-addressed datagram toward `dest`.
+  /// Delivered to the first node within `epsilon` of `dest` along the
+  /// greedy path; silently dropped on routing failure (best effort).
+  void send(sim::Location dest, double epsilon, sim::AmType inner_am,
+            std::vector<std::uint8_t> payload, sim::Location origin);
+
+  struct Decision {
+    enum class Kind { kDeliverLocal, kForward, kNoRoute };
+    Kind kind = Kind::kNoRoute;
+    sim::NodeId next_hop;
+  };
+
+  /// The greedy next-hop policy, shared with the migration module.
+  /// Delivers locally when self is within epsilon of dest *and* no
+  /// neighbour is strictly closer; otherwise forwards to the strictly
+  /// closest neighbour; otherwise reports no route.
+  [[nodiscard]] Decision decide(sim::Location dest, double epsilon) const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void on_geo_frame(sim::NodeId from, std::span<const std::uint8_t> payload);
+  void forward(const GeoHeader& header, std::span<const std::uint8_t> inner);
+
+  sim::Network& network_;
+  LinkLayer& link_;
+  const NeighborTable& neighbors_;
+  sim::Location self_;
+  sim::Trace* trace_;
+  std::unordered_map<sim::AmType, Handler> handlers_;
+  Stats stats_;
+};
+
+}  // namespace agilla::net

@@ -1,0 +1,188 @@
+#include "net/link_layer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace agilla::net {
+
+LinkLayer::LinkLayer(sim::Network& network, sim::NodeId self)
+    : LinkLayer(network, self, Options{}) {}
+
+LinkLayer::LinkLayer(sim::Network& network, sim::NodeId self, Options options,
+                     sim::Trace* trace)
+    : network_(network), self_(self), options_(options), trace_(trace) {
+  dedup_.reserve(options_.dedup_cache);
+}
+
+void LinkLayer::attach() {
+  network_.set_receiver(self_,
+                        [this](const sim::Frame& f) { on_frame(f); });
+}
+
+void LinkLayer::register_handler(sim::AmType am, Handler handler) {
+  handlers_[am] = std::move(handler);
+}
+
+void LinkLayer::send_unacked(sim::NodeId dst, sim::AmType am,
+                             std::vector<std::uint8_t> payload) {
+  Writer w;
+  LinkHeader{next_seq_++, /*wants_ack=*/false}.write(w);
+  w.bytes(payload);
+  stats_.data_sent++;
+  network_.send(sim::Frame{self_, dst, am, w.take()});
+}
+
+void LinkLayer::send_acked(sim::NodeId dst, sim::AmType am,
+                           std::vector<std::uint8_t> payload,
+                           SendCallback done) {
+  const std::uint8_t seq = next_seq_++;
+  Writer w;
+  LinkHeader{seq, /*wants_ack=*/true}.write(w);
+  w.bytes(payload);
+  Pending pending;
+  pending.dst = dst;
+  pending.am = am;
+  pending.payload = w.take();
+  pending.done = std::move(done);
+  pending_[seq] = std::move(pending);
+  transmit(seq);
+}
+
+void LinkLayer::transmit(std::uint8_t seq) {
+  auto it = pending_.find(seq);
+  assert(it != pending_.end());
+  Pending& p = it->second;
+  p.attempts++;
+  stats_.data_sent++;
+  if (p.attempts > 1) {
+    stats_.retransmissions++;
+  }
+  network_.send(sim::Frame{self_, p.dst, p.am, p.payload});
+  p.timer = network_.simulator().schedule_in(
+      options_.ack_timeout, [this, seq] { on_timeout(seq); });
+}
+
+void LinkLayer::on_timeout(std::uint8_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) {
+    return;
+  }
+  Pending& p = it->second;
+  if (p.attempts <= options_.max_retries) {
+    if (trace_ != nullptr) {
+      trace_->emit(network_.simulator().now(), sim::TraceCategory::kLink,
+                   self_, "retransmit seq=" + std::to_string(seq));
+    }
+    transmit(seq);
+    return;
+  }
+  stats_.send_failures++;
+  auto done = std::move(p.done);
+  pending_.erase(it);
+  if (trace_ != nullptr) {
+    trace_->emit(network_.simulator().now(), sim::TraceCategory::kLink,
+                 self_, "give up seq=" + std::to_string(seq));
+  }
+  if (done) {
+    done(false);
+  }
+}
+
+void LinkLayer::send_ack(sim::NodeId to, std::uint8_t seq) {
+  Writer w;
+  AckPayload{seq}.write(w);
+  stats_.acks_sent++;
+  network_.send(sim::Frame{self_, to, sim::AmType::kAck, w.take()});
+}
+
+bool* LinkLayer::find_duplicate(sim::NodeId from, std::uint8_t seq,
+                                bool acked) {
+  const std::uint32_t key =
+      (static_cast<std::uint32_t>(from.value) << 8) | seq;
+  const sim::SimTime now = network_.simulator().now();
+  const auto it =
+      std::find_if(dedup_.begin(), dedup_.end(),
+                   [key](const DedupEntry& e) { return e.key == key; });
+  if (it != dedup_.end()) {
+    if (now - it->seen_at <= options_.dedup_window) {
+      it->seen_at = now;
+      return &it->acked;
+    }
+    // Stale entry: the 8-bit sequence space wrapped. Treat as new.
+    *it = DedupEntry{key, acked, now};
+    return nullptr;
+  }
+  if (dedup_.size() < options_.dedup_cache) {
+    dedup_.push_back(DedupEntry{key, acked, now});
+  } else if (!dedup_.empty()) {
+    dedup_[dedup_next_] = DedupEntry{key, acked, now};
+    dedup_next_ = (dedup_next_ + 1) % dedup_.size();
+  }
+  return nullptr;
+}
+
+void LinkLayer::on_ack(const sim::Frame& frame) {
+  Reader r(frame.payload);
+  const AckPayload ack = AckPayload::read(r);
+  if (!r.ok()) {
+    return;
+  }
+  auto it = pending_.find(ack.acked_seq);
+  if (it == pending_.end() || it->second.dst != frame.src) {
+    return;  // stale or foreign ack
+  }
+  it->second.timer.cancel();
+  auto done = std::move(it->second.done);
+  pending_.erase(it);
+  if (done) {
+    done(true);
+  }
+}
+
+void LinkLayer::on_frame(const sim::Frame& frame) {
+  if (frame.am == sim::AmType::kAck) {
+    on_ack(frame);
+    return;
+  }
+  Reader r(frame.payload);
+  const LinkHeader header = LinkHeader::read(r);
+  if (!r.ok()) {
+    return;
+  }
+  const std::span<const std::uint8_t> inner(
+      frame.payload.data() + LinkHeader::kWireSize,
+      frame.payload.size() - LinkHeader::kWireSize);
+  const auto it = handlers_.find(frame.am);
+
+  if (!header.wants_ack) {
+    if (it != handlers_.end() && it->second) {
+      it->second(frame.src, inner);
+    }
+    return;
+  }
+
+  // Acked path: duplicates are re-acked (if the original was accepted) but
+  // not re-delivered; fresh frames are acked only when the handler accepts.
+  if (bool* acked = find_duplicate(frame.src, header.seq, false);
+      acked != nullptr) {
+    stats_.duplicates_dropped++;
+    if (*acked) {
+      send_ack(frame.src, header.seq);
+    }
+    return;
+  }
+  const bool accepted =
+      (it != handlers_.end() && it->second) ? it->second(frame.src, inner)
+                                            : false;
+  if (accepted) {
+    send_ack(frame.src, header.seq);
+  }
+  // Update the remembered entry's acked flag.
+  if (bool* acked = find_duplicate(frame.src, header.seq, accepted);
+      acked != nullptr) {
+    *acked = accepted;
+  }
+}
+
+}  // namespace agilla::net

@@ -1,0 +1,115 @@
+// The link layer: AM dispatch, optional per-hop acknowledgements with
+// retransmission, and duplicate suppression.
+//
+// Parameters follow paper Sec. 3.2: "If a one-hop acknowledgement is not
+// received within 0.1 seconds, the message is retransmitted. This repeats
+// up for four times."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/network.h"
+#include "sim/trace.h"
+
+namespace agilla::net {
+
+class LinkLayer {
+ public:
+  struct Options {
+    sim::SimTime ack_timeout = 100 * sim::kMillisecond;
+    int max_retries = 4;          ///< retransmissions after the first send
+    std::size_t dedup_cache = 16; ///< remembered (src, seq) pairs
+    /// Entries older than this are ignored: duplicates only ever arrive
+    /// within the retransmission window (max_retries x ack_timeout), and
+    /// the 8-bit sequence number wraps, so a stale entry would otherwise
+    /// falsely suppress (and falsely re-ack) a NEW message that happens to
+    /// reuse the sequence value — silently losing it.
+    sim::SimTime dedup_window = 3 * sim::kSecond;
+  };
+
+  struct Stats {
+    std::uint64_t data_sent = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t send_failures = 0;   ///< acked sends that gave up
+    std::uint64_t duplicates_dropped = 0;
+  };
+
+  /// `frame.src` is the one-hop sender; handlers get the de-duplicated
+  /// inner payload (link header already stripped). The return value
+  /// controls acknowledgement of acked sends: a handler that cannot accept
+  /// the message returns false and NO ack is sent, so the sender's
+  /// retransmissions eventually report failure (this is how a migration
+  /// receiver that aborted a stalled transfer pushes the failure back to
+  /// the node holding the agent).
+  using Handler =
+      std::function<bool(sim::NodeId from, std::span<const std::uint8_t>)>;
+  using SendCallback = std::function<void(bool delivered)>;
+
+  LinkLayer(sim::Network& network, sim::NodeId self);
+  LinkLayer(sim::Network& network, sim::NodeId self, Options options,
+            sim::Trace* trace = nullptr);
+
+  LinkLayer(const LinkLayer&) = delete;
+  LinkLayer& operator=(const LinkLayer&) = delete;
+
+  void register_handler(sim::AmType am, Handler handler);
+
+  /// Fire-and-forget send (no ack, no retransmission). `dst` may be
+  /// kBroadcastNode.
+  void send_unacked(sim::NodeId dst, sim::AmType am,
+                    std::vector<std::uint8_t> payload);
+
+  /// Reliable one-hop send: retransmits on ack timeout, then reports
+  /// success/failure through `done`. Multiple sends may be outstanding.
+  void send_acked(sim::NodeId dst, sim::AmType am,
+                  std::vector<std::uint8_t> payload, SendCallback done);
+
+  /// Must be called once after construction (wires the radio upcall).
+  void attach();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] sim::NodeId self() const { return self_; }
+
+ private:
+  struct Pending {
+    sim::NodeId dst;
+    sim::AmType am;
+    std::vector<std::uint8_t> payload;  // includes link header
+    int attempts = 0;
+    SendCallback done;
+    sim::EventHandle timer;
+  };
+
+  void on_frame(const sim::Frame& frame);
+  void on_ack(const sim::Frame& frame);
+  void transmit(std::uint8_t seq);
+  void on_timeout(std::uint8_t seq);
+  void send_ack(sim::NodeId to, std::uint8_t seq);
+  /// Returns the acked-flag slot for a remembered (src, seq), or nullptr
+  /// if this is the first sighting (which is then remembered).
+  bool* find_duplicate(sim::NodeId from, std::uint8_t seq, bool acked);
+
+  sim::Network& network_;
+  sim::NodeId self_;
+  Options options_;
+  sim::Trace* trace_;
+  struct DedupEntry {
+    std::uint32_t key = 0;  // (src << 8) | seq
+    bool acked = false;
+    sim::SimTime seen_at = 0;
+  };
+
+  std::unordered_map<sim::AmType, Handler> handlers_;
+  std::unordered_map<std::uint8_t, Pending> pending_;
+  std::vector<DedupEntry> dedup_;  // ring buffer
+  std::size_t dedup_next_ = 0;
+  std::uint8_t next_seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace agilla::net

@@ -1,0 +1,148 @@
+#include "net/neighbor_table.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace agilla::net {
+
+NeighborTable::NeighborTable(sim::Network& network, LinkLayer& link,
+                             sim::Location self)
+    : NeighborTable(network, link, self, Options{}) {}
+
+NeighborTable::NeighborTable(sim::Network& network, LinkLayer& link,
+                             sim::Location self, Options options,
+                             sim::Trace* trace)
+    : network_(network),
+      link_(link),
+      self_(self),
+      options_(options),
+      trace_(trace) {
+  link_.register_handler(
+      sim::AmType::kBeacon,
+      [this](sim::NodeId from, std::span<const std::uint8_t> payload) {
+        on_beacon(from, payload);
+        return true;
+      });
+}
+
+void NeighborTable::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  const sim::SimTime offset =
+      network_.simulator().rng().uniform(options_.beacon_period);
+  beacon_timer_ = network_.simulator().schedule_in(
+      offset, [this] { send_beacon(); });
+}
+
+void NeighborTable::stop() {
+  running_ = false;
+  beacon_timer_.cancel();
+}
+
+void NeighborTable::send_beacon() {
+  if (!running_) {
+    return;
+  }
+  Writer w;
+  BeaconPayload{self_}.write(w);
+  link_.send_unacked(sim::kBroadcastNode, sim::AmType::kBeacon, w.take());
+  expire();
+  beacon_timer_ = network_.simulator().schedule_in(
+      options_.beacon_period, [this] { send_beacon(); });
+}
+
+void NeighborTable::on_beacon(sim::NodeId from,
+                              std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const BeaconPayload beacon = BeaconPayload::read(r);
+  if (!r.ok()) {
+    return;
+  }
+  insert(from, beacon.location);
+}
+
+void NeighborTable::insert(sim::NodeId id, sim::Location location) {
+  const sim::SimTime now = network_.simulator().now();
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [id](const NeighborEntry& e) { return e.id == id; });
+  if (it != entries_.end()) {
+    it->location = location;
+    it->last_heard = now;
+    return;
+  }
+  if (entries_.size() >= options_.capacity) {
+    // Evict the stalest entry (mote memory is fixed; paper Sec. 3.2).
+    auto stalest = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const NeighborEntry& a, const NeighborEntry& b) {
+          return a.last_heard < b.last_heard;
+        });
+    *stalest = NeighborEntry{id, location, now};
+  } else {
+    entries_.push_back(NeighborEntry{id, location, now});
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const NeighborEntry& a, const NeighborEntry& b) {
+              return a.id < b.id;
+            });
+  if (trace_ != nullptr) {
+    trace_->emit(now, sim::TraceCategory::kNeighbor, link_.self(),
+                 "discovered n" + std::to_string(id.value));
+  }
+}
+
+void NeighborTable::expire() {
+  const sim::SimTime now = network_.simulator().now();
+  const sim::SimTime horizon =
+      static_cast<sim::SimTime>(options_.expiry_periods) *
+      options_.beacon_period;
+  std::erase_if(entries_, [&](const NeighborEntry& e) {
+    return now > e.last_heard && now - e.last_heard > horizon;
+  });
+}
+
+std::optional<NeighborEntry> NeighborTable::by_index(std::size_t i) const {
+  if (i >= entries_.size()) {
+    return std::nullopt;
+  }
+  return entries_[i];
+}
+
+std::optional<NeighborEntry> NeighborTable::by_id(sim::NodeId id) const {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [id](const NeighborEntry& e) { return e.id == id; });
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return *it;
+}
+
+std::optional<NeighborEntry> NeighborTable::random(sim::Rng& rng) const {
+  if (entries_.empty()) {
+    return std::nullopt;
+  }
+  return entries_[rng.uniform(entries_.size())];
+}
+
+std::optional<NeighborEntry> NeighborTable::closest_to(
+    sim::Location dest) const {
+  const NeighborEntry* best = nullptr;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const auto& e : entries_) {
+    const double d = distance(e.location, dest);
+    if (d < best_d) {
+      best_d = d;
+      best = &e;
+    }
+  }
+  if (best == nullptr) {
+    return std::nullopt;
+  }
+  return *best;
+}
+
+}  // namespace agilla::net

@@ -1,0 +1,75 @@
+// Beacon-based neighbour discovery — the paper's "acquaintance list"
+// (Sec. 2.2: "Agilla provides one-hop neighbor discovery using beacons. The
+// one-hop neighbor information is stored in an acquaintance list and is
+// continuously updated").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/link_layer.h"
+#include "sim/rng.h"
+#include "sim/trace.h"
+
+namespace agilla::net {
+
+struct NeighborEntry {
+  sim::NodeId id;
+  sim::Location location;
+  sim::SimTime last_heard = 0;
+};
+
+class NeighborTable {
+ public:
+  struct Options {
+    sim::SimTime beacon_period = 1 * sim::kSecond;
+    /// Entries older than `expiry_periods * beacon_period` are evicted.
+    std::uint32_t expiry_periods = 3;
+    std::size_t capacity = 16;  ///< acquaintance-list slots on the mote
+  };
+
+  NeighborTable(sim::Network& network, LinkLayer& link, sim::Location self);
+  NeighborTable(sim::Network& network, LinkLayer& link, sim::Location self,
+                Options options, sim::Trace* trace = nullptr);
+
+  /// Start periodic beaconing (first beacon after a random sub-period
+  /// offset so co-located nodes do not synchronize).
+  void start();
+  void stop();
+
+  /// Entries sorted by node id (stable order for the getnbr instruction).
+  [[nodiscard]] const std::vector<NeighborEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] std::optional<NeighborEntry> by_index(std::size_t i) const;
+  [[nodiscard]] std::optional<NeighborEntry> by_id(sim::NodeId id) const;
+  [[nodiscard]] std::optional<NeighborEntry> random(sim::Rng& rng) const;
+
+  /// Neighbour strictly closest to `dest` (used by greedy routing).
+  [[nodiscard]] std::optional<NeighborEntry> closest_to(
+      sim::Location dest) const;
+
+  /// Force-insert an entry (tests / warm start).
+  void insert(sim::NodeId id, sim::Location location);
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  void send_beacon();
+  void on_beacon(sim::NodeId from, std::span<const std::uint8_t> payload);
+  void expire();
+
+  sim::Network& network_;
+  LinkLayer& link_;
+  sim::Location self_;
+  Options options_;
+  sim::Trace* trace_;
+  std::vector<NeighborEntry> entries_;
+  sim::EventHandle beacon_timer_;
+  bool running_ = false;
+};
+
+}  // namespace agilla::net

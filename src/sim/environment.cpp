@@ -1,0 +1,133 @@
+#include "sim/environment.h"
+
+#include <cmath>
+#include <utility>
+
+namespace agilla::sim {
+
+const char* to_string(SensorType t) {
+  switch (t) {
+    case SensorType::kTemperature:
+      return "temperature";
+    case SensorType::kPhoto:
+      return "photo";
+    case SensorType::kMicrophone:
+      return "microphone";
+    case SensorType::kMagnetometer:
+      return "magnetometer";
+    case SensorType::kAccelerometer:
+      return "accelerometer";
+  }
+  return "unknown";
+}
+
+double GaussianBumpField::value(Location at, SimTime /*when*/) const {
+  const double d = distance(at, center_);
+  return ambient_ + peak_ * std::exp(-(d * d) / (2.0 * sigma_ * sigma_));
+}
+
+double FireField::front_radius(SimTime when) const {
+  if (when < options_.ignition_time) {
+    return 0.0;
+  }
+  if (options_.extinction_time != 0 && when >= options_.extinction_time) {
+    return 0.0;
+  }
+  const double elapsed_s =
+      static_cast<double>(when - options_.ignition_time) /
+      static_cast<double>(kSecond);
+  return options_.spread_speed * elapsed_s;
+}
+
+double FireField::value(Location at, SimTime when) const {
+  if (when < options_.ignition_time) {
+    return options_.ambient;
+  }
+  if (options_.extinction_time != 0 && when >= options_.extinction_time) {
+    return options_.ambient;
+  }
+  const double r = front_radius(when);
+  const double d = distance(at, options_.ignition_point);
+  if (d <= r) {
+    if (options_.ring_width > 0.0 && d < r - options_.ring_width) {
+      return options_.burned_over;  // behind the front: burned out
+    }
+    return options_.peak;
+  }
+  const double beyond = d - r;
+  return options_.ambient +
+         (options_.peak - options_.ambient) *
+             std::exp(-beyond / options_.edge_decay);
+}
+
+
+MovingBumpField::MovingBumpField(Options options)
+    : options_(std::move(options)) {
+  if (options_.waypoints.empty()) {
+    options_.waypoints.push_back(Location{0, 0});
+  }
+  const std::size_t n = options_.waypoints.size();
+  const std::size_t legs = options_.loop ? n : (n > 0 ? n - 1 : 0);
+  for (std::size_t i = 0; i < legs; ++i) {
+    const Location& a = options_.waypoints[i];
+    const Location& b = options_.waypoints[(i + 1) % n];
+    leg_lengths_.push_back(distance(a, b));
+    path_length_ += leg_lengths_.back();
+  }
+}
+
+Location MovingBumpField::center(SimTime when) const {
+  if (leg_lengths_.empty() || path_length_ <= 0.0 ||
+      options_.speed <= 0.0) {
+    return options_.waypoints.front();
+  }
+  double travelled = options_.speed * static_cast<double>(when) /
+                     static_cast<double>(kSecond);
+  if (options_.loop) {
+    travelled = std::fmod(travelled, path_length_);
+  } else if (travelled >= path_length_) {
+    return options_.waypoints.back();
+  }
+  const std::size_t n = options_.waypoints.size();
+  for (std::size_t i = 0; i < leg_lengths_.size(); ++i) {
+    if (travelled <= leg_lengths_[i] || leg_lengths_[i] <= 0.0) {
+      if (leg_lengths_[i] <= 0.0) {
+        continue;
+      }
+      const double frac = travelled / leg_lengths_[i];
+      const Location& a = options_.waypoints[i];
+      const Location& b = options_.waypoints[(i + 1) % n];
+      return Location{a.x + (b.x - a.x) * frac, a.y + (b.y - a.y) * frac};
+    }
+    travelled -= leg_lengths_[i];
+  }
+  return options_.waypoints.back();
+}
+
+double MovingBumpField::value(Location at, SimTime when) const {
+  const Location c = center(when);
+  const double d = distance(at, c);
+  return options_.ambient +
+         options_.peak *
+             std::exp(-(d * d) / (2.0 * options_.sigma * options_.sigma));
+}
+
+void SensorEnvironment::set_field(SensorType type,
+                                  std::unique_ptr<ScalarField> field) {
+  fields_[type] = std::move(field);
+}
+
+bool SensorEnvironment::has(SensorType type) const {
+  return fields_.contains(type);
+}
+
+double SensorEnvironment::read(SensorType type, Location at,
+                               SimTime when) const {
+  const auto it = fields_.find(type);
+  if (it == fields_.end()) {
+    return 0.0;
+  }
+  return it->second->value(at, when);
+}
+
+}  // namespace agilla::sim

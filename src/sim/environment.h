@@ -1,0 +1,144 @@
+// The simulated physical world that agents `sense`.
+//
+// The paper's motes carry real sensor boards; we substitute scalar fields
+// over (x, y, t). The FireField reproduces the Sec. 2.1/Sec. 5 scenario: a
+// fire ignites at a point and its front spreads radially, so FIREDETECTOR
+// agents see temperature cross the detection threshold in a spatial wave.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace agilla::sim {
+
+/// Sensor types available on a (simulated) MICA2 sensor board.
+enum class SensorType : std::uint8_t {
+  kTemperature = 0,
+  kPhoto = 1,
+  kMicrophone = 2,
+  kMagnetometer = 3,
+  kAccelerometer = 4,
+};
+
+inline constexpr std::size_t kNumSensorTypes = 5;
+
+[[nodiscard]] const char* to_string(SensorType t);
+
+/// A scalar quantity defined over space and virtual time.
+class ScalarField {
+ public:
+  virtual ~ScalarField() = default;
+  [[nodiscard]] virtual double value(Location at, SimTime when) const = 0;
+};
+
+class ConstantField final : public ScalarField {
+ public:
+  explicit ConstantField(double v) : value_(v) {}
+  [[nodiscard]] double value(Location, SimTime) const override {
+    return value_;
+  }
+
+ private:
+  double value_;
+};
+
+/// A static Gaussian hotspot: ambient + peak * exp(-d^2 / (2 sigma^2)).
+class GaussianBumpField final : public ScalarField {
+ public:
+  GaussianBumpField(Location center, double peak, double sigma,
+                    double ambient = 0.0)
+      : center_(center), peak_(peak), sigma_(sigma), ambient_(ambient) {}
+
+  [[nodiscard]] double value(Location at, SimTime when) const override;
+
+ private:
+  Location center_;
+  double peak_;
+  double sigma_;
+  double ambient_;
+};
+
+/// A spreading fire. Before ignition (and after extinction) the field reads
+/// ambient. Afterwards the burning front radius grows at `spread_speed`
+/// units per simulated second; inside the front the field reads `peak`,
+/// outside it decays exponentially with distance to the front.
+class FireField final : public ScalarField {
+ public:
+  struct Options {
+    Location ignition_point{0.0, 0.0};
+    SimTime ignition_time = 0;
+    SimTime extinction_time = 0;  ///< 0 = burns forever
+    double spread_speed = 0.1;    ///< front radius growth, units/second
+    double peak = 500.0;          ///< reading inside the burning region
+    double ambient = 25.0;
+    double edge_decay = 0.75;     ///< e-folding distance outside the front
+    /// Width of the burning annulus. 0 means the whole disk burns; > 0
+    /// means ground more than `ring_width` behind the front has burned out
+    /// and cooled back toward ambient — the fire is a moving ring, which
+    /// is what makes the paper's trackers a *dynamic* perimeter.
+    double ring_width = 0.0;
+    double burned_over = 40.0;  ///< reading on burned-out ground
+  };
+
+  explicit FireField(Options options) : options_(options) {}
+
+  [[nodiscard]] double value(Location at, SimTime when) const override;
+
+  /// Radius of the burning front at `when` (0 before ignition/after end).
+  [[nodiscard]] double front_radius(SimTime when) const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+/// A Gaussian bump whose centre moves along a waypoint path at constant
+/// speed (looping). Models a moving signal source — the "intruder" of the
+/// paper's Sec. 1 tracking scenario ("an agent following the intruder by
+/// repeatedly migrating to the node that best detects it").
+class MovingBumpField final : public ScalarField {
+ public:
+  struct Options {
+    std::vector<Location> waypoints{{1, 1}, {5, 5}};
+    double speed = 0.1;    ///< units per second along the path
+    double peak = 400.0;
+    double sigma = 0.9;
+    double ambient = 0.0;
+    bool loop = true;      ///< cycle the path; else hold at the last point
+  };
+
+  explicit MovingBumpField(Options options);
+
+  [[nodiscard]] double value(Location at, SimTime when) const override;
+
+  /// The bump centre at `when`.
+  [[nodiscard]] Location center(SimTime when) const;
+
+ private:
+  Options options_;
+  std::vector<double> leg_lengths_;
+  double path_length_ = 0.0;
+};
+
+/// Per-simulation registry mapping sensor types to fields. Nodes without a
+/// field for a type report that the sensor is absent (and Agilla omits the
+/// corresponding context tuple, paper Sec. 2.2).
+class SensorEnvironment {
+ public:
+  void set_field(SensorType type, std::unique_ptr<ScalarField> field);
+
+  [[nodiscard]] bool has(SensorType type) const;
+
+  /// Reads 0.0 when no field is installed for `type`.
+  [[nodiscard]] double read(SensorType type, Location at, SimTime when) const;
+
+ private:
+  std::unordered_map<SensorType, std::unique_ptr<ScalarField>> fields_;
+};
+
+}  // namespace agilla::sim

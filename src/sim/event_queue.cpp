@@ -1,0 +1,51 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace agilla::sim {
+
+void EventHandle::cancel() {
+  if (alive_) {
+    *alive_ = false;
+  }
+}
+
+bool EventHandle::pending() const { return alive_ && *alive_; }
+
+EventHandle EventQueue::schedule(SimTime at, Callback cb) {
+  auto alive = std::make_shared<bool>(true);
+  heap_.push(Entry{at, next_seq_++, std::move(cb), alive});
+  return EventHandle(std::move(alive));
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && !*heap_.top().alive) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() is const&; the callback must be moved out, so we
+  // cast away constness of the popped entry (safe: we pop immediately).
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, std::move(top.callback)};
+  *top.alive = false;
+  heap_.pop();
+  return fired;
+}
+
+}  // namespace agilla::sim

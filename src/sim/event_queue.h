@@ -1,0 +1,86 @@
+// The discrete-event core: a time-ordered queue of callbacks.
+//
+// Ties at the same timestamp are broken by insertion order (a monotone
+// sequence number), which keeps runs deterministic regardless of heap
+// internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace agilla::sim {
+
+/// Handle for cancelling a scheduled event. Cancellation is lazy: the event
+/// stays in the heap but is skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly and
+  /// after the event fired.
+  void cancel();
+
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+
+  std::shared_ptr<bool> alive_;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `at`. `at` may equal the current head
+  /// time; events never run before already-queued events with earlier times.
+  EventHandle schedule(SimTime at, Callback cb);
+
+  [[nodiscard]] bool empty() const;
+
+  /// Number of queued entries. May overcount by events that were cancelled
+  /// but not yet lazily removed from the middle of the heap.
+  [[nodiscard]] std::size_t size() const {
+    drop_cancelled();
+    return heap_.size();
+  }
+
+  /// Time of the next live event. Queue must not be empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pop and return the next live event. Queue must not be empty.
+  struct Fired {
+    SimTime time = 0;
+    Callback callback;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Callback callback;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace agilla::sim

@@ -1,0 +1,133 @@
+#include "sim/network.h"
+
+#include <cassert>
+#include <utility>
+
+namespace agilla::sim {
+
+SimTime RadioTiming::air_time(std::size_t payload_bytes) const {
+  const double bits =
+      static_cast<double>((payload_bytes + header_bytes) * 8);
+  const double seconds = bits / bit_rate_bps;
+  return per_packet_overhead +
+         static_cast<SimTime>(seconds * static_cast<double>(kSecond));
+}
+
+Network::Network(Simulator& sim, std::unique_ptr<RadioModel> radio,
+                 RadioTiming timing)
+    : sim_(sim), radio_(std::move(radio)), timing_(timing) {
+  assert(radio_ != nullptr);
+}
+
+NodeId Network::add_node(Location loc) {
+  const NodeId id{static_cast<std::uint16_t>(nodes_.size())};
+  nodes_.push_back(NodeState{NodeInfo{id, loc, true}, nullptr, {}, false});
+  return id;
+}
+
+void Network::set_receiver(NodeId id, ReceiveHandler handler) {
+  nodes_.at(id.value).receiver = std::move(handler);
+}
+
+void Network::set_radio_enabled(NodeId id, bool enabled) {
+  auto& node = nodes_.at(id.value);
+  node.info.radio_enabled = enabled;
+  if (enabled) {
+    try_start_tx(node);
+  }
+}
+
+const NodeInfo& Network::info(NodeId id) const {
+  return nodes_.at(id.value).info;
+}
+
+std::vector<NodeId> Network::connected_neighbors(NodeId id) const {
+  const auto& self = nodes_.at(id.value).info;
+  std::vector<NodeId> out;
+  for (const auto& other : nodes_) {
+    if (other.info.id != id && radio_->connected(self, other.info)) {
+      out.push_back(other.info.id);
+    }
+  }
+  return out;
+}
+
+void Network::send(Frame frame) {
+  auto& node = nodes_.at(frame.src.value);
+  node.tx_queue.push_back(std::move(frame));
+  try_start_tx(node);
+}
+
+void Network::try_start_tx(NodeState& node) {
+  if (node.transmitting || node.tx_queue.empty() ||
+      !node.info.radio_enabled) {
+    return;
+  }
+  node.transmitting = true;
+  const Frame& frame = node.tx_queue.front();
+  SimTime duration = timing_.air_time(frame.payload.size());
+  if (timing_.max_jitter > 0) {
+    duration += sim_.rng().uniform(timing_.max_jitter + 1);
+  }
+  const NodeId id = node.info.id;
+  sim_.schedule_in(duration, [this, id] { finish_tx(id); });
+}
+
+void Network::finish_tx(NodeId id) {
+  auto& node = nodes_.at(id.value);
+  assert(node.transmitting && !node.tx_queue.empty());
+  Frame frame = std::move(node.tx_queue.front());
+  node.tx_queue.pop_front();
+  node.transmitting = false;
+
+  stats_.frames_sent++;
+  stats_.sent_by_type[frame.am]++;
+  stats_.bytes_on_air += frame.payload.size() + timing_.header_bytes;
+
+  deliver(frame, node.info);
+  try_start_tx(node);
+}
+
+void Network::deliver(const Frame& frame, const NodeInfo& sender) {
+  const std::size_t on_air = frame.payload.size() + timing_.header_bytes;
+  if (frame.dst.is_broadcast()) {
+    for (auto& other : nodes_) {
+      if (other.info.id == sender.id || !other.info.radio_enabled ||
+          !radio_->connected(sender, other.info)) {
+        continue;
+      }
+      if (sim_.rng().chance(
+              radio_->loss_probability(sender, other.info, on_air))) {
+        stats_.frames_lost++;
+        continue;
+      }
+      stats_.frames_delivered++;
+      if (other.receiver) {
+        other.receiver(frame);
+      }
+    }
+    return;
+  }
+
+  if (frame.dst.value >= nodes_.size()) {
+    stats_.frames_unreachable++;
+    return;
+  }
+  auto& target = nodes_.at(frame.dst.value);
+  if (!target.info.radio_enabled ||
+      !radio_->connected(sender, target.info)) {
+    stats_.frames_unreachable++;
+    return;
+  }
+  if (sim_.rng().chance(
+          radio_->loss_probability(sender, target.info, on_air))) {
+    stats_.frames_lost++;
+    return;
+  }
+  stats_.frames_delivered++;
+  if (target.receiver) {
+    target.receiver(frame);
+  }
+}
+
+}  // namespace agilla::sim

@@ -1,0 +1,112 @@
+// The simulated radio network: node registry, half-duplex transmit queues,
+// loss, and delivery upcalls.
+//
+// Timing model (calibrated to the MICA2 CC1000 / TinyOS stack, see
+// DESIGN.md): a frame occupies the sender's radio for
+//     per_packet_overhead + on_air_bytes * 8 / bit_rate  (+ MAC jitter)
+// after which it is delivered (or lost) at each receiver. A node transmits
+// one frame at a time; later sends queue behind it — this is what makes a
+// multi-message agent migration take several hundred milliseconds, exactly
+// the effect the paper measures in Figs. 10/11.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/radio_model.h"
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace agilla::sim {
+
+/// A radio-level packet. Payload layouts are defined by the net/ layer.
+struct Frame {
+  NodeId src;
+  NodeId dst;  ///< kBroadcastNode for beacons
+  AmType am = AmType::kAck;
+  std::vector<std::uint8_t> payload;
+};
+
+struct RadioTiming {
+  double bit_rate_bps = 38'400.0;        ///< CC1000 on MICA2
+  /// CC1000 preamble + TinyOS MAC backoff + task handoff. Calibrated so a
+  /// one-hop rout round trip lands near the paper's ~55 ms and a one-hop
+  /// strong migration (4 acked messages) near ~200 ms (see DESIGN.md).
+  SimTime per_packet_overhead = 18 * kMillisecond;
+  SimTime max_jitter = 3 * kMillisecond; ///< uniform extra backoff
+  std::size_t header_bytes = 7;          ///< TOS_Msg header + CRC
+
+  [[nodiscard]] SimTime air_time(std::size_t payload_bytes) const;
+};
+
+struct NetworkStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_lost = 0;      ///< channel loss events (per receiver)
+  std::uint64_t frames_unreachable = 0;  ///< unicast to a non-neighbour
+  std::uint64_t bytes_on_air = 0;
+  std::unordered_map<AmType, std::uint64_t> sent_by_type;
+
+  void reset() { *this = NetworkStats{}; }
+};
+
+class Network {
+ public:
+  using ReceiveHandler = std::function<void(const Frame&)>;
+
+  Network(Simulator& sim, std::unique_ptr<RadioModel> radio,
+          RadioTiming timing = {});
+
+  /// Register a node at `loc`. Returns its dense id.
+  NodeId add_node(Location loc);
+
+  /// Install the (single) receive upcall for a node. The net/ layer
+  /// dispatches by AM type from here.
+  void set_receiver(NodeId id, ReceiveHandler handler);
+
+  /// Queue a frame for transmission from frame.src. Takes effect in virtual
+  /// time; the call itself returns immediately.
+  void send(Frame frame);
+
+  /// Turn a node's radio on/off. A disabled node neither transmits (its
+  /// queue stalls) nor receives. Used for failure injection and for the
+  /// paper's local-instruction benchmarks ("we disabled the radio").
+  void set_radio_enabled(NodeId id, bool enabled);
+
+  [[nodiscard]] const NodeInfo& info(NodeId id) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const RadioModel& radio() const { return *radio_; }
+  [[nodiscard]] const RadioTiming& timing() const { return timing_; }
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+
+  /// Ground-truth connectivity (what the channel permits). Protocol-level
+  /// neighbour knowledge comes from beacons in net::NeighborTable.
+  [[nodiscard]] std::vector<NodeId> connected_neighbors(NodeId id) const;
+
+  [[nodiscard]] NetworkStats& stats() { return stats_; }
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+
+ private:
+  struct NodeState {
+    NodeInfo info;
+    ReceiveHandler receiver;
+    std::deque<Frame> tx_queue;
+    bool transmitting = false;
+  };
+
+  void try_start_tx(NodeState& node);
+  void finish_tx(NodeId id);
+  void deliver(const Frame& frame, const NodeInfo& sender);
+
+  Simulator& sim_;
+  std::unique_ptr<RadioModel> radio_;
+  RadioTiming timing_;
+  std::vector<NodeState> nodes_;
+  NetworkStats stats_;
+};
+
+}  // namespace agilla::sim

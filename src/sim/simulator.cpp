@@ -1,0 +1,49 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace agilla::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+EventHandle Simulator::schedule_in(SimTime delay, EventQueue::Callback cb) {
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventHandle Simulator::schedule_at(SimTime at, EventQueue::Callback cb) {
+  assert(at >= now_);
+  return queue_.schedule(at, std::move(cb));
+}
+
+std::size_t Simulator::drain(SimTime deadline) {
+  std::size_t fired = 0;
+  running_ = true;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    auto event = queue_.pop();
+    assert(event.time >= now_);
+    now_ = event.time;
+    event.callback();
+    ++fired;
+  }
+  running_ = false;
+  return fired;
+}
+
+std::size_t Simulator::run() {
+  return drain(std::numeric_limits<SimTime>::max());
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  const std::size_t fired = drain(deadline);
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return fired;
+}
+
+std::size_t Simulator::run_for(SimTime duration) {
+  return run_until(now_ + duration);
+}
+
+}  // namespace agilla::sim

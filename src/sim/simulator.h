@@ -1,0 +1,50 @@
+// The simulation kernel: virtual clock + event loop + the root RNG.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace agilla::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedule `cb` to run `delay` microseconds from now.
+  EventHandle schedule_in(SimTime delay, EventQueue::Callback cb);
+
+  /// Schedule `cb` at absolute virtual time `at` (must be >= now()).
+  EventHandle schedule_at(SimTime at, EventQueue::Callback cb);
+
+  /// Run events until the queue drains. Returns the number of events run.
+  std::size_t run();
+
+  /// Run events with time <= deadline; the clock ends at `deadline` even if
+  /// the queue drained earlier. Returns the number of events run.
+  std::size_t run_until(SimTime deadline);
+
+  /// Convenience: run_until(now() + duration).
+  std::size_t run_for(SimTime duration);
+
+  /// True while the event loop is executing a callback.
+  [[nodiscard]] bool running() const { return running_; }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  std::size_t drain(SimTime deadline);
+
+  EventQueue queue_;
+  SimTime now_ = 0;
+  Rng rng_;
+  bool running_ = false;
+};
+
+}  // namespace agilla::sim

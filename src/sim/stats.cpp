@@ -1,0 +1,79 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agilla::sim {
+
+void Summary::add(double sample) {
+  samples_.push_back(sample);
+  total_ += sample;
+  sorted_ = false;
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return total_ / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) {
+    acc += (s - m) * (s - m);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+void Summary::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::min() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  sort_if_needed();
+  return samples_.front();
+}
+
+double Summary::max() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  sort_if_needed();
+  return samples_.back();
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  sort_if_needed();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string ascii_bar(double fraction, std::size_t width) {
+  const double clamped = std::clamp(fraction, 0.0, 1.0);
+  const auto filled =
+      static_cast<std::size_t>(clamped * static_cast<double>(width) + 0.5);
+  std::string bar(filled, '#');
+  bar.append(width - filled, '.');
+  return bar;
+}
+
+}  // namespace agilla::sim

@@ -1,0 +1,61 @@
+// Small statistics helpers used by the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace agilla::sim {
+
+/// Accumulates samples; computes mean / stddev / min / max / percentiles.
+class Summary {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;  ///< sample standard deviation
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// p in [0,100]; linear interpolation between order statistics.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] double total() const { return total_; }
+
+ private:
+  void sort_if_needed() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double total_ = 0.0;
+};
+
+/// Success/failure counter with a success-rate accessor; used by the
+/// reliability experiments (paper Fig. 9).
+class TrialCounter {
+ public:
+  void record(bool success) {
+    ++trials_;
+    if (success) {
+      ++successes_;
+    }
+  }
+
+  [[nodiscard]] std::size_t trials() const { return trials_; }
+  [[nodiscard]] std::size_t successes() const { return successes_; }
+  [[nodiscard]] double success_rate() const {
+    return trials_ == 0 ? 0.0
+                        : static_cast<double>(successes_) /
+                              static_cast<double>(trials_);
+  }
+
+ private:
+  std::size_t trials_ = 0;
+  std::size_t successes_ = 0;
+};
+
+/// Fixed-width ASCII bar, e.g. for printing figure-like output in benches.
+std::string ascii_bar(double fraction, std::size_t width = 40);
+
+}  // namespace agilla::sim

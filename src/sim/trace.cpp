@@ -1,0 +1,65 @@
+#include "sim/trace.h"
+
+#include <iomanip>
+
+namespace agilla::sim {
+
+const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kRadio:
+      return "radio";
+    case TraceCategory::kLink:
+      return "link";
+    case TraceCategory::kRouting:
+      return "routing";
+    case TraceCategory::kNeighbor:
+      return "neighbor";
+    case TraceCategory::kTupleSpace:
+      return "ts";
+    case TraceCategory::kAgent:
+      return "agent";
+    case TraceCategory::kMigration:
+      return "migration";
+    case TraceCategory::kRemoteOp:
+      return "remote-op";
+    case TraceCategory::kEngine:
+      return "engine";
+    case TraceCategory::kMate:
+      return "mate";
+  }
+  return "unknown";
+}
+
+void Trace::emit(SimTime time, TraceCategory category, NodeId node,
+                 std::string message) const {
+  if (sinks_.empty()) {
+    return;
+  }
+  const TraceRecord record{time, category, node, std::move(message)};
+  for (const auto& sink : sinks_) {
+    sink(record);
+  }
+}
+
+void TraceRecorder::attach(Trace& trace) {
+  trace.subscribe([this](const TraceRecord& r) { records_.push_back(r); });
+}
+
+std::size_t TraceRecorder::count_containing(const std::string& needle) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.message.find(needle) != std::string::npos) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string format(const TraceRecord& record) {
+  std::ostringstream os;
+  os << std::setw(10) << record.time << "us [" << to_string(record.category)
+     << "] " << record.node << ": " << record.message;
+  return os.str();
+}
+
+}  // namespace agilla::sim

@@ -1,0 +1,72 @@
+// Lightweight structured tracing. Components publish trace records; tests
+// and examples subscribe to observe protocol behaviour without poking into
+// internals. Disabled (no subscribers) it costs one branch per record.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace agilla::sim {
+
+enum class TraceCategory : std::uint8_t {
+  kRadio,
+  kLink,
+  kRouting,
+  kNeighbor,
+  kTupleSpace,
+  kAgent,
+  kMigration,
+  kRemoteOp,
+  kEngine,
+  kMate,
+};
+
+[[nodiscard]] const char* to_string(TraceCategory c);
+
+struct TraceRecord {
+  SimTime time = 0;
+  TraceCategory category = TraceCategory::kEngine;
+  NodeId node;
+  std::string message;
+};
+
+class Trace {
+ public:
+  using Sink = std::function<void(const TraceRecord&)>;
+
+  void subscribe(Sink sink) { sinks_.push_back(std::move(sink)); }
+  void clear_subscribers() { sinks_.clear(); }
+
+  [[nodiscard]] bool enabled() const { return !sinks_.empty(); }
+
+  void emit(SimTime time, TraceCategory category, NodeId node,
+            std::string message) const;
+
+ private:
+  std::vector<Sink> sinks_;
+};
+
+/// A sink that retains all records in memory; handy in tests.
+class TraceRecorder {
+ public:
+  /// Attach to `trace`; records accumulate in this object.
+  void attach(Trace& trace);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t count_containing(const std::string& needle) const;
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Format a record as a single human-readable line.
+std::string format(const TraceRecord& record);
+
+}  // namespace agilla::sim

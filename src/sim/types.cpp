@@ -1,0 +1,37 @@
+#include "sim/types.h"
+
+namespace agilla::sim {
+
+const char* to_string(AmType t) {
+  switch (t) {
+    case AmType::kAck:
+      return "ACK";
+    case AmType::kBeacon:
+      return "BEACON";
+    case AmType::kGeo:
+      return "GEO";
+    case AmType::kAgentState:
+      return "AGENT_STATE";
+    case AmType::kAgentCode:
+      return "AGENT_CODE";
+    case AmType::kAgentHeap:
+      return "AGENT_HEAP";
+    case AmType::kAgentStack:
+      return "AGENT_STACK";
+    case AmType::kAgentReaction:
+      return "AGENT_REACTION";
+    case AmType::kTsRequest:
+      return "TS_REQUEST";
+    case AmType::kTsReply:
+      return "TS_REPLY";
+    case AmType::kRegionOut:
+      return "REGION_OUT";
+    case AmType::kRegionFlood:
+      return "REGION_FLOOD";
+    case AmType::kMateCapsule:
+      return "MATE_CAPSULE";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace agilla::sim

@@ -1,0 +1,134 @@
+#include "tuplespace/indexed_store.h"
+
+#include <algorithm>
+
+namespace agilla::ts {
+
+IndexedTupleStore::IndexedTupleStore(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+bool IndexedTupleStore::insert(const Tuple& tuple) {
+  last_op_bytes_ = 0;
+  if (tuple.empty()) {
+    return false;
+  }
+  const std::size_t size = tuple.wire_size();
+  if (size > kMaxTupleWireBytes || used_ + 1 + size > capacity_) {
+    return false;
+  }
+  by_arity_[tuple.arity()].push_back(entries_.size());
+  entries_.push_back(Entry{tuple, 1 + size, true});
+  used_ += 1 + size;
+  ++live_count_;
+  last_op_bytes_ = 1 + size;
+  return true;
+}
+
+std::size_t IndexedTupleStore::find(const Template& templ) const {
+  std::size_t scanned = 0;
+  const auto bucket = by_arity_.find(templ.arity());
+  if (bucket == by_arity_.end()) {
+    last_op_bytes_ = 0;
+    return kNpos;
+  }
+  for (const std::size_t index : bucket->second) {
+    const Entry& entry = entries_[index];
+    if (!entry.live) {
+      continue;
+    }
+    scanned += entry.wire_bytes;
+    if (templ.matches(entry.tuple)) {
+      last_op_bytes_ = scanned;
+      return index;
+    }
+  }
+  last_op_bytes_ = scanned;
+  return kNpos;
+}
+
+std::optional<Tuple> IndexedTupleStore::take(const Template& templ) {
+  const std::size_t index = find(templ);
+  if (index == kNpos) {
+    return std::nullopt;
+  }
+  Entry& entry = entries_[index];
+  Tuple out = std::move(entry.tuple);
+  entry.live = false;
+  used_ -= entry.wire_bytes;
+  --live_count_;
+  ++tombstones_;
+  // No memory shift: removal costs only the scan (the headline win over
+  // the linear store); amortized compaction keeps the arrays bounded.
+  if (tombstones_ > entries_.size() / 2 && tombstones_ > 8) {
+    compact();
+  }
+  return out;
+}
+
+std::optional<Tuple> IndexedTupleStore::read(const Template& templ) const {
+  const std::size_t index = find(templ);
+  if (index == kNpos) {
+    return std::nullopt;
+  }
+  return entries_[index].tuple;
+}
+
+std::size_t IndexedTupleStore::count_matching(const Template& templ) const {
+  std::size_t scanned = 0;
+  std::size_t count = 0;
+  const auto bucket = by_arity_.find(templ.arity());
+  if (bucket == by_arity_.end()) {
+    last_op_bytes_ = 0;
+    return 0;
+  }
+  for (const std::size_t index : bucket->second) {
+    const Entry& entry = entries_[index];
+    if (!entry.live) {
+      continue;
+    }
+    scanned += entry.wire_bytes;
+    if (templ.matches(entry.tuple)) {
+      ++count;
+    }
+  }
+  last_op_bytes_ = scanned;
+  return count;
+}
+
+std::vector<Tuple> IndexedTupleStore::snapshot() const {
+  std::vector<Tuple> out;
+  out.reserve(live_count_);
+  for (const Entry& entry : entries_) {
+    if (entry.live) {
+      out.push_back(entry.tuple);
+    }
+  }
+  return out;
+}
+
+void IndexedTupleStore::clear() {
+  entries_.clear();
+  by_arity_.clear();
+  used_ = 0;
+  live_count_ = 0;
+  tombstones_ = 0;
+  last_op_bytes_ = 0;
+}
+
+void IndexedTupleStore::compact() {
+  std::vector<Entry> survivors;
+  survivors.reserve(live_count_);
+  for (Entry& entry : entries_) {
+    if (entry.live) {
+      survivors.push_back(std::move(entry));
+    }
+  }
+  entries_ = std::move(survivors);
+  by_arity_.clear();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    by_arity_[entries_[i].tuple.arity()].push_back(i);
+  }
+  tombstones_ = 0;
+}
+
+}  // namespace agilla::ts

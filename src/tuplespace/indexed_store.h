@@ -1,0 +1,69 @@
+// IndexedTupleStore — the "future work" tuple store (paper Sec. 3.2: "We
+// leave a more in-depth investigation of efficient tuple space
+// implementations as future work").
+//
+// Tuples are kept decoded in insertion order; an arity index narrows every
+// probe to candidate tuples with the right field count (templates only
+// ever match same-arity tuples), and removal tombstones the entry instead
+// of shifting memory. Byte accounting mirrors the linear store (same wire
+// sizes, same capacity limit) so the two are drop-in interchangeable; the
+// difference shows up in last_op_bytes_touched() — the quantity the VM
+// cost model charges for — and is measured by bench_ablation_store.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "tuplespace/store_interface.h"
+
+namespace agilla::ts {
+
+class IndexedTupleStore final : public TupleStore {
+ public:
+  explicit IndexedTupleStore(std::size_t capacity_bytes = 600);
+
+  bool insert(const Tuple& tuple) override;
+  std::optional<Tuple> take(const Template& templ) override;
+  [[nodiscard]] std::optional<Tuple> read(
+      const Template& templ) const override;
+  [[nodiscard]] std::size_t count_matching(
+      const Template& templ) const override;
+
+  [[nodiscard]] std::size_t tuple_count() const override {
+    return live_count_;
+  }
+  [[nodiscard]] std::size_t used_bytes() const override { return used_; }
+  [[nodiscard]] std::size_t capacity_bytes() const override {
+    return capacity_;
+  }
+  [[nodiscard]] std::vector<Tuple> snapshot() const override;
+  void clear() override;
+  [[nodiscard]] std::size_t last_op_bytes_touched() const override {
+    return last_op_bytes_;
+  }
+
+ private:
+  struct Entry {
+    Tuple tuple;
+    std::size_t wire_bytes = 0;  // incl. the 1-byte length prefix
+    bool live = false;
+  };
+
+  /// Index of the first live entry matching `templ`, or npos.
+  [[nodiscard]] std::size_t find(const Template& templ) const;
+  void compact();
+
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;  // insertion order, with tombstones
+  std::unordered_map<std::size_t, std::vector<std::size_t>> by_arity_;
+  std::size_t used_ = 0;
+  std::size_t live_count_ = 0;
+  std::size_t tombstones_ = 0;
+  mutable std::size_t last_op_bytes_ = 0;
+};
+
+}  // namespace agilla::ts

@@ -1,0 +1,62 @@
+#include "tuplespace/reaction.h"
+
+#include <algorithm>
+
+namespace agilla::ts {
+
+ReactionRegistry::ReactionRegistry() : ReactionRegistry(Options{}) {}
+
+ReactionRegistry::ReactionRegistry(Options options) : options_(options) {}
+
+bool ReactionRegistry::add(Reaction reaction) {
+  if (reactions_.size() >= capacity()) {
+    return false;
+  }
+  const bool exists = std::any_of(
+      reactions_.begin(), reactions_.end(), [&](const Reaction& r) {
+        return r.agent_id == reaction.agent_id && r.templ == reaction.templ;
+      });
+  if (exists) {
+    return false;
+  }
+  reactions_.push_back(std::move(reaction));
+  return true;
+}
+
+bool ReactionRegistry::remove(std::uint16_t agent_id, const Template& templ) {
+  const auto it = std::find_if(
+      reactions_.begin(), reactions_.end(), [&](const Reaction& r) {
+        return r.agent_id == agent_id && r.templ == templ;
+      });
+  if (it == reactions_.end()) {
+    return false;
+  }
+  reactions_.erase(it);
+  return true;
+}
+
+std::vector<Reaction> ReactionRegistry::extract_all(std::uint16_t agent_id) {
+  std::vector<Reaction> out;
+  auto it = reactions_.begin();
+  while (it != reactions_.end()) {
+    if (it->agent_id == agent_id) {
+      out.push_back(std::move(*it));
+      it = reactions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<Reaction> ReactionRegistry::matches(const Tuple& tuple) const {
+  std::vector<Reaction> out;
+  for (const Reaction& r : reactions_) {
+    if (r.templ.matches(tuple)) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace agilla::ts

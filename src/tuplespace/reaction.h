@@ -1,0 +1,59 @@
+// Reactions (paper Sec. 2.2): an agent registers a template plus the
+// address of handler code; when a matching tuple is inserted into the LOCAL
+// tuple space the agent is notified. The registry has a fixed byte budget
+// (default 400 bytes / 10 reactions, paper Sec. 3.2) and reactions travel
+// with the agent on strong migration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tuplespace/tuple.h"
+
+namespace agilla::ts {
+
+struct Reaction {
+  std::uint16_t agent_id = 0;
+  Template templ;
+  std::uint16_t handler_pc = 0;
+
+  friend bool operator==(const Reaction&, const Reaction&) = default;
+};
+
+class ReactionRegistry {
+ public:
+  struct Options {
+    std::size_t capacity_bytes = 400;
+    std::size_t bytes_per_reaction = 40;  ///< fixed ledger charge per entry
+  };
+
+  ReactionRegistry();
+  explicit ReactionRegistry(Options options);
+
+  /// Adds a reaction; fails when the registry is full or the same
+  /// (agent, template) pair is already registered.
+  bool add(Reaction reaction);
+
+  /// Removes the reaction with this agent and template; false if absent.
+  bool remove(std::uint16_t agent_id, const Template& templ);
+
+  /// Removes and returns every reaction owned by `agent_id` (used when an
+  /// agent migrates or dies).
+  std::vector<Reaction> extract_all(std::uint16_t agent_id);
+
+  /// All reactions whose template matches `tuple`, in registration order.
+  [[nodiscard]] std::vector<Reaction> matches(const Tuple& tuple) const;
+
+  [[nodiscard]] std::size_t size() const { return reactions_.size(); }
+  [[nodiscard]] std::size_t capacity() const {
+    return options_.capacity_bytes / options_.bytes_per_reaction;
+  }
+  [[nodiscard]] const std::vector<Reaction>& all() const { return reactions_; }
+
+ private:
+  Options options_;
+  std::vector<Reaction> reactions_;
+};
+
+}  // namespace agilla::ts

@@ -1,0 +1,124 @@
+#include "tuplespace/store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace agilla::ts {
+
+LinearTupleStore::LinearTupleStore(std::size_t capacity_bytes)
+    : buffer_(capacity_bytes, 0) {}
+
+bool LinearTupleStore::insert(const Tuple& tuple) {
+  last_op_bytes_ = 0;
+  if (tuple.empty()) {
+    return false;
+  }
+  const std::size_t size = tuple.wire_size();
+  if (size > kMaxTupleWireBytes) {
+    return false;
+  }
+  if (used_ + 1 + size > buffer_.size()) {
+    return false;
+  }
+  net::Writer w;
+  w.u8(static_cast<std::uint8_t>(size));
+  tuple.encode(w);
+  std::copy(w.data().begin(), w.data().end(),
+            buffer_.begin() + static_cast<std::ptrdiff_t>(used_));
+  used_ += w.size();
+  ++tuple_count_;
+  last_op_bytes_ = w.size();
+  return true;
+}
+
+std::optional<LinearTupleStore::Found> LinearTupleStore::find(
+    const Template& templ) const {
+  std::size_t offset = 0;
+  std::size_t scanned = 0;
+  while (offset < used_) {
+    const std::uint8_t size = buffer_[offset];
+    assert(offset + 1 + size <= used_);
+    net::Reader r(
+        std::span<const std::uint8_t>(buffer_.data() + offset + 1, size));
+    auto tuple = Tuple::decode(r);
+    scanned += 1 + size;
+    if (tuple.has_value() && templ.matches(*tuple)) {
+      last_op_bytes_ = scanned;
+      return Found{offset, static_cast<std::size_t>(size) + 1,
+                   std::move(*tuple)};
+    }
+    offset += 1 + size;
+  }
+  last_op_bytes_ = scanned;
+  return std::nullopt;
+}
+
+std::optional<Tuple> LinearTupleStore::take(const Template& templ) {
+  auto found = find(templ);
+  if (!found.has_value()) {
+    return std::nullopt;
+  }
+  // Shift all following tuples forward (paper Sec. 3.2).
+  const std::size_t tail_start = found->offset + found->size;
+  const std::size_t tail_len = used_ - tail_start;
+  if (tail_len > 0) {
+    std::memmove(buffer_.data() + found->offset,
+                 buffer_.data() + tail_start, tail_len);
+    last_op_bytes_ += tail_len;
+  }
+  used_ -= found->size;
+  --tuple_count_;
+  return std::move(found->tuple);
+}
+
+std::optional<Tuple> LinearTupleStore::read(const Template& templ) const {
+  auto found = find(templ);
+  if (!found.has_value()) {
+    return std::nullopt;
+  }
+  return std::move(found->tuple);
+}
+
+std::size_t LinearTupleStore::count_matching(const Template& templ) const {
+  std::size_t count = 0;
+  std::size_t offset = 0;
+  std::size_t scanned = 0;
+  while (offset < used_) {
+    const std::uint8_t size = buffer_[offset];
+    net::Reader r(
+        std::span<const std::uint8_t>(buffer_.data() + offset + 1, size));
+    const auto tuple = Tuple::decode(r);
+    scanned += 1 + size;
+    if (tuple.has_value() && templ.matches(*tuple)) {
+      ++count;
+    }
+    offset += 1 + size;
+  }
+  last_op_bytes_ = scanned;
+  return count;
+}
+
+std::vector<Tuple> LinearTupleStore::snapshot() const {
+  std::vector<Tuple> out;
+  std::size_t offset = 0;
+  while (offset < used_) {
+    const std::uint8_t size = buffer_[offset];
+    net::Reader r(
+        std::span<const std::uint8_t>(buffer_.data() + offset + 1, size));
+    auto tuple = Tuple::decode(r);
+    if (tuple.has_value()) {
+      out.push_back(std::move(*tuple));
+    }
+    offset += 1 + size;
+  }
+  return out;
+}
+
+void LinearTupleStore::clear() {
+  used_ = 0;
+  tuple_count_ = 0;
+  last_op_bytes_ = 0;
+}
+
+}  // namespace agilla::ts

@@ -1,0 +1,77 @@
+// The paper's tuple store (Sec. 3.2): tuples live in one linearly-allocated
+// byte buffer (default 600 bytes). "When a tuple is removed, all following
+// tuples are shifted forward. While this may result in more memory
+// swapping, it is simple."
+//
+// We reproduce the layout faithfully because the Fig. 12 latencies of the
+// tuple-space instructions are dominated by exactly this scan/shift work;
+// the store reports bytes touched per operation so the VM cost model can
+// charge for it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tuplespace/store_interface.h"
+#include "tuplespace/tuple.h"
+
+namespace agilla::ts {
+
+class LinearTupleStore final : public TupleStore {
+ public:
+  explicit LinearTupleStore(std::size_t capacity_bytes = 600);
+
+  /// Inserts a tuple at the end of the buffer. Fails (returns false) when
+  /// the tuple is empty, exceeds kMaxTupleWireBytes, or does not fit in the
+  /// remaining capacity.
+  bool insert(const Tuple& tuple) override;
+
+  /// Finds, removes and returns the first matching tuple (Linda `inp`).
+  std::optional<Tuple> take(const Template& templ) override;
+
+  /// Finds and copies the first matching tuple (Linda `rdp`).
+  [[nodiscard]] std::optional<Tuple> read(
+      const Template& templ) const override;
+
+  /// Number of stored tuples matching `templ` (the `tcount` instruction).
+  [[nodiscard]] std::size_t count_matching(
+      const Template& templ) const override;
+
+  [[nodiscard]] std::size_t tuple_count() const override {
+    return tuple_count_;
+  }
+  [[nodiscard]] std::size_t used_bytes() const override { return used_; }
+  [[nodiscard]] std::size_t capacity_bytes() const override {
+    return buffer_.size();
+  }
+
+  /// Decoded copy of every stored tuple, in buffer order.
+  [[nodiscard]] std::vector<Tuple> snapshot() const override;
+
+  void clear() override;
+
+  /// Bytes scanned/moved by the most recent operation — consumed by the VM
+  /// cycle-cost model (see DESIGN.md "CPU calibration").
+  [[nodiscard]] std::size_t last_op_bytes_touched() const override {
+    return last_op_bytes_;
+  }
+
+ private:
+  struct Found {
+    std::size_t offset = 0;
+    std::size_t size = 0;  // bytes incl. length prefix
+    Tuple tuple;
+  };
+
+  [[nodiscard]] std::optional<Found> find(const Template& templ) const;
+
+  // Buffer layout: a sequence of records [len u8][tuple bytes], packed from
+  // offset 0; used_ marks the end of live data.
+  std::vector<std::uint8_t> buffer_;
+  std::size_t used_ = 0;
+  std::size_t tuple_count_ = 0;
+  mutable std::size_t last_op_bytes_ = 0;
+};
+
+}  // namespace agilla::ts

@@ -1,0 +1,48 @@
+// The tuple-store abstraction. The paper ships the simple linear store and
+// notes: "We leave a more in-depth investigation of efficient tuple space
+// implementations as future work" (Sec. 3.2) — this interface is the seam
+// for that investigation: LinearTupleStore is the paper-faithful baseline,
+// IndexedTupleStore the future-work alternative, and
+// bench_ablation_store compares them under the simulated cost model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tuplespace/tuple.h"
+
+namespace agilla::ts {
+
+class TupleStore {
+ public:
+  virtual ~TupleStore() = default;
+
+  /// Inserts at logical end. False when empty/oversized/out of capacity.
+  virtual bool insert(const Tuple& tuple) = 0;
+
+  /// Removes and returns the FIRST matching tuple in insertion order.
+  virtual std::optional<Tuple> take(const Template& templ) = 0;
+
+  /// Copies the first matching tuple.
+  [[nodiscard]] virtual std::optional<Tuple> read(
+      const Template& templ) const = 0;
+
+  [[nodiscard]] virtual std::size_t count_matching(
+      const Template& templ) const = 0;
+
+  [[nodiscard]] virtual std::size_t tuple_count() const = 0;
+  [[nodiscard]] virtual std::size_t used_bytes() const = 0;
+  [[nodiscard]] virtual std::size_t capacity_bytes() const = 0;
+
+  /// Every stored tuple in insertion order.
+  [[nodiscard]] virtual std::vector<Tuple> snapshot() const = 0;
+
+  virtual void clear() = 0;
+
+  /// Bytes scanned/moved by the most recent operation; feeds the VM cost
+  /// model (an indexed store touches fewer bytes => cheaper TS ops).
+  [[nodiscard]] virtual std::size_t last_op_bytes_touched() const = 0;
+};
+
+}  // namespace agilla::ts

@@ -1,0 +1,141 @@
+#include "tuplespace/tuple.h"
+
+#include <sstream>
+
+namespace agilla::ts {
+namespace detail {
+
+std::size_t fields_wire_size(const std::vector<Value>& fields) {
+  std::size_t total = 1;  // count byte
+  for (const Value& f : fields) {
+    total += f.compact_size();
+  }
+  return total;
+}
+
+void encode_fields(net::Writer& w, const std::vector<Value>& fields) {
+  w.u8(static_cast<std::uint8_t>(fields.size()));
+  for (const Value& f : fields) {
+    f.encode_compact(w);
+  }
+}
+
+std::optional<std::vector<Value>> decode_fields(net::Reader& r) {
+  const std::uint8_t count = r.u8();
+  std::vector<Value> fields;
+  fields.reserve(count);
+  for (std::uint8_t i = 0; i < count; ++i) {
+    fields.push_back(Value::decode_compact(r));
+  }
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return fields;
+}
+
+std::string fields_to_string(const std::vector<Value>& fields) {
+  std::ostringstream os;
+  os << "<";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << fields[i].to_string();
+  }
+  os << ">";
+  return os.str();
+}
+
+}  // namespace detail
+
+Tuple::Tuple(std::initializer_list<Value> fields) {
+  for (const Value& f : fields) {
+    add(f);
+  }
+}
+
+bool Tuple::add(const Value& field) {
+  if (!field.concrete() || field.type() == ValueType::kTypeWildcard) {
+    return false;
+  }
+  if (wire_size() + field.compact_size() > kMaxTupleWireBytes) {
+    return false;
+  }
+  fields_.push_back(field);
+  return true;
+}
+
+std::size_t Tuple::wire_size() const {
+  return detail::fields_wire_size(fields_);
+}
+
+void Tuple::encode(net::Writer& w) const {
+  detail::encode_fields(w, fields_);
+}
+
+std::optional<Tuple> Tuple::decode(net::Reader& r) {
+  auto fields = detail::decode_fields(r);
+  if (!fields.has_value()) {
+    return std::nullopt;
+  }
+  Tuple t;
+  t.fields_ = std::move(*fields);
+  return t;
+}
+
+std::string Tuple::to_string() const {
+  return detail::fields_to_string(fields_);
+}
+
+Template::Template(std::initializer_list<Value> fields) {
+  for (const Value& f : fields) {
+    add(f);
+  }
+}
+
+bool Template::add(const Value& field) {
+  if (!field.valid()) {
+    return false;
+  }
+  if (wire_size() + field.compact_size() > kMaxTupleWireBytes) {
+    return false;
+  }
+  fields_.push_back(field);
+  return true;
+}
+
+bool Template::matches(const Tuple& tuple) const {
+  if (tuple.arity() != fields_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (!fields_[i].matches(tuple.field(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Template::wire_size() const {
+  return detail::fields_wire_size(fields_);
+}
+
+void Template::encode(net::Writer& w) const {
+  detail::encode_fields(w, fields_);
+}
+
+std::optional<Template> Template::decode(net::Reader& r) {
+  auto fields = detail::decode_fields(r);
+  if (!fields.has_value()) {
+    return std::nullopt;
+  }
+  Template t;
+  t.fields_ = std::move(*fields);
+  return t;
+}
+
+std::string Template::to_string() const {
+  return detail::fields_to_string(fields_);
+}
+
+}  // namespace agilla::ts

@@ -1,0 +1,84 @@
+// Tuples and templates (paper Sec. 2.2): a tuple is an ordered set of typed
+// fields; a template is an ordered set of fields that may contain
+// type-wildcards. "A template matches a tuple if they have the same number
+// of fields, and each field in the tuple matches the corresponding field in
+// the template."
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tuplespace/value.h"
+
+namespace agilla::ts {
+
+/// Maximum compact wire size of a stored tuple (paper Sec. 3.2: "a tuple
+/// may contain up to 25 bytes worth of fields").
+inline constexpr std::size_t kMaxTupleWireBytes = 25;
+
+namespace detail {
+std::size_t fields_wire_size(const std::vector<Value>& fields);
+void encode_fields(net::Writer& w, const std::vector<Value>& fields);
+std::optional<std::vector<Value>> decode_fields(net::Reader& r);
+std::string fields_to_string(const std::vector<Value>& fields);
+}  // namespace detail
+
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::initializer_list<Value> fields);
+
+  /// Appends a field. Returns false (and leaves the tuple unchanged) if the
+  /// field is not concrete or the tuple would exceed kMaxTupleWireBytes.
+  bool add(const Value& field);
+
+  [[nodiscard]] std::size_t arity() const { return fields_.size(); }
+  [[nodiscard]] bool empty() const { return fields_.empty(); }
+  [[nodiscard]] const Value& field(std::size_t i) const { return fields_[i]; }
+  [[nodiscard]] const std::vector<Value>& fields() const { return fields_; }
+
+  /// Compact serialized size: 1 count byte + fields.
+  [[nodiscard]] std::size_t wire_size() const;
+
+  void encode(net::Writer& w) const;
+  static std::optional<Tuple> decode(net::Reader& r);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) = default;
+
+ private:
+  std::vector<Value> fields_;
+};
+
+class Template {
+ public:
+  Template() = default;
+  Template(std::initializer_list<Value> fields);
+
+  /// Appends a field (concrete or wildcard). Returns false if the template
+  /// would exceed kMaxTupleWireBytes.
+  bool add(const Value& field);
+
+  [[nodiscard]] std::size_t arity() const { return fields_.size(); }
+  [[nodiscard]] const Value& field(std::size_t i) const { return fields_[i]; }
+  [[nodiscard]] const std::vector<Value>& fields() const { return fields_; }
+
+  [[nodiscard]] bool matches(const Tuple& tuple) const;
+
+  [[nodiscard]] std::size_t wire_size() const;
+  void encode(net::Writer& w) const;
+  static std::optional<Template> decode(net::Reader& r);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Template& a, const Template& b) = default;
+
+ private:
+  std::vector<Value> fields_;
+};
+
+}  // namespace agilla::ts

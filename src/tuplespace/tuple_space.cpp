@@ -1,0 +1,66 @@
+#include "tuplespace/tuple_space.h"
+
+namespace agilla::ts {
+namespace {
+
+std::unique_ptr<TupleStore> make_store(const TupleSpace::Options& options) {
+  switch (options.store_kind) {
+    case StoreKind::kIndexed:
+      return std::make_unique<IndexedTupleStore>(
+          options.store_capacity_bytes);
+    case StoreKind::kLinear:
+      break;
+  }
+  return std::make_unique<LinearTupleStore>(options.store_capacity_bytes);
+}
+
+}  // namespace
+
+TupleSpace::TupleSpace() : TupleSpace(Options{}) {}
+
+TupleSpace::TupleSpace(Options options)
+    : store_(make_store(options)), registry_(options.registry) {}
+
+bool TupleSpace::out(const Tuple& tuple) {
+  if (!store_->insert(tuple)) {
+    return false;
+  }
+  if (on_reaction_) {
+    // Snapshot first: a reaction callback may register/deregister.
+    const std::vector<Reaction> fired = registry_.matches(tuple);
+    for (const Reaction& r : fired) {
+      on_reaction_(r, tuple);
+    }
+  }
+  if (on_insertion_) {
+    on_insertion_(tuple);
+  }
+  return true;
+}
+
+std::optional<Tuple> TupleSpace::inp(const Template& templ) {
+  return store_->take(templ);
+}
+
+std::optional<Tuple> TupleSpace::rdp(const Template& templ) const {
+  return store_->read(templ);
+}
+
+std::size_t TupleSpace::tcount(const Template& templ) const {
+  return store_->count_matching(templ);
+}
+
+bool TupleSpace::register_reaction(Reaction reaction) {
+  return registry_.add(std::move(reaction));
+}
+
+bool TupleSpace::deregister_reaction(std::uint16_t agent_id,
+                                     const Template& templ) {
+  return registry_.remove(agent_id, templ);
+}
+
+std::vector<Reaction> TupleSpace::extract_reactions(std::uint16_t agent_id) {
+  return registry_.extract_all(agent_id);
+}
+
+}  // namespace agilla::ts

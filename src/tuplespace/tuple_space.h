@@ -1,0 +1,84 @@
+// The per-node Tuple Space Manager (paper Fig. 4): non-blocking operations
+// over the local LinearTupleStore, the reaction registry, and notification
+// hooks used by the engine to wake blocked agents and fire reactions.
+//
+// Blocking `in`/`rd` are NOT implemented here — per paper Sec. 3.2 they are
+// implemented in the agent layer by retrying `inp`/`rdp` and parking the
+// agent on the insertion hook.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "tuplespace/indexed_store.h"
+#include "tuplespace/reaction.h"
+#include "tuplespace/store.h"
+
+namespace agilla::ts {
+
+/// Which TupleStore implementation backs the space (paper default is the
+/// linear store; indexed is the Sec. 3.2 "future work" alternative).
+enum class StoreKind : std::uint8_t {
+  kLinear = 0,
+  kIndexed = 1,
+};
+
+class TupleSpace {
+ public:
+  struct Options {
+    std::size_t store_capacity_bytes = 600;  ///< paper Sec. 3.2
+    ReactionRegistry::Options registry;
+    StoreKind store_kind = StoreKind::kLinear;
+  };
+
+  /// Called for each reaction whose template matches a freshly inserted
+  /// tuple, with the matched tuple.
+  using ReactionCallback =
+      std::function<void(const Reaction&, const Tuple&)>;
+  /// Called after every successful insertion; the engine uses it to wake
+  /// agents blocked in `in`/`rd` so they can re-probe.
+  using InsertionCallback = std::function<void(const Tuple&)>;
+
+  TupleSpace();
+  explicit TupleSpace(Options options);
+
+  /// Linda out: insert. Fires matching reactions and the insertion hook.
+  /// Returns false when the store rejects the tuple (full / oversized).
+  bool out(const Tuple& tuple);
+
+  /// Linda inp: non-blocking remove. (Blocking `in` is built on this.)
+  std::optional<Tuple> inp(const Template& templ);
+
+  /// Linda rdp: non-blocking copy.
+  [[nodiscard]] std::optional<Tuple> rdp(const Template& templ) const;
+
+  /// Number of stored tuples matching the template.
+  [[nodiscard]] std::size_t tcount(const Template& templ) const;
+
+  bool register_reaction(Reaction reaction);
+  bool deregister_reaction(std::uint16_t agent_id, const Template& templ);
+  std::vector<Reaction> extract_reactions(std::uint16_t agent_id);
+  [[nodiscard]] const ReactionRegistry& reactions() const {
+    return registry_;
+  }
+
+  void set_reaction_callback(ReactionCallback cb) {
+    on_reaction_ = std::move(cb);
+  }
+  void set_insertion_callback(InsertionCallback cb) {
+    on_insertion_ = std::move(cb);
+  }
+
+  [[nodiscard]] const TupleStore& store() const { return *store_; }
+  [[nodiscard]] TupleStore& store() { return *store_; }
+
+ private:
+  std::unique_ptr<TupleStore> store_;
+  ReactionRegistry registry_;
+  ReactionCallback on_reaction_;
+  InsertionCallback on_insertion_;
+};
+
+}  // namespace agilla::ts

@@ -1,0 +1,106 @@
+// The canonical agents assemble and behave as the paper describes.
+#include <gtest/gtest.h>
+
+#include "agilla_test_helpers.h"
+#include "core/agent_library.h"
+#include "core/assembler.h"
+
+namespace agilla::core {
+namespace {
+
+using agilla::testing::AgillaMesh;
+using agilla::testing::MeshOptions;
+
+TEST(AgentLibrary, AllAgentsAssemble) {
+  for (const std::string& source :
+       {agents::smove_round_trip({5, 1}, {1, 1}),
+        agents::move_once("smove", {2, 1}),
+        agents::move_once("wclone", {2, 1}), agents::rout_once({5, 1}),
+        agents::remote_probe_once("rinp", {3, 1}),
+        agents::remote_probe_once("rrdp", {3, 1}),
+        agents::fire_detector({1, 1}), agents::fire_tracker(),
+        agents::habitat_monitor(), agents::blinker()}) {
+    const AssemblyResult r = assemble(source);
+    EXPECT_TRUE(r.ok()) << r.error_text() << "\nsource:\n" << source;
+    EXPECT_LE(r.code.size(), 440u) << "agent exceeds the code pool";
+  }
+}
+
+TEST(AgentLibrary, BlinkerTogglesLeds) {
+  AgillaMesh mesh(MeshOptions{.width = 1, .height = 1});
+  mesh.at(0).inject(assemble_or_die(agents::blinker(4)));
+  mesh.sim.run_for(300 * sim::kMillisecond);
+  const std::uint8_t first = mesh.at(0).engine().leds();
+  mesh.sim.run_for(600 * sim::kMillisecond);
+  const std::uint8_t second = mesh.at(0).engine().leds();
+  EXPECT_NE(first, 0);
+  EXPECT_NE(first, second);
+}
+
+TEST(AgentLibrary, FireDetectorQuietWithoutFire) {
+  AgillaMesh mesh(MeshOptions{.width = 2, .height = 1});
+  mesh.env.set_field(sim::SensorType::kTemperature,
+                     std::make_unique<sim::ConstantField>(25.0));
+  mesh.warm();
+  mesh.at(0).inject(
+      assemble_or_die(agents::fire_detector({1, 1}, 200, 8)));
+  mesh.sim.run_for(20 * sim::kSecond);
+  // Detectors spread to both nodes (det markers), but no alert is raised.
+  const ts::Template det{ts::Value::string("det"),
+                         ts::Value::type_wildcard(ts::ValueType::kLocation)};
+  EXPECT_TRUE(mesh.at(0).tuple_space().rdp(det).has_value());
+  EXPECT_TRUE(mesh.at(1).tuple_space().rdp(det).has_value());
+  const ts::Template alert{
+      ts::Value::string("fir"),
+      ts::Value::type_wildcard(ts::ValueType::kLocation)};
+  EXPECT_FALSE(mesh.at(0).tuple_space().rdp(alert).has_value());
+}
+
+TEST(AgentLibrary, FireDetectorRaisesAlertWhenHot) {
+  AgillaMesh mesh(MeshOptions{.width = 2, .height = 1});
+  mesh.env.set_field(sim::SensorType::kTemperature,
+                     std::make_unique<sim::ConstantField>(300.0));
+  mesh.warm();
+  mesh.at(1).inject(
+      assemble_or_die(agents::fire_detector({1, 1}, 200, 8)));
+  mesh.sim.run_for(15 * sim::kSecond);
+  // The alert tuple <"fir", detector-location> lands on node (1,1).
+  const auto alert = mesh.at(0).tuple_space().rdp(ts::Template{
+      ts::Value::string("fir"),
+      ts::Value::type_wildcard(ts::ValueType::kLocation)});
+  ASSERT_TRUE(alert.has_value());
+}
+
+TEST(AgentLibrary, HabitatMonitorLogsAndDiesOnFireAlert) {
+  AgillaMesh mesh(MeshOptions{.width = 1, .height = 1});
+  mesh.env.set_field(sim::SensorType::kTemperature,
+                     std::make_unique<sim::ConstantField>(20.0));
+  mesh.at(0).inject(assemble_or_die(agents::habitat_monitor(8)));
+  mesh.sim.run_for(5 * sim::kSecond);
+  EXPECT_GE(mesh.at(0).tuple_space().tcount(ts::Template{
+                ts::Value::string("hab"),
+                ts::Value::type_wildcard(ts::ValueType::kReading)}),
+            1u);
+  EXPECT_EQ(mesh.at(0).agents().count(), 1u);
+  // A fire alert appears: the habitat monitor voluntarily dies
+  // (paper Sec. 2.2 decoupling scenario).
+  mesh.at(0).tuple_space().out(
+      ts::Tuple{ts::Value::string("fir"), ts::Value::location({1, 1})});
+  mesh.sim.run_for(3 * sim::kSecond);
+  EXPECT_EQ(mesh.at(0).agents().count(), 0u);
+}
+
+TEST(AgentLibrary, RoutAgentMatchesPaperFig8) {
+  const std::string source = agents::rout_once({5, 1});
+  // Paper Fig. 8 bottom: pushc 1, pushc 1, pushloc 5 1, rout, halt.
+  const AssemblyResult r = assemble(source);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.code[0], static_cast<std::uint8_t>(Opcode::kPushc));
+  EXPECT_EQ(r.code[2], static_cast<std::uint8_t>(Opcode::kPushc));
+  EXPECT_EQ(r.code[4], static_cast<std::uint8_t>(Opcode::kPushloc));
+  EXPECT_EQ(r.code[9], static_cast<std::uint8_t>(Opcode::kROut));
+  EXPECT_EQ(r.code[10], static_cast<std::uint8_t>(Opcode::kHalt));
+}
+
+}  // namespace
+}  // namespace agilla::core

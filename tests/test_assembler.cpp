@@ -1,0 +1,243 @@
+#include "core/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "tuplespace/value.h"
+
+namespace agilla::core {
+namespace {
+
+TEST(Assembler, SingleInstruction) {
+  const AssemblyResult r = assemble("halt");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(r.code, (std::vector<std::uint8_t>{0x00}));
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const AssemblyResult r = assemble(R"(
+      // comment only
+      halt   // trailing comment
+      # another style
+
+      loc    ; semicolon comment
+  )");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(r.code, (std::vector<std::uint8_t>{0x00, 0x01}));
+}
+
+TEST(Assembler, PushcOperand) {
+  const AssemblyResult r = assemble("pushc 200");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.code, (std::vector<std::uint8_t>{0x60, 200}));
+}
+
+TEST(Assembler, PushclLittleEndian) {
+  const AssemblyResult r = assemble("pushcl 4800");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.code,
+            (std::vector<std::uint8_t>{0x61, 4800 & 0xFF, 4800 >> 8}));
+}
+
+TEST(Assembler, PushclNegative) {
+  const AssemblyResult r = assemble("pushcl -2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.code, (std::vector<std::uint8_t>{0x61, 0xFE, 0xFF}));
+}
+
+TEST(Assembler, PushnPacksString) {
+  const AssemblyResult r = assemble("pushn fir");
+  ASSERT_TRUE(r.ok());
+  const std::uint16_t packed = ts::pack_string("fir");
+  EXPECT_EQ(r.code, (std::vector<std::uint8_t>{
+                        0x62, static_cast<std::uint8_t>(packed & 0xFF),
+                        static_cast<std::uint8_t>(packed >> 8)}));
+}
+
+TEST(Assembler, PushnQuoted) {
+  EXPECT_EQ(assemble("pushn \"abc\"").code, assemble("pushn abc").code);
+}
+
+TEST(Assembler, PushtTypeNames) {
+  const AssemblyResult r = assemble("pusht LOCATION");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.code[1],
+            static_cast<std::uint8_t>(ts::ValueType::kLocation));
+  EXPECT_FALSE(assemble("pusht BANANA").ok());
+}
+
+TEST(Assembler, PushrtSensorNames) {
+  const AssemblyResult r = assemble("pushrt TEMPERATURE");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.code[1],
+            static_cast<std::uint8_t>(sim::SensorType::kTemperature));
+}
+
+TEST(Assembler, PushcAcceptsSensorNames) {
+  // Paper Fig. 13 line 1: "pushc TEMPERATURE".
+  const AssemblyResult r = assemble("pushc TEMPERATURE");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.code[1], 0);
+}
+
+TEST(Assembler, PushlocEncodesFixedPoint) {
+  const AssemblyResult r = assemble("pushloc 5 1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.code.size(), 5u);
+  const auto x = static_cast<std::int16_t>(r.code[1] | (r.code[2] << 8));
+  const auto y = static_cast<std::int16_t>(r.code[3] | (r.code[4] << 8));
+  EXPECT_DOUBLE_EQ(net::decode_coordinate(x), 5.0);
+  EXPECT_DOUBLE_EQ(net::decode_coordinate(y), 1.0);
+}
+
+TEST(Assembler, PushlocFractional) {
+  const AssemblyResult r = assemble("pushloc 2.5 3.25");
+  ASSERT_TRUE(r.ok());
+  const auto x = static_cast<std::int16_t>(r.code[1] | (r.code[2] << 8));
+  EXPECT_DOUBLE_EQ(net::decode_coordinate(x), 2.5);
+}
+
+TEST(Assembler, LabelsPaperStyle) {
+  // The paper writes labels as bare leading words: "BEGIN pushn fir".
+  const AssemblyResult r = assemble(R"(
+      BEGIN pushc 1
+            rjump BEGIN
+  )");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  // rjump offset: target(0) - (addr(2) + 2) = -4.
+  EXPECT_EQ(r.code,
+            (std::vector<std::uint8_t>{0x60, 1, 0x28,
+                                       static_cast<std::uint8_t>(-4)}));
+}
+
+TEST(Assembler, LabelsColonStyleAndLabelOnlyLines) {
+  const AssemblyResult r = assemble(R"(
+      START:
+        pushc 7
+        rjumpc START
+  )");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(r.code[2], 0x29);
+  EXPECT_EQ(static_cast<std::int8_t>(r.code[3]), -4);
+}
+
+TEST(Assembler, ForwardReferences) {
+  const AssemblyResult r = assemble(R"(
+      rjump END
+      halt
+      END halt
+  )");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  // rjump at 0, len 2; halt at 2; END at 3. offset = 3 - 2 = 1.
+  EXPECT_EQ(static_cast<std::int8_t>(r.code[1]), 1);
+}
+
+TEST(Assembler, PushcWithLabelOperand) {
+  // Paper Fig. 2 line 4: "pushc FIRE" pushes a handler address.
+  const AssemblyResult r = assemble(R"(
+      pushc FIRE
+      halt
+      FIRE halt
+  )");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(r.code[1], 3);  // FIRE sits after pushc(2) + halt(1)
+}
+
+TEST(Assembler, NumericLinePrefixesTolerated) {
+  // The paper's listings carry line numbers ("7: FIRE pop").
+  const AssemblyResult r = assemble(R"(
+      1: pushc 1
+      2: FIRE pop
+      3: rjump FIRE
+  )");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(r.code.size(), 5u);
+}
+
+TEST(Assembler, GetvarSetvarEmbedSlot) {
+  const AssemblyResult r = assemble("setvar 3\ngetvar 11");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.code, (std::vector<std::uint8_t>{0x53, 0x4b}));
+  EXPECT_FALSE(assemble("getvar 12").ok());
+  EXPECT_FALSE(assemble("setvar -1").ok());
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  const AssemblyResult r = assemble("halt\nbogus\npushc 5");
+  ASSERT_FALSE(r.ok());
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_EQ(r.errors[0].line, 2u);
+  EXPECT_TRUE(r.code.empty());
+}
+
+TEST(Assembler, DuplicateLabelRejected) {
+  const AssemblyResult r = assemble("A halt\nA halt");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Assembler, UnknownJumpTargetRejected) {
+  EXPECT_FALSE(assemble("rjump NOWHERE").ok());
+}
+
+TEST(Assembler, OperandCountValidated) {
+  EXPECT_FALSE(assemble("pushc").ok());
+  EXPECT_FALSE(assemble("pushc 1 2").ok());
+  EXPECT_FALSE(assemble("halt 1").ok());
+  EXPECT_FALSE(assemble("pushloc 1").ok());
+}
+
+TEST(Assembler, PushcRangeValidated) {
+  EXPECT_TRUE(assemble("pushc 255").ok());
+  EXPECT_FALSE(assemble("pushc 256").ok());
+  EXPECT_FALSE(assemble("pushc -1").ok());
+}
+
+TEST(Assembler, RelativeJumpRangeValidated) {
+  // Build a program whose label is ~200 bytes away: out of int8 range.
+  std::string source = "rjump FAR\n";
+  for (int i = 0; i < 100; ++i) {
+    source += "pushc 1\n";  // 2 bytes each
+  }
+  source += "FAR halt\n";
+  EXPECT_FALSE(assemble(source).ok());
+}
+
+TEST(Assembler, HexLiterals) {
+  const AssemblyResult r = assemble("pushc 0x1f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.code[1], 0x1F);
+}
+
+TEST(Assembler, PaperFig2FiretrackerPrologueAssembles) {
+  const AssemblyResult r = assemble(R"(
+      1: BEGIN pushn fir
+      2:       pusht LOCATION
+      3:       pushc 2
+      4:       pushc FIRE
+      5:       regrxn      // register fire alert reaction
+      6:       wait        // wait for reaction to fire
+      7: FIRE  pop
+      8:       sclone      // strong clone to the fire
+  )");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  // pushn(3) pusht(2) pushc(2) pushc(2) regrxn(1) wait(1) = 11 -> FIRE=11.
+  EXPECT_EQ(r.code[8], 11);  // operand of "pushc FIRE" (opcode at 7)
+  EXPECT_EQ(r.code[11], static_cast<std::uint8_t>(Opcode::kPop));
+  EXPECT_EQ(r.code[12], static_cast<std::uint8_t>(Opcode::kSClone));
+}
+
+TEST(Disassembler, RoundTripReadable) {
+  const AssemblyResult r = assemble("pushc 5\nsmove\nhalt");
+  ASSERT_TRUE(r.ok());
+  const std::string text = disassemble(r.code);
+  EXPECT_NE(text.find("pushc"), std::string::npos);
+  EXPECT_NE(text.find("smove"), std::string::npos);
+  EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(AssembleOrDie, ReturnsCodeForValidSource) {
+  EXPECT_EQ(assemble_or_die("halt").size(), 1u);
+}
+
+}  // namespace
+}  // namespace agilla::core

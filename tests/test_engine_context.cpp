@@ -1,0 +1,115 @@
+// Context instructions: loc, aid, numnbrs, getnbr, randnbr — backed by the
+// beacon-driven acquaintance list.
+#include <gtest/gtest.h>
+
+#include "agilla_test_helpers.h"
+#include "core/assembler.h"
+
+namespace agilla::core {
+namespace {
+
+using agilla::testing::AgillaMesh;
+using agilla::testing::MeshOptions;
+
+TEST(EngineContext, LocPushesNodeLocation) {
+  AgillaMesh mesh(MeshOptions{.width = 2, .height = 1});
+  mesh.at(1).inject(assemble_or_die("loc\npushc 1\nout\nhalt"));
+  mesh.sim.run_for(1 * sim::kSecond);
+  const auto t = mesh.at(1).tuple_space().rdp(
+      ts::Template{ts::Value::type_wildcard(ts::ValueType::kLocation)});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->field(0).as_location(), (sim::Location{2, 1}));
+}
+
+TEST(EngineContext, AidPushesAgentId) {
+  AgillaMesh mesh(MeshOptions{.width = 1, .height = 1});
+  const auto id = mesh.at(0).inject(
+      assemble_or_die("aid\npushc 1\nout\nhalt"));
+  ASSERT_TRUE(id.has_value());
+  mesh.sim.run_for(1 * sim::kSecond);
+  const auto t = mesh.at(0).tuple_space().rdp(
+      ts::Template{ts::Value::type_wildcard(ts::ValueType::kAgentId)});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->field(0).as_agent_id(), id->value);
+}
+
+TEST(EngineContext, NumNbrsAfterWarmup) {
+  AgillaMesh mesh(MeshOptions{.width = 3, .height = 3});
+  mesh.warm();
+  // Center node (2,2) of the 3x3 grid has 4 neighbours.
+  mesh.at(4).inject(assemble_or_die("numnbrs\npushc 1\nout\nhalt"));
+  mesh.sim.run_for(1 * sim::kSecond);
+  const auto t = mesh.at(4).tuple_space().rdp(
+      ts::Template{ts::Value::type_wildcard(ts::ValueType::kNumber)});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->field(0).as_number(), 4);
+}
+
+TEST(EngineContext, NumNbrsZeroBeforeBeacons) {
+  AgillaMesh mesh(MeshOptions{.width = 3, .height = 3});
+  // No warmup: inject immediately; the acquaintance list is still empty
+  // (beacons have a randomized sub-second offset).
+  mesh.at(4).inject(assemble_or_die("numnbrs\npushc 1\nout\nhalt"));
+  mesh.sim.run_for(50 * sim::kMillisecond);
+  const auto t = mesh.at(4).tuple_space().rdp(
+      ts::Template{ts::Value::type_wildcard(ts::ValueType::kNumber)});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->field(0).as_number(), 0);
+}
+
+TEST(EngineContext, GetNbrPushesNeighborLocation) {
+  AgillaMesh mesh(MeshOptions{.width = 2, .height = 1});
+  mesh.warm();
+  mesh.at(0).inject(assemble_or_die("pushc 0\ngetnbr\npushc 1\nout\nhalt"));
+  mesh.sim.run_for(1 * sim::kSecond);
+  const auto t = mesh.at(0).tuple_space().rdp(
+      ts::Template{ts::Value::type_wildcard(ts::ValueType::kLocation)});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->field(0).as_location(), (sim::Location{2, 1}));
+}
+
+TEST(EngineContext, GetNbrOutOfRangeFallsBackToSelf) {
+  AgillaMesh mesh(MeshOptions{.width = 2, .height = 1});
+  mesh.warm();
+  mesh.at(0).inject(assemble_or_die(R"(
+      pushc 9
+      getnbr
+      cpush        // cond = 0 on bad index
+      pushc 2
+      out          // <location, cond>
+      halt
+  )"));
+  mesh.sim.run_for(1 * sim::kSecond);
+  const auto t = mesh.at(0).tuple_space().rdp(ts::Template{
+      ts::Value::type_wildcard(ts::ValueType::kLocation),
+      ts::Value::number(0)});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->field(0).as_location(), (sim::Location{1, 1}));
+}
+
+TEST(EngineContext, RandNbrPicksARealNeighbor) {
+  AgillaMesh mesh(MeshOptions{.width = 3, .height = 1});
+  mesh.warm();
+  // Middle node (2,1): neighbours are (1,1) and (3,1).
+  mesh.at(1).inject(assemble_or_die("randnbr\npushc 1\nout\nhalt"));
+  mesh.sim.run_for(1 * sim::kSecond);
+  const auto t = mesh.at(1).tuple_space().rdp(
+      ts::Template{ts::Value::type_wildcard(ts::ValueType::kLocation)});
+  ASSERT_TRUE(t.has_value());
+  const sim::Location loc = t->field(0).as_location();
+  EXPECT_TRUE((loc == sim::Location{1, 1}) || (loc == sim::Location{3, 1}))
+      << loc;
+}
+
+TEST(EngineContext, NeighborListTracksFailures) {
+  AgillaMesh mesh(MeshOptions{.width = 2, .height = 1});
+  mesh.warm();
+  EXPECT_EQ(mesh.at(0).neighbors().size(), 1u);
+  // Node 1 dies; its acquaintance entry expires after ~3 beacon periods.
+  mesh.net.set_radio_enabled(mesh.topo.nodes[1], false);
+  mesh.sim.run_for(10 * sim::kSecond);
+  EXPECT_EQ(mesh.at(0).neighbors().size(), 0u);
+}
+
+}  // namespace
+}  // namespace agilla::core

@@ -1,0 +1,179 @@
+#include "sim/environment.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace agilla::sim {
+namespace {
+
+TEST(ConstantField, AlwaysSameValue) {
+  ConstantField field(42.0);
+  EXPECT_DOUBLE_EQ(field.value({0, 0}, 0), 42.0);
+  EXPECT_DOUBLE_EQ(field.value({100, -5}, 99 * kSecond), 42.0);
+}
+
+TEST(GaussianBumpField, PeakAtCenterDecaysOutward) {
+  GaussianBumpField field({5, 5}, 100.0, 1.0, 20.0);
+  EXPECT_NEAR(field.value({5, 5}, 0), 120.0, 1e-9);
+  const double near = field.value({5.5, 5}, 0);
+  const double far = field.value({8, 5}, 0);
+  EXPECT_GT(near, far);
+  EXPECT_NEAR(far, 20.0, 1.5);  // ~ambient far away
+}
+
+TEST(FireField, AmbientBeforeIgnition) {
+  FireField fire({.ignition_point = {3, 3},
+                  .ignition_time = 10 * kSecond,
+                  .spread_speed = 0.1,
+                  .peak = 500.0,
+                  .ambient = 25.0});
+  EXPECT_DOUBLE_EQ(fire.value({3, 3}, 5 * kSecond), 25.0);
+  EXPECT_DOUBLE_EQ(fire.front_radius(5 * kSecond), 0.0);
+}
+
+TEST(FireField, PeakInsideBurningFront) {
+  FireField fire({.ignition_point = {3, 3},
+                  .ignition_time = 0,
+                  .spread_speed = 0.5,
+                  .peak = 500.0,
+                  .ambient = 25.0});
+  // After 4 s the front radius is 2; (4,3) is 1 unit away -> burning.
+  EXPECT_DOUBLE_EQ(fire.front_radius(4 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(fire.value({4, 3}, 4 * kSecond), 500.0);
+}
+
+TEST(FireField, DecaysBeyondFront) {
+  FireField fire({.ignition_point = {0, 0},
+                  .ignition_time = 0,
+                  .spread_speed = 0.1,
+                  .peak = 500.0,
+                  .ambient = 25.0,
+                  .edge_decay = 0.5});
+  const double close = fire.value({1, 0}, 1 * kSecond);
+  const double far = fire.value({4, 0}, 1 * kSecond);
+  EXPECT_GT(close, far);
+  EXPECT_GT(close, 25.0);
+  EXPECT_NEAR(far, 25.0, 1.0);
+}
+
+TEST(FireField, FrontGrowsOverTime) {
+  FireField fire({.ignition_point = {0, 0},
+                  .ignition_time = 0,
+                  .spread_speed = 0.2});
+  EXPECT_LT(fire.front_radius(1 * kSecond), fire.front_radius(10 * kSecond));
+}
+
+TEST(FireField, ExtinctionReturnsToAmbient) {
+  FireField fire({.ignition_point = {0, 0},
+                  .ignition_time = 0,
+                  .extinction_time = 10 * kSecond,
+                  .spread_speed = 1.0,
+                  .peak = 500.0,
+                  .ambient = 25.0});
+  EXPECT_DOUBLE_EQ(fire.value({0, 0}, 5 * kSecond), 500.0);
+  EXPECT_DOUBLE_EQ(fire.value({0, 0}, 10 * kSecond), 25.0);
+}
+
+
+TEST(FireField, RingFireBurnsOutBehindTheFront) {
+  FireField fire({.ignition_point = {0, 0},
+                  .ignition_time = 0,
+                  .spread_speed = 1.0,
+                  .peak = 500.0,
+                  .ambient = 25.0,
+                  .edge_decay = 0.5,
+                  .ring_width = 1.0,
+                  .burned_over = 40.0});
+  // At t=4s the front is at radius 4; the ring covers (3, 4].
+  EXPECT_DOUBLE_EQ(fire.value({3.5, 0}, 4 * kSecond), 500.0);
+  EXPECT_DOUBLE_EQ(fire.value({1.0, 0}, 4 * kSecond), 40.0);   // burned out
+  EXPECT_LT(fire.value({6.0, 0}, 4 * kSecond), 500.0);         // not yet
+}
+
+TEST(FireField, ZeroRingWidthKeepsDiskSemantics) {
+  FireField fire({.ignition_point = {0, 0},
+                  .ignition_time = 0,
+                  .spread_speed = 1.0,
+                  .peak = 500.0,
+                  .ambient = 25.0});
+  EXPECT_DOUBLE_EQ(fire.value({0, 0}, 10 * kSecond), 500.0);
+}
+
+
+TEST(MovingBumpField, CenterFollowsWaypointsAtSpeed) {
+  MovingBumpField field({.waypoints = {{0, 0}, {10, 0}},
+                         .speed = 1.0,
+                         .loop = false});
+  EXPECT_EQ(field.center(0), (Location{0, 0}));
+  EXPECT_EQ(field.center(5 * kSecond), (Location{5, 0}));
+  EXPECT_EQ(field.center(10 * kSecond), (Location{10, 0}));
+  // Non-looping: holds at the last waypoint.
+  EXPECT_EQ(field.center(20 * kSecond), (Location{10, 0}));
+}
+
+TEST(MovingBumpField, LoopWrapsAroundThePath) {
+  MovingBumpField field({.waypoints = {{0, 0}, {4, 0}, {4, 4}, {0, 4}},
+                         .speed = 1.0,
+                         .loop = true});
+  // Perimeter length 16; at t=16s it is back at the start.
+  const Location wrapped = field.center(16 * kSecond);
+  EXPECT_NEAR(wrapped.x, 0.0, 1e-9);
+  EXPECT_NEAR(wrapped.y, 0.0, 1e-9);
+  const Location quarter = field.center(4 * kSecond);
+  EXPECT_NEAR(quarter.x, 4.0, 1e-9);
+  EXPECT_NEAR(quarter.y, 0.0, 1e-9);
+}
+
+TEST(MovingBumpField, SignalPeaksAtTheMovingCenter) {
+  MovingBumpField field({.waypoints = {{0, 0}, {10, 0}},
+                         .speed = 1.0,
+                         .peak = 400.0,
+                         .sigma = 1.0,
+                         .ambient = 5.0,
+                         .loop = false});
+  const SimTime t = 5 * kSecond;
+  const double at_center = field.value({5, 0}, t);
+  const double near = field.value({6, 0}, t);
+  const double far = field.value({0, 0}, t);
+  EXPECT_NEAR(at_center, 405.0, 1e-6);
+  EXPECT_GT(at_center, near);
+  EXPECT_GT(near, far);
+}
+
+TEST(MovingBumpField, DegenerateSingleWaypoint) {
+  MovingBumpField field({.waypoints = {{3, 3}}, .speed = 1.0});
+  EXPECT_EQ(field.center(99 * kSecond), (Location{3, 3}));
+}
+
+TEST(SensorEnvironment, MissingSensorReadsZeroAndReportsAbsent) {
+  SensorEnvironment env;
+  EXPECT_FALSE(env.has(SensorType::kTemperature));
+  EXPECT_DOUBLE_EQ(env.read(SensorType::kTemperature, {0, 0}, 0), 0.0);
+}
+
+TEST(SensorEnvironment, InstalledFieldIsUsed) {
+  SensorEnvironment env;
+  env.set_field(SensorType::kTemperature,
+                std::make_unique<ConstantField>(25.0));
+  EXPECT_TRUE(env.has(SensorType::kTemperature));
+  EXPECT_DOUBLE_EQ(env.read(SensorType::kTemperature, {1, 1}, 0), 25.0);
+  EXPECT_FALSE(env.has(SensorType::kPhoto));
+}
+
+TEST(SensorEnvironment, FieldsAreIndependentPerType) {
+  SensorEnvironment env;
+  env.set_field(SensorType::kTemperature,
+                std::make_unique<ConstantField>(25.0));
+  env.set_field(SensorType::kPhoto, std::make_unique<ConstantField>(800.0));
+  EXPECT_DOUBLE_EQ(env.read(SensorType::kTemperature, {0, 0}, 0), 25.0);
+  EXPECT_DOUBLE_EQ(env.read(SensorType::kPhoto, {0, 0}, 0), 800.0);
+}
+
+TEST(SensorType, NamesAreStable) {
+  EXPECT_STREQ(to_string(SensorType::kTemperature), "temperature");
+  EXPECT_STREQ(to_string(SensorType::kMagnetometer), "magnetometer");
+}
+
+}  // namespace
+}  // namespace agilla::sim

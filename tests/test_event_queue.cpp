@@ -1,0 +1,110 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace agilla::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.pop().callback();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.pop().callback();
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, NextTimeReportsHead) {
+  EventQueue q;
+  q.schedule(42, [] {});
+  q.schedule(7, [] {});
+  EXPECT_EQ(q.next_time(), 7u);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle handle = q.schedule(10, [&] { fired = true; });
+  q.schedule(20, [] {});
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  int popped = 0;
+  while (!q.empty()) {
+    q.pop().callback();
+    ++popped;
+  }
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(popped, 1);
+}
+
+TEST(EventQueue, CancelHeadUpdatesEmptyAndNextTime) {
+  EventQueue q;
+  EventHandle head = q.schedule(5, [] {});
+  q.schedule(50, [] {});
+  head.cancel();
+  EXPECT_EQ(q.next_time(), 50u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelAllLeavesQueueEmpty) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 5; ++i) {
+    handles.push_back(q.schedule(static_cast<SimTime>(i), [] {}));
+  }
+  for (auto& h : handles) {
+    h.cancel();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue q;
+  EventHandle h = q.schedule(1, [] {});
+  q.pop().callback();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no crash
+  h.cancel();
+}
+
+TEST(EventQueue, PendingReflectsState) {
+  EventQueue q;
+  EventHandle h = q.schedule(1, [] {});
+  EXPECT_TRUE(h.pending());
+  q.pop();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no crash
+}
+
+}  // namespace
+}  // namespace agilla::sim

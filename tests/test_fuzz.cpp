@@ -1,0 +1,157 @@
+// Fuzz-style robustness sweeps: random bytes into every wire parser and
+// random bytecode into the VM. Nothing may crash; malformed input must be
+// rejected or contained (a dying agent frees everything it held).
+#include <gtest/gtest.h>
+
+#include "agilla_test_helpers.h"
+#include "core/agent_serializer.h"
+#include "core/assembler.h"
+#include "mate/capsule.h"
+#include "net/packet.h"
+#include "sim/rng.h"
+
+namespace agilla {
+namespace {
+
+using agilla::testing::AgillaMesh;
+using agilla::testing::MeshOptions;
+
+std::vector<std::uint8_t> random_bytes(sim::Rng& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> out(rng.uniform(max_len + 1));
+  for (auto& b : out) {
+    b = static_cast<std::uint8_t>(rng.uniform(256));
+  }
+  return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, TupleAndTemplateDecodeNeverCrash) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const auto bytes = random_bytes(rng, 48);
+    net::Reader r1(bytes);
+    const auto tuple = ts::Tuple::decode(r1);
+    if (tuple.has_value()) {
+      // Whatever decoded must re-encode without tripping size invariants.
+      EXPECT_LE(tuple->arity(), 48u);
+    }
+    net::Reader r2(bytes);
+    const auto templ = ts::Template::decode(r2);
+    if (templ.has_value() && tuple.has_value()) {
+      (void)templ->matches(*tuple);  // must not crash
+    }
+  }
+}
+
+TEST_P(ParserFuzz, HeadersNeverCrash) {
+  sim::Rng rng(GetParam() + 1);
+  for (int i = 0; i < 2000; ++i) {
+    const auto bytes = random_bytes(rng, 32);
+    {
+      net::Reader r(bytes);
+      net::GeoHeader::read(r);
+    }
+    {
+      net::Reader r(bytes);
+      net::LinkHeader::read(r);
+    }
+    {
+      net::Reader r(bytes);
+      mate::Capsule::read(r);
+    }
+    {
+      net::Reader r(bytes);
+      ts::Value::decode_compact(r);
+      ts::Value::decode_padded(r);
+    }
+  }
+}
+
+TEST_P(ParserFuzz, ImageAssemblerRejectsGarbage) {
+  sim::Rng rng(GetParam() + 2);
+  const sim::AmType kinds[] = {
+      sim::AmType::kAgentState, sim::AmType::kAgentCode,
+      sim::AmType::kAgentStack, sim::AmType::kAgentHeap,
+      sim::AmType::kAgentReaction};
+  for (int round = 0; round < 200; ++round) {
+    core::ImageAssembler assembler;
+    for (int msg = 0; msg < 10; ++msg) {
+      const auto bytes = random_bytes(rng, 40);
+      assembler.feed(kinds[rng.uniform(5)], bytes);  // must not crash
+      if (assembler.complete()) {
+        // Vanishingly unlikely but legal: the image must be well-formed.
+        const core::AgentImage image = assembler.take();
+        EXPECT_FALSE(image.code.empty());
+        break;
+      }
+    }
+  }
+}
+
+TEST_P(ParserFuzz, AssemblerSurvivesRandomText) {
+  sim::Rng rng(GetParam() + 3);
+  const char charset[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789 \n\t:,#/-.\"";
+  for (int i = 0; i < 300; ++i) {
+    std::string source;
+    const std::size_t len = rng.uniform(200);
+    for (std::size_t c = 0; c < len; ++c) {
+      source.push_back(charset[rng.uniform(sizeof(charset) - 1)]);
+    }
+    const core::AssemblyResult result = core::assemble(source);
+    if (result.ok()) {
+      // If it assembled, it must disassemble without crashing.
+      core::disassemble(result.code);
+    }
+  }
+}
+
+TEST_P(ParserFuzz, VmContainsRandomBytecode) {
+  sim::Rng rng(GetParam() + 4);
+  AgillaMesh mesh(MeshOptions{.width = 1, .height = 1});
+  for (int round = 0; round < 60; ++round) {
+    auto code = random_bytes(rng, 64);
+    if (code.empty()) {
+      code.push_back(0x00);
+    }
+    mesh.at(0).inject(code);
+    mesh.sim.run_for(5 * sim::kSecond);
+    // Whatever the agent did, it must be gone (halt, vm error, or a
+    // migration attempt that failed and ran to exhaustion) or asleep on a
+    // legitimate sleep — and resources must balance.
+    if (mesh.at(0).agents().count() == 0) {
+      ASSERT_EQ(mesh.at(0).code_pool().used_blocks(), 0u)
+          << "round " << round;
+    }
+    // Clean the slate for the next round.
+    mesh.sim.run_for(60 * sim::kSecond);
+    for (const auto& agent : mesh.at(0).agents().agents()) {
+      // Long sleepers are acceptable; nothing else should linger. 16-bit
+      // tick sleeps cap at ~2.3 hours, so just drop them explicitly.
+      EXPECT_TRUE(agent->run_state() == core::AgentRunState::kSleeping ||
+                  agent->run_state() == core::AgentRunState::kBlockedTs ||
+                  agent->run_state() == core::AgentRunState::kWaitingRxn ||
+                  agent->run_state() == core::AgentRunState::kBlockedOp);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Values(101, 202, 303));
+
+TEST(FuzzRegression, AllOnesStateMessage) {
+  core::ImageAssembler assembler;
+  const std::vector<std::uint8_t> ones(core::kStateMessageBytes, 0xFF);
+  EXPECT_FALSE(assembler.feed(sim::AmType::kAgentState, ones));
+  EXPECT_FALSE(assembler.complete());
+}
+
+TEST(FuzzRegression, EmptyPayloads) {
+  core::ImageAssembler assembler;
+  EXPECT_FALSE(assembler.feed(sim::AmType::kAgentState, {}));
+  net::Reader r(std::span<const std::uint8_t>{});
+  EXPECT_FALSE(ts::Tuple::decode(r).has_value());
+}
+
+}  // namespace
+}  // namespace agilla

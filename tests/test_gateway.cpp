@@ -1,0 +1,177 @@
+// The base-station command console (paper Sec. 3.1's interactive laptop).
+#include <gtest/gtest.h>
+
+#include "agilla_test_helpers.h"
+#include "core/gateway.h"
+
+namespace agilla::core {
+namespace {
+
+using agilla::testing::AgillaMesh;
+using agilla::testing::MeshOptions;
+
+struct ConsoleFixture {
+  ConsoleFixture()
+      : mesh(MeshOptions{.width = 3, .height = 1}),
+        base(mesh.at(0)),
+        console(base, [this](const std::string& line) {
+          lines.push_back(line);
+        }) {
+    mesh.env.set_field(sim::SensorType::kTemperature,
+                       std::make_unique<sim::ConstantField>(21.0));
+    mesh.warm();
+  }
+
+  bool saw(const std::string& needle) const {
+    for (const auto& line : lines) {
+      if (line.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  AgillaMesh mesh;
+  BaseStation base;
+  std::vector<std::string> lines;
+  GatewayConsole console{base};
+};
+
+TEST(Gateway, HelpAndUnknownCommands) {
+  ConsoleFixture f;
+  EXPECT_NE(f.console.execute("help").find("inject"), std::string::npos);
+  EXPECT_NE(f.console.execute("frobnicate").find("error"),
+            std::string::npos);
+  EXPECT_EQ(f.console.execute(""), "");
+}
+
+TEST(Gateway, InjectAsmRunsAgent) {
+  ConsoleFixture f;
+  const std::string response =
+      f.console.execute("inject asm pushc 9; pushc 1; out; halt");
+  EXPECT_NE(response.find("ok"), std::string::npos) << response;
+  f.mesh.sim.run_for(1 * sim::kSecond);
+  EXPECT_TRUE(f.mesh.at(0)
+                  .tuple_space()
+                  .rdp(ts::Template{ts::Value::number(9)})
+                  .has_value());
+}
+
+TEST(Gateway, InjectAsmReportsAssemblyErrors) {
+  ConsoleFixture f;
+  const std::string response = f.console.execute("inject asm bogus op");
+  EXPECT_NE(response.find("error"), std::string::npos);
+}
+
+TEST(Gateway, InjectNamedAgent) {
+  ConsoleFixture f;
+  const std::string response =
+      f.console.execute("inject agent blinker");
+  EXPECT_NE(response.find("ok"), std::string::npos);
+  f.mesh.sim.run_for(2 * sim::kSecond);
+  EXPECT_NE(f.mesh.at(0).engine().leds(), 0u);
+  EXPECT_NE(f.console.execute("inject agent nosuch").find("error"),
+            std::string::npos);
+}
+
+TEST(Gateway, RemoteInjectAt) {
+  ConsoleFixture f;
+  const std::string response = f.console.execute(
+      "inject at 3 1 asm pushn arr; pushc 1; out; halt");
+  EXPECT_NE(response.find("ok"), std::string::npos) << response;
+  f.mesh.sim.run_for(5 * sim::kSecond);
+  EXPECT_TRUE(f.mesh.at(2)
+                  .tuple_space()
+                  .rdp(ts::Template{ts::Value::string("arr")})
+                  .has_value());
+  EXPECT_TRUE(f.saw("handed off"));
+}
+
+TEST(Gateway, RoutAndRrdpRoundTrip) {
+  ConsoleFixture f;
+  f.console.execute("rout 3 1 str:cmd num:7");
+  f.mesh.sim.run_for(3 * sim::kSecond);
+  EXPECT_TRUE(f.mesh.at(2)
+                  .tuple_space()
+                  .rdp(ts::Template{ts::Value::string("cmd"),
+                                    ts::Value::number(7)})
+                  .has_value());
+  EXPECT_TRUE(f.saw("rout ok"));
+
+  f.console.execute("rrdp 3 1 str:cmd ?num");
+  f.mesh.sim.run_for(3 * sim::kSecond);
+  EXPECT_TRUE(f.saw("rrdp -> <\"cmd\", 7>"));
+  EXPECT_EQ(f.console.async_results(), 2u);
+}
+
+TEST(Gateway, RinpRemoves) {
+  ConsoleFixture f;
+  f.mesh.at(2).tuple_space().out(ts::Tuple{ts::Value::number(42)});
+  f.console.execute("rinp 3 1 ?num");
+  f.mesh.sim.run_for(3 * sim::kSecond);
+  EXPECT_TRUE(f.saw("rinp -> <42>"));
+  EXPECT_EQ(f.mesh.at(2).tuple_space().store().tuple_count(), 0u);
+}
+
+TEST(Gateway, FailedRemoteOpReportsAsync) {
+  ConsoleFixture f;
+  f.console.execute("rinp 3 1 ?str");  // nothing matches
+  f.mesh.sim.run_for(3 * sim::kSecond);
+  EXPECT_TRUE(f.saw("rinp failed"));
+}
+
+TEST(Gateway, RegionCommand) {
+  ConsoleFixture f;
+  f.console.execute("region 2 1 1.2 all str:evc num:1");
+  f.mesh.sim.run_for(5 * sim::kSecond);
+  const ts::Template alert{ts::Value::string("evc"), ts::Value::number(1)};
+  EXPECT_TRUE(f.mesh.at(0).tuple_space().rdp(alert).has_value());
+  EXPECT_TRUE(f.mesh.at(1).tuple_space().rdp(alert).has_value());
+  EXPECT_TRUE(f.mesh.at(2).tuple_space().rdp(alert).has_value());
+  EXPECT_NE(f.console.execute("region 2 1 1.2 both str:x").find("error"),
+            std::string::npos);
+}
+
+TEST(Gateway, StatusSummarizesGateway) {
+  ConsoleFixture f;
+  const std::string status = f.console.execute("status");
+  EXPECT_NE(status.find("agents"), std::string::npos);
+  EXPECT_NE(status.find("neighbours"), std::string::npos);
+}
+
+TEST(Gateway, FieldParserCoverage) {
+  ts::Tuple tuple;
+  std::string error;
+  EXPECT_TRUE(GatewayConsole::parse_tuple(
+      {"x", "num:5", "str:abc", "loc:2,3", "agent:7", "reading:0,42"}, 1,
+      &tuple, &error))
+      << error;
+  EXPECT_EQ(tuple.arity(), 5u);
+  EXPECT_EQ(tuple.field(0).as_number(), 5);
+  EXPECT_EQ(tuple.field(2).as_location(), (sim::Location{2, 3}));
+  EXPECT_EQ(tuple.field(4).sensor(), sim::SensorType::kTemperature);
+
+  ts::Tuple bad;
+  EXPECT_FALSE(GatewayConsole::parse_tuple({"x", "num:abc"}, 1, &bad,
+                                           &error));
+  EXPECT_FALSE(GatewayConsole::parse_tuple({"x", "zzz:1"}, 1, &bad,
+                                           &error));
+  EXPECT_FALSE(GatewayConsole::parse_tuple({"x", "plain"}, 1, &bad,
+                                           &error));
+  EXPECT_FALSE(GatewayConsole::parse_tuple({"x"}, 1, &bad, &error));
+}
+
+TEST(Gateway, TemplateParserWildcards) {
+  ts::Template templ;
+  std::string error;
+  EXPECT_TRUE(GatewayConsole::parse_template(
+      {"x", "str:sig", "?reading", "?loc", "?num", "?agent", "?str"}, 1,
+      &templ, &error))
+      << error;
+  EXPECT_EQ(templ.arity(), 6u);
+  EXPECT_EQ(templ.field(1).type(), ts::ValueType::kTypeWildcard);
+  EXPECT_EQ(templ.field(1).wrapped_type(), ts::ValueType::kReading);
+}
+
+}  // namespace
+}  // namespace agilla::core

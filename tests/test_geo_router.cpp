@@ -1,0 +1,185 @@
+#include "net/geo_router.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/topology.h"
+
+namespace agilla::net {
+namespace {
+
+struct RoutedMesh {
+  sim::Simulator sim{99};
+  sim::Network net;
+  sim::Topology topo;
+  std::vector<std::unique_ptr<LinkLayer>> links;
+  std::vector<std::unique_ptr<NeighborTable>> tables;
+  std::vector<std::unique_ptr<GeoRouter>> routers;
+
+  RoutedMesh(std::size_t w, std::size_t h, double loss = 0.0)
+      : net(sim, std::make_unique<sim::GridNeighborRadio>(
+                     sim::GridNeighborRadio::Options{.spacing = 1.0,
+                                                     .packet_loss = loss})) {
+    topo = sim::make_grid(net, w, h);
+    for (sim::NodeId id : topo.nodes) {
+      const sim::Location loc = net.info(id).location;
+      links.push_back(std::make_unique<LinkLayer>(net, id));
+      tables.push_back(
+          std::make_unique<NeighborTable>(net, *links.back(), loc));
+      routers.push_back(std::make_unique<GeoRouter>(
+          net, *links.back(), *tables.back(), loc));
+      links.back()->attach();
+      tables.back()->start();
+    }
+    sim.run_for(5 * sim::kSecond);  // warm the neighbour tables
+  }
+};
+
+TEST(GeoRouter, DecideDeliversWhenWithinEpsilon) {
+  RoutedMesh mesh(3, 1);
+  const auto d = mesh.routers[0]->decide({1.05, 1.0}, 0.3);
+  EXPECT_EQ(d.kind, GeoRouter::Decision::Kind::kDeliverLocal);
+}
+
+TEST(GeoRouter, DecideForwardsToCloserNeighbor) {
+  RoutedMesh mesh(3, 1);
+  const auto d = mesh.routers[0]->decide({3.0, 1.0}, 0.3);
+  ASSERT_EQ(d.kind, GeoRouter::Decision::Kind::kForward);
+  EXPECT_EQ(d.next_hop, mesh.topo.nodes[1]);
+}
+
+TEST(GeoRouter, DecideNoRouteWhenNoProgressPossible) {
+  RoutedMesh mesh(2, 1);
+  // Destination far to the LEFT of node 0: node 1 is farther, so no route.
+  const auto d = mesh.routers[0]->decide({-10.0, 1.0}, 0.3);
+  EXPECT_EQ(d.kind, GeoRouter::Decision::Kind::kNoRoute);
+}
+
+TEST(GeoRouter, DeliversAcrossMultipleHops) {
+  RoutedMesh mesh(5, 1);
+  std::vector<std::uint8_t> got;
+  sim::Location origin{0, 0};
+  mesh.routers[4]->register_handler(
+      sim::AmType::kTsRequest,
+      [&](const GeoHeader& h, std::span<const std::uint8_t> p) {
+        got.assign(p.begin(), p.end());
+        origin = h.origin;
+      });
+  mesh.routers[0]->send({5, 1}, 0.3, sim::AmType::kTsRequest, {7, 7},
+                        {1, 1});
+  mesh.sim.run_for(2 * sim::kSecond);
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{7, 7}));
+  EXPECT_EQ(origin, (sim::Location{1, 1}));
+  EXPECT_EQ(mesh.routers[4]->stats().delivered, 1u);
+}
+
+TEST(GeoRouter, RoutesAroundTwoDimensions) {
+  RoutedMesh mesh(4, 4);
+  int delivered = 0;
+  mesh.routers[15]->register_handler(
+      sim::AmType::kTsRequest,
+      [&](const GeoHeader&, std::span<const std::uint8_t>) { ++delivered; });
+  mesh.routers[0]->send({4, 4}, 0.3, sim::AmType::kTsRequest, {1}, {1, 1});
+  mesh.sim.run_for(3 * sim::kSecond);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(GeoRouter, ReplyFlowsBackToOrigin) {
+  RoutedMesh mesh(5, 1);
+  int replies = 0;
+  mesh.routers[4]->register_handler(
+      sim::AmType::kTsRequest,
+      [&](const GeoHeader& h, std::span<const std::uint8_t>) {
+        mesh.routers[4]->send(h.origin, 0.3, sim::AmType::kTsReply, {1},
+                              {5, 1});
+      });
+  mesh.routers[0]->register_handler(
+      sim::AmType::kTsReply,
+      [&](const GeoHeader&, std::span<const std::uint8_t>) { ++replies; });
+  mesh.routers[0]->send({5, 1}, 0.3, sim::AmType::kTsRequest, {}, {1, 1});
+  mesh.sim.run_for(3 * sim::kSecond);
+  EXPECT_EQ(replies, 1);
+}
+
+TEST(GeoRouter, ForwardCountMatchesHops) {
+  RoutedMesh mesh(5, 1);
+  mesh.routers[4]->register_handler(
+      sim::AmType::kTsRequest,
+      [](const GeoHeader&, std::span<const std::uint8_t>) {});
+  mesh.routers[0]->send({5, 1}, 0.3, sim::AmType::kTsRequest, {}, {1, 1});
+  mesh.sim.run_for(3 * sim::kSecond);
+  // Origin counts 1 originated + 1 forward (to first hop); intermediate
+  // nodes 1..3 each forward once.
+  std::uint64_t forwards = 0;
+  for (const auto& r : mesh.routers) {
+    forwards += r->stats().forwarded;
+  }
+  EXPECT_EQ(forwards, 4u);  // 4 radio hops for 4 links
+}
+
+TEST(GeoRouter, NoRouteCountsWhenStuck) {
+  RoutedMesh mesh(2, 1);
+  mesh.routers[0]->send({-10, 1}, 0.3, sim::AmType::kTsRequest, {}, {1, 1});
+  mesh.sim.run_for(1 * sim::kSecond);
+  EXPECT_EQ(mesh.routers[0]->stats().no_route, 1u);
+}
+
+TEST(GeoRouter, EpsilonZeroRequiresExactNode) {
+  RoutedMesh mesh(3, 1);
+  const auto d = mesh.routers[0]->decide({1.2, 1.0}, 0.0);
+  // 0.2 away from node 0, all neighbours farther -> no route, not deliver.
+  EXPECT_EQ(d.kind, GeoRouter::Decision::Kind::kNoRoute);
+}
+
+TEST(GeoRouter, LargeEpsilonDeliversEarly) {
+  RoutedMesh mesh(5, 1);
+  int delivered_at_3 = 0;
+  mesh.routers[3]->register_handler(
+      sim::AmType::kTsRequest,
+      [&](const GeoHeader&, std::span<const std::uint8_t>) {
+        ++delivered_at_3;
+      });
+  // Destination (4.6, 1): node 4 at (5,1) is within 0.5... but node 3 at
+  // (4,1) is too (0.6 > 0.5, not). Use dest 4.3: node 3 is 0.3 away.
+  mesh.routers[0]->send({4.3, 1.0}, 0.35, sim::AmType::kTsRequest, {},
+                        {1, 1});
+  mesh.sim.run_for(2 * sim::kSecond);
+  EXPECT_EQ(delivered_at_3, 1);
+}
+
+TEST(GeoRouter, TtlBoundsForwarding) {
+  RoutedMesh mesh(5, 1);
+  int delivered = 0;
+  mesh.routers[4]->register_handler(
+      sim::AmType::kTsRequest,
+      [&](const GeoHeader&, std::span<const std::uint8_t>) { ++delivered; });
+  // Hand-craft an envelope with ttl = 1: it can take exactly one more hop
+  // after the origin's send, far short of the 4 links to (5,1).
+  GeoHeader header;
+  header.inner_am = sim::AmType::kTsRequest;
+  header.dest = {5, 1};
+  header.origin = {1, 1};
+  header.epsilon = 0.3;
+  header.ttl = 1;
+  Writer w;
+  header.write(w);
+  mesh.links[0]->send_unacked(mesh.topo.nodes[1], sim::AmType::kGeo,
+                              w.take());
+  mesh.sim.run_for(3 * sim::kSecond);
+  EXPECT_EQ(delivered, 0);
+  std::uint64_t expired = 0;
+  for (const auto& r : mesh.routers) {
+    expired += r->stats().ttl_expired;
+  }
+  EXPECT_EQ(expired, 1u);
+}
+
+TEST(GeoRouter, DefaultTtlSufficesForGridDiameters) {
+  // The default TTL (32) must comfortably cover the testbed diameter.
+  EXPECT_GE(GeoHeader::kDefaultTtl, 2 * (5 + 5));
+}
+
+}  // namespace
+}  // namespace agilla::net

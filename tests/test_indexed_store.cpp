@@ -1,0 +1,202 @@
+// IndexedTupleStore: behavioural parity with the paper's linear store plus
+// the properties that make it worth having (less work per probe).
+#include "tuplespace/indexed_store.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "tuplespace/store.h"
+#include "tuplespace/tuple_space.h"
+
+namespace agilla::ts {
+namespace {
+
+Tuple num_tuple(std::int16_t v) { return Tuple{Value::number(v)}; }
+Template num_template(std::int16_t v) { return Template{Value::number(v)}; }
+Template any_number() {
+  return Template{Value::type_wildcard(ValueType::kNumber)};
+}
+
+TEST(IndexedTupleStore, InsertReadTake) {
+  IndexedTupleStore store;
+  EXPECT_TRUE(store.insert(num_tuple(7)));
+  EXPECT_TRUE(store.read(num_template(7)).has_value());
+  EXPECT_EQ(store.tuple_count(), 1u);
+  EXPECT_TRUE(store.take(num_template(7)).has_value());
+  EXPECT_EQ(store.tuple_count(), 0u);
+  EXPECT_EQ(store.used_bytes(), 0u);
+}
+
+TEST(IndexedTupleStore, FifoOrderPreserved) {
+  IndexedTupleStore store;
+  for (std::int16_t i = 1; i <= 5; ++i) {
+    store.insert(num_tuple(i));
+  }
+  for (std::int16_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(store.take(any_number())->field(0).as_number(), i);
+  }
+}
+
+TEST(IndexedTupleStore, CapacityMirrorsLinearAccounting) {
+  LinearTupleStore linear(40);
+  IndexedTupleStore indexed(40);
+  int linear_ok = 0;
+  int indexed_ok = 0;
+  for (std::int16_t i = 0; i < 20; ++i) {
+    linear_ok += linear.insert(num_tuple(i)) ? 1 : 0;
+    indexed_ok += indexed.insert(num_tuple(i)) ? 1 : 0;
+  }
+  EXPECT_EQ(linear_ok, indexed_ok);
+  EXPECT_EQ(linear.used_bytes(), indexed.used_bytes());
+}
+
+TEST(IndexedTupleStore, SpaceReusableAfterTake) {
+  IndexedTupleStore store(20);
+  for (std::int16_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store.insert(num_tuple(i)));
+  }
+  EXPECT_FALSE(store.insert(num_tuple(9)));
+  store.take(num_template(0));
+  EXPECT_TRUE(store.insert(num_tuple(9)));
+}
+
+TEST(IndexedTupleStore, ArityIndexSkipsOtherArities) {
+  IndexedTupleStore store;
+  for (std::int16_t i = 0; i < 30; ++i) {
+    store.insert(Tuple{Value::number(i), Value::number(i)});  // arity 2
+  }
+  store.insert(num_tuple(42));  // the only arity-1 tuple
+  (void)store.read(num_template(42));
+  // The probe only scanned the arity-1 bucket: far fewer bytes than the
+  // 30 arity-2 tuples it would walk in the linear store.
+  EXPECT_LE(store.last_op_bytes_touched(), 6u);
+}
+
+TEST(IndexedTupleStore, TombstoneCompactionKeepsStateConsistent) {
+  IndexedTupleStore store(600);
+  for (std::int16_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store.insert(num_tuple(i)));
+  }
+  for (std::int16_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(store.take(num_template(i)).has_value());  // forces compact
+  }
+  EXPECT_EQ(store.tuple_count(), 10u);
+  const auto remaining = store.snapshot();
+  ASSERT_EQ(remaining.size(), 10u);
+  for (std::size_t i = 0; i < remaining.size(); ++i) {
+    EXPECT_EQ(remaining[i].field(0).as_number(),
+              static_cast<std::int16_t>(40 + i));
+  }
+  // Everything still findable post-compaction.
+  EXPECT_TRUE(store.read(num_template(45)).has_value());
+}
+
+TEST(IndexedTupleStore, ClearResets) {
+  IndexedTupleStore store;
+  store.insert(num_tuple(1));
+  store.clear();
+  EXPECT_EQ(store.tuple_count(), 0u);
+  EXPECT_TRUE(store.insert(num_tuple(1)));
+}
+
+TEST(TupleSpaceStoreKind, IndexedBackendSelectable) {
+  TupleSpace::Options options;
+  options.store_kind = StoreKind::kIndexed;
+  TupleSpace space(options);
+  EXPECT_TRUE(space.out(Tuple{Value::number(3)}));
+  EXPECT_TRUE(space.inp(Template{Value::number(3)}).has_value());
+}
+
+/// The headline property: both stores implement identical Linda semantics.
+/// Random op sequences applied to both must produce identical observable
+/// results and identical visible state at every step.
+class StoreEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StoreEquivalence, LinearAndIndexedAgreeOnEverything) {
+  sim::Rng rng(GetParam());
+  LinearTupleStore linear(250);
+  IndexedTupleStore indexed(250);
+
+  auto random_value = [&rng]() -> Value {
+    switch (rng.uniform(4)) {
+      case 0:
+        return Value::number(static_cast<std::int16_t>(rng.uniform(6)));
+      case 1:
+        return Value::string(std::string(1, 'a' + rng.uniform(3)));
+      case 2:
+        return Value::location({static_cast<double>(rng.uniform(3)),
+                                static_cast<double>(rng.uniform(3))});
+      default:
+        return Value::agent_id(static_cast<std::uint16_t>(rng.uniform(4)));
+    }
+  };
+  auto random_tuple = [&] {
+    Tuple t;
+    const std::size_t arity = 1 + rng.uniform(3);
+    for (std::size_t i = 0; i < arity; ++i) {
+      t.add(random_value());
+    }
+    return t;
+  };
+  auto random_template = [&] {
+    Template t;
+    const std::size_t arity = 1 + rng.uniform(3);
+    for (std::size_t i = 0; i < arity; ++i) {
+      if (rng.chance(0.5)) {
+        t.add(Value::type_wildcard(random_value().type()));
+      } else {
+        t.add(random_value());
+      }
+    }
+    return t;
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    switch (rng.uniform(4)) {
+      case 0: {
+        const Tuple t = random_tuple();
+        ASSERT_EQ(linear.insert(t), indexed.insert(t)) << "step " << step;
+        break;
+      }
+      case 1: {
+        const Template t = random_template();
+        const auto a = linear.take(t);
+        const auto b = indexed.take(t);
+        ASSERT_EQ(a.has_value(), b.has_value()) << "step " << step;
+        if (a.has_value()) {
+          ASSERT_EQ(*a, *b) << "step " << step;
+        }
+        break;
+      }
+      case 2: {
+        const Template t = random_template();
+        const auto a = linear.read(t);
+        const auto b = indexed.read(t);
+        ASSERT_EQ(a.has_value(), b.has_value()) << "step " << step;
+        if (a.has_value()) {
+          ASSERT_EQ(*a, *b);
+        }
+        break;
+      }
+      default: {
+        const Template t = random_template();
+        ASSERT_EQ(linear.count_matching(t), indexed.count_matching(t));
+        break;
+      }
+    }
+    ASSERT_EQ(linear.tuple_count(), indexed.tuple_count());
+    ASSERT_EQ(linear.used_bytes(), indexed.used_bytes());
+    const auto snap_a = linear.snapshot();
+    const auto snap_b = indexed.snapshot();
+    ASSERT_EQ(snap_a.size(), snap_b.size());
+    for (std::size_t i = 0; i < snap_a.size(); ++i) {
+      ASSERT_EQ(snap_a[i], snap_b[i]) << "step " << step << " pos " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreEquivalence,
+                         ::testing::Values(7, 21, 42, 77, 101, 202));
+
+}  // namespace
+}  // namespace agilla::ts

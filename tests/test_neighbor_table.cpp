@@ -1,0 +1,144 @@
+#include "net/neighbor_table.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/topology.h"
+
+namespace agilla::net {
+namespace {
+
+/// A full grid of link layers + neighbour tables.
+struct Mesh {
+  sim::Simulator sim{55};
+  sim::Network net;
+  sim::Topology topo;
+  std::vector<std::unique_ptr<LinkLayer>> links;
+  std::vector<std::unique_ptr<NeighborTable>> tables;
+
+  Mesh(std::size_t w, std::size_t h,
+       NeighborTable::Options options = NeighborTable::Options())
+      : net(sim, std::make_unique<sim::GridNeighborRadio>(
+                     sim::GridNeighborRadio::Options{.spacing = 1.0})) {
+    topo = sim::make_grid(net, w, h);
+    for (sim::NodeId id : topo.nodes) {
+      links.push_back(std::make_unique<LinkLayer>(net, id));
+      tables.push_back(std::make_unique<NeighborTable>(
+          net, *links.back(), net.info(id).location, options));
+      links.back()->attach();
+      tables.back()->start();
+    }
+  }
+};
+
+TEST(NeighborTable, DiscoversGridNeighbors) {
+  Mesh mesh(3, 3);
+  mesh.sim.run_for(5 * sim::kSecond);
+  // Corner node 0 hears 2 neighbours; center node 4 hears 4.
+  EXPECT_EQ(mesh.tables[0]->size(), 2u);
+  EXPECT_EQ(mesh.tables[4]->size(), 4u);
+}
+
+TEST(NeighborTable, EntriesSortedById) {
+  Mesh mesh(3, 3);
+  mesh.sim.run_for(5 * sim::kSecond);
+  const auto& entries = mesh.tables[4]->entries();
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].id, entries[i].id);
+  }
+}
+
+TEST(NeighborTable, ByIndexAndById) {
+  Mesh mesh(2, 1);
+  mesh.sim.run_for(3 * sim::kSecond);
+  ASSERT_EQ(mesh.tables[0]->size(), 1u);
+  const auto by_index = mesh.tables[0]->by_index(0);
+  ASSERT_TRUE(by_index.has_value());
+  EXPECT_EQ(by_index->id, mesh.topo.nodes[1]);
+  EXPECT_TRUE(mesh.tables[0]->by_id(mesh.topo.nodes[1]).has_value());
+  EXPECT_FALSE(mesh.tables[0]->by_id(sim::NodeId{99}).has_value());
+  EXPECT_FALSE(mesh.tables[0]->by_index(5).has_value());
+}
+
+TEST(NeighborTable, RandomNeighborFromPopulatedTable) {
+  Mesh mesh(3, 1);
+  mesh.sim.run_for(3 * sim::kSecond);
+  sim::Rng rng(1);
+  const auto pick = mesh.tables[1]->random(rng);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_TRUE(pick->id == mesh.topo.nodes[0] ||
+              pick->id == mesh.topo.nodes[2]);
+}
+
+TEST(NeighborTable, RandomFromEmptyIsNull) {
+  sim::Simulator sim{1};
+  sim::Network net(sim, std::make_unique<sim::PerfectRadio>());
+  const sim::NodeId id = net.add_node({0, 0});
+  LinkLayer link(net, id);
+  NeighborTable table(net, link, {0, 0});
+  sim::Rng rng(1);
+  EXPECT_FALSE(table.random(rng).has_value());
+}
+
+TEST(NeighborTable, ClosestToPrefersNearerNeighbor) {
+  Mesh mesh(3, 1);
+  mesh.sim.run_for(3 * sim::kSecond);
+  // Node 0 at (1,1); neighbours discovered: node 1 at (2,1).
+  const auto toward = mesh.tables[1]->closest_to({10, 1});
+  ASSERT_TRUE(toward.has_value());
+  EXPECT_EQ(toward->id, mesh.topo.nodes[2]);
+}
+
+TEST(NeighborTable, DeadNeighborExpires) {
+  Mesh mesh(2, 1);
+  mesh.sim.run_for(3 * sim::kSecond);
+  ASSERT_EQ(mesh.tables[0]->size(), 1u);
+  // Kill node 1's radio; its beacons stop and the entry ages out.
+  mesh.net.set_radio_enabled(mesh.topo.nodes[1], false);
+  mesh.sim.run_for(10 * sim::kSecond);
+  EXPECT_EQ(mesh.tables[0]->size(), 0u);
+}
+
+TEST(NeighborTable, ManualInsertAndUpdate) {
+  sim::Simulator sim{1};
+  sim::Network net(sim, std::make_unique<sim::PerfectRadio>());
+  const sim::NodeId id = net.add_node({0, 0});
+  LinkLayer link(net, id);
+  NeighborTable table(net, link, {0, 0});
+  table.insert(sim::NodeId{5}, {1, 0});
+  table.insert(sim::NodeId{5}, {2, 0});  // update, not duplicate
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.by_id(sim::NodeId{5})->location, (sim::Location{2, 0}));
+}
+
+TEST(NeighborTable, CapacityEvictsStalest) {
+  sim::Simulator sim{1};
+  sim::Network net(sim, std::make_unique<sim::PerfectRadio>());
+  const sim::NodeId id = net.add_node({0, 0});
+  LinkLayer link(net, id);
+  NeighborTable table(net, link, {0, 0},
+                      NeighborTable::Options{.capacity = 2});
+  table.insert(sim::NodeId{1}, {1, 0});
+  sim.run_for(1);
+  table.insert(sim::NodeId{2}, {2, 0});
+  sim.run_for(1);
+  table.insert(sim::NodeId{3}, {3, 0});  // evicts node 1 (stalest)
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_FALSE(table.by_id(sim::NodeId{1}).has_value());
+  EXPECT_TRUE(table.by_id(sim::NodeId{3}).has_value());
+}
+
+TEST(NeighborTable, StopHaltsBeaconing) {
+  Mesh mesh(2, 1);
+  mesh.sim.run_for(3 * sim::kSecond);
+  mesh.tables[0]->stop();
+  mesh.tables[1]->stop();
+  const auto sent = mesh.net.stats().sent_by_type[sim::AmType::kBeacon];
+  mesh.sim.run_for(5 * sim::kSecond);
+  EXPECT_EQ(mesh.net.stats().sent_by_type[sim::AmType::kBeacon], sent);
+}
+
+}  // namespace
+}  // namespace agilla::net

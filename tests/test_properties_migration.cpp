@@ -1,0 +1,129 @@
+// Property sweeps over migration: across loss rates and seeds, an agent is
+// never silently destroyed by a failed move — it arrives, or it resumes
+// somewhere along the path with condition 0 (duplicates are allowed for
+// clones, paper Sec. 3.2: "having duplicate agents in the network is
+// preferable" to losing them).
+#include <gtest/gtest.h>
+
+#include "agilla_test_helpers.h"
+#include "core/assembler.h"
+
+namespace agilla::core {
+namespace {
+
+using agilla::testing::AgillaMesh;
+using agilla::testing::MeshOptions;
+
+struct SweepParam {
+  double loss;
+  std::uint64_t seed;
+};
+
+class MigrationSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MigrationSweep, AgentConservationUnderLoss) {
+  const auto [loss, seed] = GetParam();
+  AgillaMesh mesh(MeshOptions{
+      .width = 5, .height = 1, .packet_loss = loss, .seed = seed});
+  mesh.warm();
+  // The agent tries to reach (5,1) and drops a marker wherever it ends up
+  // (arrival, first-hop failure, or mid-route custody resume).
+  mesh.at(0).inject(assemble_or_die(R"(
+      pushloc 5 1
+      smove
+      pushn end
+      loc
+      pushc 2
+      out
+      halt
+  )"));
+  mesh.sim.run_for(30 * sim::kSecond);
+
+  // At least one marker exists somewhere (the agent was never lost). A
+  // duplicate is possible when a hop delivered fully but every ack was
+  // lost — the paper explicitly prefers duplicates over losses (Sec. 3.2).
+  std::size_t markers = 0;
+  for (auto& node : mesh.nodes) {
+    markers += node->tuple_space().tcount(ts::Template{
+        ts::Value::string("end"),
+        ts::Value::type_wildcard(ts::ValueType::kLocation)});
+  }
+  EXPECT_GE(markers, 1u) << "loss=" << loss << " seed=" << seed;
+  EXPECT_LE(markers, 2u) << "loss=" << loss << " seed=" << seed;
+  EXPECT_EQ(mesh.total_agents(), 0u);
+}
+
+TEST_P(MigrationSweep, CloneProducesAtLeastOriginalUnderLoss) {
+  const auto [loss, seed] = GetParam();
+  AgillaMesh mesh(MeshOptions{
+      .width = 3, .height = 1, .packet_loss = loss, .seed = seed});
+  mesh.warm();
+  mesh.at(0).inject(assemble_or_die(R"(
+      pushloc 3 1
+      sclone
+      pushn end
+      loc
+      pushc 2
+      out
+      halt
+  )"));
+  mesh.sim.run_for(30 * sim::kSecond);
+  std::size_t markers = 0;
+  for (auto& node : mesh.nodes) {
+    markers += node->tuple_space().tcount(ts::Template{
+        ts::Value::string("end"),
+        ts::Value::type_wildcard(ts::ValueType::kLocation)});
+  }
+  // The original always survives; the clone may or may not make it.
+  EXPECT_GE(markers, 1u);
+  EXPECT_LE(markers, 2u);
+  EXPECT_GE(mesh.at(0).tuple_space().tcount(ts::Template{
+                ts::Value::string("end"),
+                ts::Value::type_wildcard(ts::ValueType::kLocation)}),
+            1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossAndSeeds, MigrationSweep,
+    ::testing::Values(SweepParam{0.0, 1}, SweepParam{0.0, 2},
+                      SweepParam{0.05, 1}, SweepParam{0.05, 3},
+                      SweepParam{0.15, 1}, SweepParam{0.15, 7},
+                      SweepParam{0.30, 1}, SweepParam{0.30, 9},
+                      SweepParam{0.50, 4}, SweepParam{0.50, 11}));
+
+class ReliabilityTrend : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReliabilityTrend, MoreHopsMeansNoHigherSuccess) {
+  // Coarse version of paper Fig. 9's monotone trend: with a lossy channel,
+  // 1-hop success rate >= 4-hop success rate (statistically; we use enough
+  // trials that an inversion would signal a real protocol bug).
+  const std::uint64_t seed = GetParam();
+  auto run_trials = [&](std::size_t hops) {
+    int successes = 0;
+    for (int trial = 0; trial < 12; ++trial) {
+      AgillaMesh mesh(MeshOptions{.width = 5, .height = 1,
+                                  .packet_loss = 0.2,
+                                  .seed = seed * 100 + trial});
+      mesh.warm();
+      char buffer[128];
+      std::snprintf(buffer, sizeof(buffer),
+                    "pushloc %zu 1\nsmove\npushn end\npushc 1\nout\nhalt",
+                    hops + 1);
+      mesh.at(0).inject(assemble_or_die(buffer));
+      mesh.sim.run_for(20 * sim::kSecond);
+      if (mesh.at(hops)
+              .tuple_space()
+              .rdp(ts::Template{ts::Value::string("end")})
+              .has_value()) {
+        ++successes;
+      }
+    }
+    return successes;
+  };
+  EXPECT_GE(run_trials(1) + 2, run_trials(4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReliabilityTrend, ::testing::Values(1, 2));
+
+}  // namespace
+}  // namespace agilla::core

@@ -1,0 +1,96 @@
+#include "tuplespace/reaction.h"
+
+#include <gtest/gtest.h>
+
+namespace agilla::ts {
+namespace {
+
+Reaction make(std::uint16_t agent, std::int16_t key, std::uint16_t pc) {
+  Reaction r;
+  r.agent_id = agent;
+  r.templ = Template{Value::number(key)};
+  r.handler_pc = pc;
+  return r;
+}
+
+TEST(ReactionRegistry, AddAndMatch) {
+  ReactionRegistry reg;
+  EXPECT_TRUE(reg.add(make(1, 7, 100)));
+  const auto hits = reg.matches(Tuple{Value::number(7)});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].agent_id, 1);
+  EXPECT_EQ(hits[0].handler_pc, 100);
+  EXPECT_TRUE(reg.matches(Tuple{Value::number(8)}).empty());
+}
+
+TEST(ReactionRegistry, DuplicateRegistrationRejected) {
+  ReactionRegistry reg;
+  EXPECT_TRUE(reg.add(make(1, 7, 100)));
+  EXPECT_FALSE(reg.add(make(1, 7, 200)));  // same agent + template
+  EXPECT_TRUE(reg.add(make(2, 7, 200)));   // different agent is fine
+}
+
+TEST(ReactionRegistry, CapacityIsTenByDefault) {
+  // Paper Sec. 3.2: 400 bytes / 10 reactions.
+  ReactionRegistry reg;
+  EXPECT_EQ(reg.capacity(), 10u);
+  for (std::int16_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(reg.add(make(1, i, 0)));
+  }
+  EXPECT_FALSE(reg.add(make(1, 99, 0)));
+}
+
+TEST(ReactionRegistry, RemoveSpecific) {
+  ReactionRegistry reg;
+  reg.add(make(1, 7, 100));
+  reg.add(make(1, 8, 100));
+  EXPECT_TRUE(reg.remove(1, Template{Value::number(7)}));
+  EXPECT_FALSE(reg.remove(1, Template{Value::number(7)}));
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ReactionRegistry, RemoveRequiresMatchingAgent) {
+  ReactionRegistry reg;
+  reg.add(make(1, 7, 100));
+  EXPECT_FALSE(reg.remove(2, Template{Value::number(7)}));
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ReactionRegistry, ExtractAllForAgent) {
+  ReactionRegistry reg;
+  reg.add(make(1, 7, 100));
+  reg.add(make(2, 8, 200));
+  reg.add(make(1, 9, 300));
+  const auto extracted = reg.extract_all(1);
+  EXPECT_EQ(extracted.size(), 2u);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_TRUE(reg.matches(Tuple{Value::number(8)}).size() == 1);
+  EXPECT_TRUE(reg.matches(Tuple{Value::number(7)}).empty());
+}
+
+TEST(ReactionRegistry, MultipleMatchesInRegistrationOrder) {
+  ReactionRegistry reg;
+  Reaction wild;
+  wild.agent_id = 3;
+  wild.templ = Template{Value::type_wildcard(ValueType::kNumber)};
+  wild.handler_pc = 50;
+  reg.add(make(1, 7, 100));
+  reg.add(wild);
+  const auto hits = reg.matches(Tuple{Value::number(7)});
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].agent_id, 1);
+  EXPECT_EQ(hits[1].agent_id, 3);
+}
+
+TEST(ReactionRegistry, CustomBudget) {
+  ReactionRegistry reg(
+      ReactionRegistry::Options{.capacity_bytes = 80,
+                                .bytes_per_reaction = 40});
+  EXPECT_EQ(reg.capacity(), 2u);
+  EXPECT_TRUE(reg.add(make(1, 1, 0)));
+  EXPECT_TRUE(reg.add(make(1, 2, 0)));
+  EXPECT_FALSE(reg.add(make(1, 3, 0)));
+}
+
+}  // namespace
+}  // namespace agilla::ts

@@ -1,0 +1,114 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace agilla::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(Simulator, ScheduleInAdvancesClock) {
+  Simulator sim;
+  SimTime observed = 0;
+  sim.schedule_in(5 * kMillisecond, [&] { observed = sim.now(); });
+  sim.run();
+  EXPECT_EQ(observed, 5 * kMillisecond);
+  EXPECT_EQ(sim.now(), 5 * kMillisecond);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.schedule_in(10, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(15, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 25}));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(10, [&] { ++fired; });
+  sim.schedule_in(100, [&] { ++fired; });
+  sim.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(1234);
+  EXPECT_EQ(sim.now(), 1234u);
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator sim;
+  sim.run_for(100);
+  sim.run_for(50);
+  EXPECT_EQ(sim.now(), 150u);
+}
+
+TEST(Simulator, EventAtDeadlineRuns) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_in(100, [&] { fired = true; });
+  sim.run_until(100);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, ReturnsEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.schedule_in(static_cast<SimTime>(i), [] {});
+  }
+  EXPECT_EQ(sim.run(), 7u);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.schedule_at(77, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 77u);
+}
+
+TEST(Simulator, CancelledEventsDoNotRun) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_in(10, [&] { fired = true; });
+  h.cancel();
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, SameSeedSameRngStream) {
+  Simulator a(99);
+  Simulator b(99);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.rng().next(), b.rng().next());
+  }
+}
+
+TEST(Simulator, ZeroDelayEventsRunInOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(0, [&] {
+    order.push_back(1);
+    sim.schedule_in(0, [&] { order.push_back(3); });
+  });
+  sim.schedule_in(0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace agilla::sim

@@ -1,0 +1,91 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace agilla::sim {
+namespace {
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(Summary, MeanAndTotal) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.total(), 10.0);
+}
+
+TEST(Summary, MinMax) {
+  Summary s;
+  for (double v : {5.0, -2.0, 9.0, 0.0}) {
+    s.add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, SampleStddev) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+}
+
+TEST(Summary, StddevOfSingleSampleIsZero) {
+  Summary s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, PercentilesInterpolate) {
+  Summary s;
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) {
+    s.add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(s.median(), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+}
+
+TEST(Summary, AddAfterPercentileStillCorrect) {
+  Summary s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(TrialCounter, RatesAndCounts) {
+  TrialCounter c;
+  EXPECT_DOUBLE_EQ(c.success_rate(), 0.0);
+  c.record(true);
+  c.record(true);
+  c.record(false);
+  c.record(true);
+  EXPECT_EQ(c.trials(), 4u);
+  EXPECT_EQ(c.successes(), 3u);
+  EXPECT_DOUBLE_EQ(c.success_rate(), 0.75);
+}
+
+TEST(AsciiBar, WidthAndFill) {
+  EXPECT_EQ(ascii_bar(0.0, 10), "..........");
+  EXPECT_EQ(ascii_bar(1.0, 10), "##########");
+  EXPECT_EQ(ascii_bar(0.5, 10), "#####.....");
+  EXPECT_EQ(ascii_bar(2.0, 4), "####");   // clamped
+  EXPECT_EQ(ascii_bar(-1.0, 4), "....");  // clamped
+}
+
+}  // namespace
+}  // namespace agilla::sim

@@ -1,0 +1,147 @@
+#include "tuplespace/store.h"
+
+#include <gtest/gtest.h>
+
+namespace agilla::ts {
+namespace {
+
+Tuple num_tuple(std::int16_t v) { return Tuple{Value::number(v)}; }
+
+Template num_template(std::int16_t v) { return Template{Value::number(v)}; }
+
+Template any_number() {
+  return Template{Value::type_wildcard(ValueType::kNumber)};
+}
+
+TEST(LinearTupleStore, InsertAndRead) {
+  LinearTupleStore store;
+  EXPECT_TRUE(store.insert(num_tuple(7)));
+  EXPECT_EQ(store.tuple_count(), 1u);
+  const auto found = store.read(num_template(7));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->field(0).as_number(), 7);
+  EXPECT_EQ(store.tuple_count(), 1u);  // read does not remove
+}
+
+TEST(LinearTupleStore, TakeRemoves) {
+  LinearTupleStore store;
+  store.insert(num_tuple(7));
+  const auto taken = store.take(num_template(7));
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(store.tuple_count(), 0u);
+  EXPECT_EQ(store.used_bytes(), 0u);
+  EXPECT_FALSE(store.take(num_template(7)).has_value());
+}
+
+TEST(LinearTupleStore, FifoMatchOrder) {
+  LinearTupleStore store;
+  store.insert(num_tuple(1));
+  store.insert(num_tuple(2));
+  store.insert(num_tuple(3));
+  EXPECT_EQ(store.take(any_number())->field(0).as_number(), 1);
+  EXPECT_EQ(store.take(any_number())->field(0).as_number(), 2);
+  EXPECT_EQ(store.take(any_number())->field(0).as_number(), 3);
+}
+
+TEST(LinearTupleStore, RemovalShiftsFollowingTuples) {
+  LinearTupleStore store;
+  store.insert(num_tuple(1));
+  store.insert(num_tuple(2));
+  store.insert(num_tuple(3));
+  const std::size_t used_before = store.used_bytes();
+  store.take(num_template(2));
+  EXPECT_EQ(store.tuple_count(), 2u);
+  EXPECT_LT(store.used_bytes(), used_before);
+  // Order of the survivors is preserved.
+  const auto snapshot = store.snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].field(0).as_number(), 1);
+  EXPECT_EQ(snapshot[1].field(0).as_number(), 3);
+}
+
+TEST(LinearTupleStore, RejectsWhenFull) {
+  LinearTupleStore store(20);  // room for a few tiny tuples only
+  EXPECT_TRUE(store.insert(num_tuple(1)));   // 5 bytes (1 len + 4)
+  EXPECT_TRUE(store.insert(num_tuple(2)));
+  EXPECT_TRUE(store.insert(num_tuple(3)));
+  EXPECT_TRUE(store.insert(num_tuple(4)));
+  EXPECT_FALSE(store.insert(num_tuple(5)));
+  EXPECT_EQ(store.tuple_count(), 4u);
+}
+
+TEST(LinearTupleStore, SpaceReusableAfterRemoval) {
+  LinearTupleStore store(20);
+  for (std::int16_t i = 0; i < 4; ++i) {
+    store.insert(num_tuple(i));
+  }
+  EXPECT_FALSE(store.insert(num_tuple(9)));
+  store.take(num_template(0));
+  EXPECT_TRUE(store.insert(num_tuple(9)));
+}
+
+TEST(LinearTupleStore, RejectsEmptyTuple) {
+  LinearTupleStore store;
+  EXPECT_FALSE(store.insert(Tuple{}));
+}
+
+TEST(LinearTupleStore, DefaultCapacityIsPaperValue) {
+  LinearTupleStore store;
+  EXPECT_EQ(store.capacity_bytes(), 600u);
+}
+
+TEST(LinearTupleStore, CountMatching) {
+  LinearTupleStore store;
+  store.insert(num_tuple(1));
+  store.insert(num_tuple(1));
+  store.insert(num_tuple(2));
+  store.insert(Tuple{Value::string("abc")});
+  EXPECT_EQ(store.count_matching(num_template(1)), 2u);
+  EXPECT_EQ(store.count_matching(any_number()), 3u);
+  EXPECT_EQ(store.count_matching(num_template(9)), 0u);
+}
+
+TEST(LinearTupleStore, MixedArityMatching) {
+  LinearTupleStore store;
+  store.insert(Tuple{Value::string("fir"), Value::location({2, 2})});
+  store.insert(num_tuple(1));
+  const Template fire{Value::string("fir"),
+                      Value::type_wildcard(ValueType::kLocation)};
+  const auto found = store.take(fire);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->field(1).as_location(), (sim::Location{2, 2}));
+  EXPECT_EQ(store.tuple_count(), 1u);
+}
+
+TEST(LinearTupleStore, BytesTouchedGrowsWithOccupancy) {
+  LinearTupleStore store;
+  for (std::int16_t i = 0; i < 20; ++i) {
+    store.insert(num_tuple(i));
+  }
+  (void)store.read(num_template(0));
+  const std::size_t first = store.last_op_bytes_touched();
+  (void)store.read(num_template(19));
+  const std::size_t last = store.last_op_bytes_touched();
+  EXPECT_LT(first, last);  // matching deeper scans more bytes
+}
+
+TEST(LinearTupleStore, ClearResets) {
+  LinearTupleStore store;
+  store.insert(num_tuple(1));
+  store.clear();
+  EXPECT_EQ(store.tuple_count(), 0u);
+  EXPECT_EQ(store.used_bytes(), 0u);
+  EXPECT_TRUE(store.insert(num_tuple(2)));
+}
+
+TEST(LinearTupleStore, SnapshotDecodesAll) {
+  LinearTupleStore store;
+  store.insert(Tuple{Value::string("a"), Value::number(1)});
+  store.insert(Tuple{Value::location({1, 2})});
+  const auto all = store.snapshot();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].arity(), 2u);
+  EXPECT_EQ(all[1].arity(), 1u);
+}
+
+}  // namespace
+}  // namespace agilla::ts

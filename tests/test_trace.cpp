@@ -1,0 +1,67 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace agilla::sim {
+namespace {
+
+TEST(Trace, DisabledWithoutSubscribers) {
+  Trace trace;
+  EXPECT_FALSE(trace.enabled());
+  trace.emit(0, TraceCategory::kAgent, NodeId{1}, "ignored");  // no crash
+}
+
+TEST(Trace, RecorderCapturesRecords) {
+  Trace trace;
+  TraceRecorder recorder;
+  recorder.attach(trace);
+  EXPECT_TRUE(trace.enabled());
+  trace.emit(100, TraceCategory::kMigration, NodeId{3}, "arrival agent#7");
+  trace.emit(200, TraceCategory::kAgent, NodeId{3}, "halt");
+  ASSERT_EQ(recorder.records().size(), 2u);
+  EXPECT_EQ(recorder.records()[0].time, 100u);
+  EXPECT_EQ(recorder.records()[0].category, TraceCategory::kMigration);
+  EXPECT_EQ(recorder.records()[1].message, "halt");
+}
+
+TEST(Trace, CountContaining) {
+  Trace trace;
+  TraceRecorder recorder;
+  recorder.attach(trace);
+  trace.emit(0, TraceCategory::kAgent, NodeId{0}, "agent#1 launched");
+  trace.emit(0, TraceCategory::kAgent, NodeId{0}, "agent#2 launched");
+  trace.emit(0, TraceCategory::kAgent, NodeId{0}, "agent#1 halt");
+  EXPECT_EQ(recorder.count_containing("launched"), 2u);
+  EXPECT_EQ(recorder.count_containing("agent#1"), 2u);
+  EXPECT_EQ(recorder.count_containing("nothing"), 0u);
+}
+
+TEST(Trace, MultipleSubscribersAllReceive) {
+  Trace trace;
+  TraceRecorder a;
+  TraceRecorder b;
+  a.attach(trace);
+  b.attach(trace);
+  trace.emit(1, TraceCategory::kLink, NodeId{2}, "x");
+  EXPECT_EQ(a.records().size(), 1u);
+  EXPECT_EQ(b.records().size(), 1u);
+}
+
+TEST(Trace, FormatIsHumanReadable) {
+  const TraceRecord record{1500, TraceCategory::kTupleSpace, NodeId{4},
+                           "out <1>"};
+  const std::string line = format(record);
+  EXPECT_NE(line.find("1500us"), std::string::npos);
+  EXPECT_NE(line.find("[ts]"), std::string::npos);
+  EXPECT_NE(line.find("n4"), std::string::npos);
+  EXPECT_NE(line.find("out <1>"), std::string::npos);
+}
+
+TEST(Trace, CategoryNames) {
+  EXPECT_STREQ(to_string(TraceCategory::kMigration), "migration");
+  EXPECT_STREQ(to_string(TraceCategory::kRemoteOp), "remote-op");
+  EXPECT_STREQ(to_string(TraceCategory::kMate), "mate");
+}
+
+}  // namespace
+}  // namespace agilla::sim

@@ -1,0 +1,165 @@
+// Property-style sweeps over the tuple-space substrate: randomized
+// insert/remove workloads checked against a reference model, and matching
+// invariants across generated values.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <vector>
+
+#include "sim/rng.h"
+#include "tuplespace/store.h"
+
+namespace agilla::ts {
+namespace {
+
+Value random_value(sim::Rng& rng) {
+  switch (rng.uniform(5)) {
+    case 0:
+      return Value::number(static_cast<std::int16_t>(rng.uniform(100)));
+    case 1: {
+      const char c = static_cast<char>('a' + rng.uniform(4));
+      return Value::string(std::string(1 + rng.uniform(3), c));
+    }
+    case 2:
+      return Value::location({static_cast<double>(rng.uniform(8)),
+                              static_cast<double>(rng.uniform(8))});
+    case 3:
+      return Value::reading(
+          static_cast<sim::SensorType>(rng.uniform(sim::kNumSensorTypes)),
+          static_cast<std::int16_t>(rng.uniform(500)));
+    default:
+      return Value::agent_id(static_cast<std::uint16_t>(rng.uniform(32)));
+  }
+}
+
+Tuple random_tuple(sim::Rng& rng) {
+  Tuple t;
+  const std::size_t arity = 1 + rng.uniform(3);
+  for (std::size_t i = 0; i < arity; ++i) {
+    t.add(random_value(rng));
+  }
+  return t;
+}
+
+/// Turns a tuple into the fully-concrete template that matches it exactly,
+/// optionally degrading fields into wildcards.
+Template to_template(const Tuple& t, sim::Rng& rng, bool wildcards) {
+  Template templ;
+  for (const Value& f : t.fields()) {
+    if (wildcards && rng.chance(0.5)) {
+      templ.add(Value::type_wildcard(f.type()));
+    } else {
+      templ.add(f);
+    }
+  }
+  return templ;
+}
+
+class StoreModelSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StoreModelSweep, MatchesReferenceModel) {
+  sim::Rng rng(GetParam());
+  LinearTupleStore store(200);
+  std::list<Tuple> model;  // reference: ordered list with byte accounting
+
+  auto model_bytes = [&] {
+    std::size_t total = 0;
+    for (const Tuple& t : model) {
+      total += 1 + t.wire_size();
+    }
+    return total;
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    if (rng.chance(0.6)) {
+      const Tuple t = random_tuple(rng);
+      const bool fits = !t.empty() &&
+                        model_bytes() + 1 + t.wire_size() <= 200;
+      EXPECT_EQ(store.insert(t), fits) << "step " << step;
+      if (fits) {
+        model.push_back(t);
+      }
+    } else if (!model.empty()) {
+      // Probe for a random existing tuple (sometimes with wildcards).
+      auto it = model.begin();
+      std::advance(it, rng.uniform(model.size()));
+      const Template templ = to_template(*it, rng, true);
+      // The store removes the FIRST match in insertion order; mirror that.
+      const auto first = std::find_if(
+          model.begin(), model.end(),
+          [&](const Tuple& t) { return templ.matches(t); });
+      const auto got = store.take(templ);
+      ASSERT_TRUE(got.has_value());
+      ASSERT_TRUE(first != model.end());
+      EXPECT_EQ(*got, *first);
+      model.erase(first);
+    }
+    ASSERT_EQ(store.tuple_count(), model.size());
+    ASSERT_EQ(store.used_bytes(), model_bytes());
+    ASSERT_LE(store.used_bytes(), store.capacity_bytes());
+  }
+
+  // Drain everything; order must match the model.
+  const auto snapshot = store.snapshot();
+  ASSERT_EQ(snapshot.size(), model.size());
+  auto it = model.begin();
+  for (const Tuple& t : snapshot) {
+    EXPECT_EQ(t, *it++);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreModelSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+class MatchingProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchingProperties, ExactTemplateAlwaysMatchesItsTuple) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Tuple t = random_tuple(rng);
+    Template exact = to_template(t, rng, false);
+    EXPECT_TRUE(exact.matches(t)) << t.to_string();
+    Template wild = to_template(t, rng, true);
+    EXPECT_TRUE(wild.matches(t))
+        << wild.to_string() << " vs " << t.to_string();
+  }
+}
+
+TEST_P(MatchingProperties, ArityMismatchNeverMatches) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Tuple t = random_tuple(rng);
+    Template templ = to_template(t, rng, true);
+    Tuple longer = t;
+    if (!longer.add(Value::number(1))) {
+      continue;  // at the wire budget; skip
+    }
+    EXPECT_FALSE(templ.matches(longer));
+  }
+}
+
+TEST_P(MatchingProperties, WireRoundTripPreservesMatching) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Tuple t = random_tuple(rng);
+    const Template templ = to_template(t, rng, true);
+    net::Writer wt;
+    t.encode(wt);
+    net::Writer wm;
+    templ.encode(wm);
+    net::Reader rt(wt.data());
+    net::Reader rm(wm.data());
+    const auto t2 = Tuple::decode(rt);
+    const auto m2 = Template::decode(rm);
+    ASSERT_TRUE(t2.has_value());
+    ASSERT_TRUE(m2.has_value());
+    EXPECT_TRUE(m2->matches(*t2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingProperties,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace agilla::ts

@@ -1,0 +1,213 @@
+// Property sweep over the VM's arithmetic/stack core: random expression
+// programs are generated, assembled, run on the engine, and checked
+// against a host-side reference interpreter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "agilla_test_helpers.h"
+#include "core/assembler.h"
+#include "sim/rng.h"
+
+namespace agilla::core {
+namespace {
+
+using agilla::testing::AgillaMesh;
+using agilla::testing::MeshOptions;
+
+struct Op {
+  enum Kind { kPush, kAdd, kSub, kMul, kAnd, kOr, kInc, kDec, kSwapK, kCopyK }
+      kind = kPush;
+  std::int16_t operand = 0;
+};
+
+/// Host-side reference semantics (mirrors engine.cpp's definitions).
+std::vector<std::int16_t> reference_eval(const std::vector<Op>& ops) {
+  std::vector<std::int16_t> stack;
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::kPush:
+        stack.push_back(op.operand);
+        break;
+      case Op::kInc:
+        stack.back() = static_cast<std::int16_t>(stack.back() + 1);
+        break;
+      case Op::kDec:
+        stack.back() = static_cast<std::int16_t>(stack.back() - 1);
+        break;
+      case Op::kCopyK:
+        stack.push_back(stack.back());
+        break;
+      case Op::kSwapK:
+        std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
+        break;
+      default: {
+        const std::int16_t a = stack.back();  // top
+        stack.pop_back();
+        const std::int16_t b = stack.back();  // second
+        stack.pop_back();
+        std::int16_t r = 0;
+        switch (op.kind) {
+          case Op::kAdd:
+            r = static_cast<std::int16_t>(b + a);
+            break;
+          case Op::kSub:
+            r = static_cast<std::int16_t>(b - a);
+            break;
+          case Op::kMul:
+            r = static_cast<std::int16_t>(b * a);
+            break;
+          case Op::kAnd:
+            r = static_cast<std::int16_t>(b & a);
+            break;
+          case Op::kOr:
+            r = static_cast<std::int16_t>(b | a);
+            break;
+          default:
+            break;
+        }
+        stack.push_back(r);
+        break;
+      }
+    }
+  }
+  return stack;
+}
+
+std::string to_assembly(const std::vector<Op>& ops) {
+  std::ostringstream os;
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::kPush:
+        os << "pushcl " << op.operand << "\n";
+        break;
+      case Op::kAdd:
+        os << "add\n";
+        break;
+      case Op::kSub:
+        os << "sub\n";
+        break;
+      case Op::kMul:
+        os << "mul\n";
+        break;
+      case Op::kAnd:
+        os << "and\n";
+        break;
+      case Op::kOr:
+        os << "or\n";
+        break;
+      case Op::kInc:
+        os << "inc\n";
+        break;
+      case Op::kDec:
+        os << "dec\n";
+        break;
+      case Op::kSwapK:
+        os << "swap\n";
+        break;
+      case Op::kCopyK:
+        os << "copy\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+/// Generates a program that always keeps 1..6 values on the stack and ends
+/// with exactly one (folds everything with add).
+std::vector<Op> random_program(sim::Rng& rng) {
+  std::vector<Op> ops;
+  std::size_t depth = 0;
+  const std::size_t steps = 4 + rng.uniform(24);
+  for (std::size_t i = 0; i < steps; ++i) {
+    if (depth == 0 || (depth < 6 && rng.chance(0.5))) {
+      ops.push_back(
+          {Op::kPush, static_cast<std::int16_t>(rng.uniform_int(-99, 99))});
+      ++depth;
+    } else if (depth >= 2 && rng.chance(0.5)) {
+      const Op::Kind binops[] = {Op::kAdd, Op::kSub, Op::kMul, Op::kAnd,
+                                 Op::kOr};
+      ops.push_back({binops[rng.uniform(5)], 0});
+      --depth;
+    } else if (depth >= 2 && rng.chance(0.3)) {
+      ops.push_back({Op::kSwapK, 0});
+    } else if (depth < 6 && rng.chance(0.4)) {
+      ops.push_back({Op::kCopyK, 0});
+      ++depth;
+    } else {
+      ops.push_back({rng.chance(0.5) ? Op::kInc : Op::kDec, 0});
+    }
+  }
+  while (depth > 1) {
+    ops.push_back({Op::kAdd, 0});
+    --depth;
+  }
+  return ops;
+}
+
+class VmArithmeticSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VmArithmeticSweep, MatchesReferenceInterpreter) {
+  sim::Rng rng(GetParam());
+  AgillaMesh mesh(MeshOptions{.width = 1, .height = 1});
+  for (int round = 0; round < 30; ++round) {
+    const std::vector<Op> program = random_program(rng);
+    const auto expected = reference_eval(program);
+    ASSERT_EQ(expected.size(), 1u);
+
+    const std::string source =
+        to_assembly(program) + "pushc 1\nout\nhalt\n";
+    ASSERT_TRUE(mesh.at(0).inject(assemble_or_die(source)).has_value());
+    mesh.sim.run_for(3 * sim::kSecond);
+
+    const auto result = mesh.at(0).tuple_space().inp(
+        ts::Template{ts::Value::type_wildcard(ts::ValueType::kNumber)});
+    ASSERT_TRUE(result.has_value()) << "round " << round << "\n" << source;
+    EXPECT_EQ(result->field(0).as_number(), expected[0])
+        << "round " << round << "\n" << source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmArithmeticSweep,
+                         ::testing::Values(5, 55, 555, 5555));
+
+class HeapRoundTripSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeapRoundTripSweep, GetvarReturnsWhatSetvarStored) {
+  sim::Rng rng(GetParam());
+  AgillaMesh mesh(MeshOptions{.width = 1, .height = 1});
+  for (int round = 0; round < 10; ++round) {
+    // Store random values into random slots, then read one back.
+    std::array<std::int16_t, kHeapSlots> shadow{};
+    std::array<bool, kHeapSlots> written{};
+    std::ostringstream source;
+    const int writes = 1 + static_cast<int>(rng.uniform(20));
+    for (int i = 0; i < writes; ++i) {
+      const auto slot = rng.uniform(kHeapSlots);
+      const auto value = static_cast<std::int16_t>(rng.uniform_int(0, 255));
+      shadow[slot] = value;
+      written[slot] = true;
+      source << "pushc " << value << "\nsetvar " << slot << "\n";
+    }
+    std::size_t probe = rng.uniform(kHeapSlots);
+    while (!written[probe]) {
+      probe = (probe + 1) % kHeapSlots;
+    }
+    source << "getvar " << probe << "\npushc 1\nout\nhalt\n";
+    ASSERT_TRUE(
+        mesh.at(0).inject(assemble_or_die(source.str())).has_value());
+    mesh.sim.run_for(3 * sim::kSecond);
+    const auto result = mesh.at(0).tuple_space().inp(
+        ts::Template{ts::Value::type_wildcard(ts::ValueType::kNumber)});
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->field(0).as_number(), shadow[probe])
+        << source.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapRoundTripSweep,
+                         ::testing::Values(9, 99));
+
+}  // namespace
+}  // namespace agilla::core
