@@ -2,70 +2,49 @@
 // more in-depth investigation of efficient tuple space implementations as
 // future work."
 //
-// Compares the paper's linear store (600-byte buffer, scan + shift) with
-// the arity-indexed store, in the same units the mote would feel: the
-// simulated microseconds the VM cost model charges per tuple-space
-// instruction (cost = base + per-byte-touched), as a function of how full
-// the store is and how diverse the stored tuples are.
+// A declarative harness experiment over the "store_ops" scenario:
+// fillers x {linear, indexed} backends, comparing probe and removal cost
+// in the units the mote would feel — the simulated microseconds the VM
+// cost model charges per tuple-space instruction.
 #include "bench_common.h"
-#include "core/vm_costs.h"
-#include "tuplespace/indexed_store.h"
+#include "harness/runner.h"
 
 using namespace agilla;
 using namespace agilla::bench;
 
-namespace {
-
-/// Fills a store with `n` filler tuples: arity 1 and 2 mixed, so the
-/// arity index has something to discriminate on.
-void fill(ts::TupleStore& store, int n) {
-  for (std::int16_t i = 0; i < n; ++i) {
-    if (i % 2 == 0) {
-      store.insert(ts::Tuple{ts::Value::string("fil"),
-                             ts::Value::number(i)});
-    } else {
-      store.insert(ts::Tuple{ts::Value::number(i)});
-    }
-  }
-}
-
-double probe_cost_us(ts::TupleStore& store, const ts::Template& templ,
-                     const core::VmCostModel& costs) {
-  store.read(templ);
-  return static_cast<double>(costs.instruction_cost(
-      static_cast<std::uint8_t>(core::Opcode::kRdp),
-      store.last_op_bytes_touched(), false));
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
   print_header(
       "Ablation — linear tuple store vs arity-indexed store",
       "Fok et al., Sec. 3.2 future work ('efficient tuple space "
       "implementations')");
 
-  const core::VmCostModel costs;
-  // The probe target is an arity-2 tuple stored LAST (worst case for the
-  // linear scan); half the fillers are arity-1 (invisible to the indexed
-  // probe thanks to the arity bucket).
-  const ts::Template target{ts::Value::string("key"),
-                            ts::Value::type_wildcard(
-                                ts::ValueType::kNumber)};
+  harness::ExperimentSpec spec;
+  spec.name = "ablation_store";
+  spec.scenario = "store_ops";
+  spec.grids = {{1, 1}};  // micro-benchmark: no mesh, no radio
+  spec.loss_rates = {0.0};
+  spec.stores = {ts::StoreKind::kLinear, ts::StoreKind::kIndexed};
+  spec.axes = {{"fillers", {0, 10, 20, 40, 60}}};
+  spec.trials = 1;  // deterministic micro-measurement
+  spec.base_seed = args.seed;
+  const harness::ExperimentResult result = harness::run_experiment(
+      spec, harness::RunnerOptions{.threads = args.threads});
+
+  // Cell order: all linear cells first (axis-major within each store).
+  const std::size_t points = spec.axes[0].values.size();
+  const auto metric = [&](std::size_t cell, const char* name) {
+    return result.cells[cell].metrics.at(name).summary.mean();
+  };
 
   std::printf("\n  rdp cost (simulated us) for a tuple stored behind N "
               "fillers:\n\n");
   std::printf("  fillers   linear store   indexed store   speedup\n");
   std::printf("  -------   ------------   -------------   -------\n");
-  for (const int n : {0, 10, 20, 40, 60}) {
-    ts::LinearTupleStore linear(600);
-    ts::IndexedTupleStore indexed(600);
-    fill(linear, n);
-    fill(indexed, n);
-    linear.insert(ts::Tuple{ts::Value::string("key"), ts::Value::number(1)});
-    indexed.insert(ts::Tuple{ts::Value::string("key"), ts::Value::number(1)});
-    const double linear_us = probe_cost_us(linear, target, costs);
-    const double indexed_us = probe_cost_us(indexed, target, costs);
+  for (std::size_t i = 0; i < points; ++i) {
+    const int n = static_cast<int>(spec.axes[0].values[i]);
+    const double linear_us = metric(i, "rdp_cost_us");
+    const double indexed_us = metric(points + i, "rdp_cost_us");
     std::printf("    %3d       %7.1f us      %7.1f us      %.2fx\n", n,
                 linear_us, indexed_us, linear_us / indexed_us);
   }
@@ -75,23 +54,10 @@ int main() {
   std::printf("\n  inp (remove first of N) cost, simulated us:\n\n");
   std::printf("  tuples    linear store   indexed store\n");
   std::printf("  -------   ------------   -------------\n");
-  for (const int n : {10, 30, 60}) {
-    ts::LinearTupleStore linear(600);
-    ts::IndexedTupleStore indexed(600);
-    fill(linear, n);
-    fill(indexed, n);
-    const ts::Template first{ts::Value::string("fil"),
-                             ts::Value::number(0)};
-    linear.take(first);
-    indexed.take(first);
-    const double linear_us = static_cast<double>(costs.instruction_cost(
-        static_cast<std::uint8_t>(core::Opcode::kInp),
-        linear.last_op_bytes_touched(), false));
-    const double indexed_us = static_cast<double>(costs.instruction_cost(
-        static_cast<std::uint8_t>(core::Opcode::kInp),
-        indexed.last_op_bytes_touched(), false));
-    std::printf("    %3d       %7.1f us      %7.1f us\n", n, linear_us,
-                indexed_us);
+  for (std::size_t i = 1; i < points; ++i) {  // skip the empty-store point
+    const int n = static_cast<int>(spec.axes[0].values[i]);
+    std::printf("    %3d       %7.1f us      %7.1f us\n", n,
+                metric(i, "inp_cost_us"), metric(points + i, "inp_cost_us"));
   }
 
   std::printf(
@@ -100,6 +66,7 @@ int main() {
       "worst-case tuple-op cost roughly in half — at the price of index\n"
       "RAM the 4 KB MICA2 budget would need to find. The paper's linear\n"
       "choice ('it is simple') is defensible at 600 bytes; the seam is\n"
-      "ts::StoreKind if a deployment wants the other trade.\n");
+      "ts::StoreKind via ts::make_store (store_interface.h) if a\n"
+      "deployment wants the other trade.\n");
   return 0;
 }

@@ -1,20 +1,16 @@
-// Shared infrastructure for the paper-reproduction benches: the 5x5
-// experimental testbed of paper Fig. 3, trial runners for the Fig. 8
-// agents, and table/ASCII-plot printing.
+// Shared infrastructure for the paper-reproduction benches, built on the
+// src/harness experiment subsystem: the 5x5 experimental testbed of paper
+// Fig. 3 (a harness::Mesh with the paper's channel calibration), and
+// table/ASCII-plot printing.
 #pragma once
 
 #include <cstdio>
-#include <memory>
-#include <optional>
 #include <string>
-#include <vector>
 
 #include "core/agent_library.h"
 #include "core/assembler.h"
-#include "core/injector.h"
-#include "core/middleware.h"
+#include "harness/mesh.h"
 #include "sim/stats.h"
-#include "sim/topology.h"
 
 namespace agilla::bench {
 
@@ -23,85 +19,28 @@ namespace agilla::bench {
 /// calibrated so the Fig. 9 anchors land near the paper: smove ~90 % and
 /// rout ~80-88 % at 5 hops (see DESIGN.md). A 37-byte data frame loses
 /// ~8 % of packets; a 10-byte ack ~3.6 %.
-inline constexpr double kExperimentLoss = 0.02;
-inline constexpr double kExperimentPerByteLoss = 0.0016;
+inline constexpr double kExperimentLoss = harness::kDefaultLoss;
+inline constexpr double kExperimentPerByteLoss =
+    harness::kDefaultPerByteLoss;
 
-/// The paper's testbed: a 5x5 MICA2 grid, lower-left node at (1,1).
-class Testbed {
+/// The paper's testbed: a 5x5 MICA2 grid, lower-left node at (1,1). A
+/// compatibility shim over harness::Mesh preserving the historical
+/// positional constructor used across the bench suite.
+class Testbed : public harness::Mesh {
  public:
   explicit Testbed(std::uint64_t seed, double packet_loss = kExperimentLoss,
                    core::AgillaConfig config = core::AgillaConfig(),
                    std::size_t width = 5, std::size_t height = 5,
                    double per_byte_loss = 0.0)
-      : simulator_(seed),
-        network_(simulator_,
-                 std::make_unique<sim::GridNeighborRadio>(
-                     sim::GridNeighborRadio::Options{
-                         .spacing = 1.0,
-                         .packet_loss = packet_loss,
-                         .per_byte_loss = per_byte_loss})) {
-    topology_ = sim::make_grid(network_, width, height);
-    for (const sim::NodeId id : topology_.nodes) {
-      motes_.push_back(std::make_unique<core::AgillaMiddleware>(
-          network_, id, &environment_, config));
-      motes_.back()->start();
-    }
-    simulator_.run_for(5 * sim::kSecond);  // neighbour discovery warm-up
-  }
-
-  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
-  [[nodiscard]] sim::Network& network() { return network_; }
-  [[nodiscard]] sim::SensorEnvironment& environment() {
-    return environment_;
-  }
-  [[nodiscard]] const sim::Topology& topology() const { return topology_; }
-
-  [[nodiscard]] core::AgillaMiddleware& mote(std::size_t index) {
-    return *motes_.at(index);
-  }
-  [[nodiscard]] core::AgillaMiddleware& mote_at(double x, double y) {
-    return *motes_.at(
-        sim::nearest_node(network_, topology_, sim::Location{x, y}).value);
-  }
-  [[nodiscard]] std::size_t mote_count() const { return motes_.size(); }
-
-  /// Empties every mote's tuple store (between independent trials, so
-  /// result markers from earlier trials cannot fill the 600-byte stores).
-  void clear_all_stores() {
-    for (const auto& mote : motes_) {
-      mote->tuple_space().store().clear();
-    }
-  }
-
-  /// Polls until `space` holds a tuple matching `templ` or `timeout`
-  /// elapses; returns the virtual time of first observation.
-  std::optional<sim::SimTime> await_tuple(core::AgillaMiddleware& mote,
-                                          const ts::Template& templ,
-                                          sim::SimTime timeout,
-                                          sim::SimTime poll_step =
-                                              2 * sim::kMillisecond) {
-    const sim::SimTime deadline = simulator_.now() + timeout;
-    while (simulator_.now() < deadline) {
-      if (mote.tuple_space().rdp(templ).has_value()) {
-        return simulator_.now();
-      }
-      simulator_.run_for(poll_step);
-    }
-    return std::nullopt;
-  }
-
- private:
-  sim::Simulator simulator_;
-  sim::Network network_;
-  sim::SensorEnvironment environment_;
-  sim::Topology topology_;
-  std::vector<std::unique_ptr<core::AgillaMiddleware>> motes_;
-};
-
-/// One reliability/latency trial outcome.
-struct TrialResult {
-  bool success = false;
-  double latency_ms = 0.0;
+      : harness::Mesh(harness::MeshOptions{
+            .width = width,
+            .height = height,
+            .packet_loss = packet_loss,
+            .per_byte_loss = per_byte_loss,
+            .seed = seed,
+            .store = config.tuple_space.store_kind,
+            .config = config,
+            .warmup = 5 * sim::kSecond}) {}
 };
 
 /// Prints "key = value"-style experiment headers uniformly.
@@ -127,11 +66,12 @@ inline void print_series_row(const std::string& label, double value,
   }
 }
 
-/// Parses "--trials N" / "--loss P" style overrides (very small CLI).
+/// Parses "--trials N" / "--loss P" / "--threads N" style overrides.
 struct BenchArgs {
   int trials = 100;
   double loss = kExperimentLoss;
   std::uint64_t seed = 1;
+  unsigned threads = 0;  ///< harness workers; 0 = hardware concurrency
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -144,6 +84,8 @@ struct BenchArgs {
         args.loss = std::stod(value);
       } else if (key == "--seed") {
         args.seed = std::stoull(value);
+      } else if (key == "--threads") {
+        args.threads = static_cast<unsigned>(std::stoi(value));
       }
     }
     return args;

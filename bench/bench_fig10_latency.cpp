@@ -1,5 +1,6 @@
 // Paper Fig. 10: "The latency of smove vs. rout" — milliseconds per
-// successful operation over 1..5 hops (smove halved for the round trip).
+// successful operation over 1..5 hops (smove halved for the round trip),
+// as declarative harness experiments on the worker pool.
 //
 // Expected shape (paper): both linear in hop count; smove ~225 ms/hop
 // (multi-message acked transfer), rout ~55 ms/hop pair (request+reply);
@@ -19,6 +20,12 @@ int main(int argc, char** argv) {
               args.trials, args.loss * 100.0,
               kExperimentPerByteLoss * 100.0);
 
+  const harness::RunnerOptions runner{.threads = args.threads};
+  const harness::ExperimentResult smove = harness::run_experiment(
+      fig8_spec("smove", args.trials, args.loss, args.seed), runner);
+  const harness::ExperimentResult rout = harness::run_experiment(
+      fig8_spec("rout", args.trials, args.loss, args.seed + 50), runner);
+
   std::printf(
       "  hops   smove mean/median (ms)    rout mean/median (ms)\n");
   std::printf(
@@ -26,20 +33,19 @@ int main(int argc, char** argv) {
   double smove_per_hop = 0.0;
   double rout_per_hop = 0.0;
   double smove5 = 0.0;
-  for (int hops = 1; hops <= 5; ++hops) {
-    const HopSeries smove =
-        run_smove_series(hops, args.trials, args.loss, args.seed + hops);
-    const HopSeries rout =
-        run_rout_series(hops, args.trials, args.loss, args.seed + 50 + hops);
+  for (std::size_t i = 0; i < smove.cells.size(); ++i) {
+    const int hops = static_cast<int>(smove.cells[i].cell.axis_values[0].second);
+    const sim::Summary& smove_ms = cell_latency(smove.cells[i]);
+    const sim::Summary& rout_ms = cell_latency(rout.cells[i]);
     std::printf("   %d       %7.1f / %7.1f          %7.1f / %7.1f\n", hops,
-                smove.latency_ms.mean(), smove.latency_ms.median(),
-                rout.latency_ms.mean(), rout.latency_ms.median());
+                smove_ms.mean(), smove_ms.median(), rout_ms.mean(),
+                rout_ms.median());
     if (hops == 1) {
-      smove_per_hop = smove.latency_ms.median();
-      rout_per_hop = rout.latency_ms.median();
+      smove_per_hop = smove_ms.median();
+      rout_per_hop = rout_ms.median();
     }
     if (hops == 5) {
-      smove5 = smove.latency_ms.median();
+      smove5 = smove_ms.median();
     }
   }
 

@@ -1,5 +1,6 @@
 // Paper Fig. 9: "The reliability of smove vs. rout" — percent success of
-// the Fig. 8 agents over 1..5 hops, 100 trials each.
+// the Fig. 8 agents over 1..5 hops, 100 trials each, expressed as two
+// declarative harness experiments and executed on the worker pool.
 //
 // Expected shape (paper): both near 97-100 % at 1 hop, degrading with hop
 // count; smove (hop-by-hop acked custody transfer) stays above rout
@@ -17,21 +18,25 @@ int main(int argc, char** argv) {
               args.trials, args.loss * 100.0,
               kExperimentPerByteLoss * 100.0);
 
+  const harness::RunnerOptions runner{.threads = args.threads};
+  const harness::ExperimentResult smove = harness::run_experiment(
+      fig8_spec("smove", args.trials, args.loss, args.seed), runner);
+  const harness::ExperimentResult rout = harness::run_experiment(
+      fig8_spec("rout", args.trials, args.loss, args.seed + 50), runner);
+
   std::printf("  hops   smove        rout\n");
   std::printf("  ----   ----------   ----------\n");
   double smove5 = 0.0;
-  for (int hops = 1; hops <= 5; ++hops) {
-    const HopSeries smove =
-        run_smove_series(hops, args.trials, args.loss, args.seed + hops);
-    const HopSeries rout =
-        run_rout_series(hops, args.trials, args.loss, args.seed + 50 + hops);
-    const double smove_rate = smove.per_migration_rate();
+  for (std::size_t i = 0; i < smove.cells.size(); ++i) {
+    const int hops = static_cast<int>(smove.cells[i].cell.axis_values[0].second);
+    const double smove_rate =
+        per_migration_rate(cell_mean(smove.cells[i], "success"));
+    const double rout_rate = cell_mean(rout.cells[i], "success");
     std::printf("   %d     %5.1f %%      %5.1f %%     smove |%s|\n", hops,
-                smove_rate * 100.0,
-                rout.reliability.success_rate() * 100.0,
+                smove_rate * 100.0, rout_rate * 100.0,
                 sim::ascii_bar(smove_rate, 24).c_str());
     std::printf("                                  rout  |%s|\n",
-                sim::ascii_bar(rout.reliability.success_rate(), 24).c_str());
+                sim::ascii_bar(rout_rate, 24).c_str());
     if (hops == 5) {
       smove5 = smove_rate;
     }

@@ -1,106 +1,53 @@
 // The Sec. 4 reliability/latency experiment shared by the Fig. 9 and
-// Fig. 10 benches: the paper's Fig. 8 agents (smove round-trip and rout)
-// are injected into the corner of the 5x5 testbed and run `trials` times
-// for 1..5 hops, recording success and latency.
+// Fig. 10 benches, as declarative harness specs: the paper's Fig. 8
+// agents (smove round-trip and rout) are the "smove"/"rout" scenarios,
+// swept over a hops=1..5 axis on the 5x5 testbed, `trials` independent
+// trials per point, run in parallel by the experiment runner.
 #pragma once
 
 #include <cmath>
-#include <cstdio>
 #include <string>
 
 #include "bench_common.h"
+#include "harness/runner.h"
 
 namespace agilla::bench {
 
-struct HopSeries {
-  sim::TrialCounter reliability;
-  sim::Summary latency_ms;  ///< successful trials only
-
-  /// Per-single-migration success rate. The smove experiment is a round
-  /// trip, so a trial succeeds only if BOTH migrations do; the paper
-  /// "halved to account for the double migration" — sqrt() is the exact
-  /// form of that correction.
-  [[nodiscard]] double per_migration_rate() const {
-    return std::sqrt(reliability.success_rate());
-  }
-};
-
-/// Destination that is exactly `hops` grid hops from the corner (1,1):
-/// four hops fit along the bottom row; the fifth turns the corner up to
-/// (5,2), matching how a 5x5 testbed realizes a 5-hop path.
-inline sim::Location hop_target(int hops) {
-  if (hops <= 4) {
-    return sim::Location{1.0 + hops, 1.0};
-  }
-  return sim::Location{5.0, 1.0 + (hops - 4)};
+/// The Fig. 8 sweep: 5x5 grid, per-byte-calibrated channel, hops 1..5.
+inline harness::ExperimentSpec fig8_spec(std::string scenario, int trials,
+                                         double loss, std::uint64_t seed) {
+  harness::ExperimentSpec spec;
+  spec.name = "fig8_" + scenario;
+  spec.scenario = std::move(scenario);
+  spec.grids = {{5, 5}};
+  spec.loss_rates = {loss};
+  spec.per_byte_loss = kExperimentPerByteLoss;
+  spec.axes = {{"hops", {1, 2, 3, 4, 5}}};
+  spec.trials = trials;
+  spec.base_seed = seed;
+  return spec;
 }
 
-/// smove: move `hops` out and back; success when the round-trip completes.
-/// Latency is halved to account for the double migration (paper Sec. 4).
-inline HopSeries run_smove_series(int hops, int trials, double loss,
-                                  std::uint64_t seed) {
-  Testbed bed(seed, loss, core::AgillaConfig(), 5, 5,
-              kExperimentPerByteLoss);
-  HopSeries series;
-  for (int trial = 0; trial < trials; ++trial) {
-    const sim::Location target = hop_target(hops);
-    char source[256];
-    std::snprintf(source, sizeof(source),
-                  "pushloc %g %g\n"
-                  "smove\n"
-                  "rjumpc OK1\nhalt\n"
-                  "OK1 pushloc 1 1\n"
-                  "smove\n"
-                  "rjumpc OK2\nhalt\n"
-                  "OK2 pushcl %d\npushc 1\nout\nhalt\n",
-                  target.x, target.y, trial + 1);
-    const sim::SimTime start = bed.simulator().now();
-    bed.mote(0).inject(core::assemble_or_die(source));
-    const auto done = bed.await_tuple(
-        bed.mote(0),
-        ts::Template{ts::Value::number(static_cast<std::int16_t>(trial + 1))},
-        15 * sim::kSecond);
-    series.reliability.record(done.has_value());
-    if (done.has_value()) {
-      series.latency_ms.add(static_cast<double>(*done - start) / 1000.0 /
-                            2.0);
-    }
-    bed.clear_all_stores();
-  }
-  return series;
+/// Mean of `metric` in `cell`; `fallback` when no trial emitted it.
+inline double cell_mean(const harness::CellResult& cell,
+                        const std::string& metric, double fallback = 0.0) {
+  const auto it = cell.metrics.find(metric);
+  return it == cell.metrics.end() ? fallback : it->second.summary.mean();
 }
 
-/// rout: place a tuple on the node `hops` away; success when the agent
-/// sees the remote op acknowledged (reply received).
-inline HopSeries run_rout_series(int hops, int trials, double loss,
-                                 std::uint64_t seed) {
-  Testbed bed(seed, loss, core::AgillaConfig(), 5, 5,
-              kExperimentPerByteLoss);
-  HopSeries series;
-  for (int trial = 0; trial < trials; ++trial) {
-    const sim::Location target = hop_target(hops);
-    char source[256];
-    std::snprintf(source, sizeof(source),
-                  "pushcl %d\npushc 1\n"
-                  "pushloc %g %g\n"
-                  "rout\n"
-                  "rjumpc OK\nhalt\n"
-                  "OK pushn ack\npushcl %d\npushc 2\nout\nhalt\n",
-                  trial + 1, target.x, target.y, trial + 1);
-    const sim::SimTime start = bed.simulator().now();
-    bed.mote(0).inject(core::assemble_or_die(source));
-    const auto done = bed.await_tuple(
-        bed.mote(0),
-        ts::Template{ts::Value::string("ack"),
-                     ts::Value::number(static_cast<std::int16_t>(trial + 1))},
-        10 * sim::kSecond);
-    series.reliability.record(done.has_value());
-    if (done.has_value()) {
-      series.latency_ms.add(static_cast<double>(*done - start) / 1000.0);
-    }
-    bed.clear_all_stores();
-  }
-  return series;
+/// The latency Summary for `cell` (empty Summary when all trials failed).
+inline const sim::Summary& cell_latency(const harness::CellResult& cell) {
+  static const sim::Summary kEmpty;
+  const auto it = cell.metrics.find("latency_ms");
+  return it == cell.metrics.end() ? kEmpty : it->second.summary;
+}
+
+/// Per-single-migration success rate. The smove experiment is a round
+/// trip, so a trial succeeds only if BOTH migrations do; the paper
+/// "halved to account for the double migration" — sqrt() is the exact
+/// form of that correction.
+inline double per_migration_rate(double round_trip_rate) {
+  return std::sqrt(round_trip_rate);
 }
 
 }  // namespace agilla::bench

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verify, exactly as CI and the roadmap run it:
+#   cmake configure + build + full ctest suite.
+# Usage: scripts/check.sh [extra cmake args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . "$@"
+cmake --build build -j
+cd build
+ctest --output-on-failure -j "$(nproc)"

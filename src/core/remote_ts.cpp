@@ -96,10 +96,14 @@ void RemoteTsManager::transmit(std::uint16_t request_id) {
   auto it = pending_.find(request_id);
   assert(it != pending_.end());
   Pending& p = it->second;
-  router_.send(p.dest, options_.epsilon, sim::AmType::kTsRequest, p.request,
-               self_);
+  // Arm the reply timer BEFORE sending: a request addressed to this very
+  // node is served by the geo router's synchronous local delivery, so the
+  // reply handler can erase the pending entry (cancelling this timer)
+  // inside send() — `p` must not be touched once send() returns.
   p.timer = sim_.schedule_in(options_.reply_timeout,
                              [this, request_id] { on_timeout(request_id); });
+  router_.send(p.dest, options_.epsilon, sim::AmType::kTsRequest, p.request,
+               self_);
 }
 
 void RemoteTsManager::on_timeout(std::uint16_t request_id) {

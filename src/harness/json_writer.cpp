@@ -1,0 +1,160 @@
+#include "harness/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace agilla::harness {
+
+std::string JsonWriter::format_double(double v) {
+  // JSON has no NaN/Inf; clamp to null-adjacent sentinels so a pathological
+  // metric cannot produce an unparseable document.
+  if (std::isnan(v)) {
+    return "null";
+  }
+  if (std::isinf(v)) {
+    return v > 0 ? "1e308" : "-1e308";
+  }
+  // Integral doubles print as integers ("8" not "8.0"): stable and compact.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) {
+    return "null";
+  }
+  return std::string(buf, ptr);
+}
+
+void JsonWriter::newline() {
+  if (indent_ <= 0) {
+    return;
+  }
+  out_ += '\n';
+  out_.append(static_cast<std::size_t>(indent_) * first_in_scope_.size(),
+              ' ');
+}
+
+void JsonWriter::prepare_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) {
+      out_ += ',';
+    }
+    first_in_scope_.back() = false;
+    newline();
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prepare_value();
+  out_ += '{';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool was_empty = first_in_scope_.back();
+  first_in_scope_.pop_back();
+  if (!was_empty) {
+    newline();
+  }
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prepare_value();
+  out_ += '[';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool was_empty = first_in_scope_.back();
+  first_in_scope_.pop_back();
+  if (!was_empty) {
+    newline();
+  }
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (!first_in_scope_.back()) {
+    out_ += ',';
+  }
+  first_in_scope_.back() = false;
+  newline();
+  append_escaped(name);
+  out_ += indent_ > 0 ? ": " : ":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  prepare_value();
+  out_ += format_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  prepare_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  prepare_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prepare_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  prepare_value();
+  append_escaped(v);
+  return *this;
+}
+
+void JsonWriter::append_escaped(std::string_view v) {
+  out_ += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+}  // namespace agilla::harness

@@ -1,0 +1,55 @@
+// A small deterministic JSON emitter for experiment results.
+//
+// Determinism is the point: the harness promises byte-identical output for
+// a fixed seed regardless of worker-thread count, so the writer emits keys
+// in exactly the order the caller supplies them, formats doubles with
+// std::to_chars (shortest round-trip form, locale-independent), and never
+// embeds wall-clock data itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agilla::harness {
+
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 emits compact single-line JSON.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be followed by a value or container open.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+
+  /// The finished document. Call after the outermost container is closed.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+  /// Formats one double the way value(double) does (shared with tests).
+  static std::string format_double(double v);
+
+ private:
+  void prepare_value();
+  void newline();
+  void append_escaped(std::string_view v);
+
+  std::string out_;
+  std::vector<bool> first_in_scope_;
+  bool after_key_ = false;
+  int indent_;
+};
+
+}  // namespace agilla::harness

@@ -1,0 +1,95 @@
+#include "harness/mesh.h"
+
+#include "sim/radio_model.h"
+
+namespace agilla::harness {
+
+MeshOptions mesh_options_for(const TrialSpec& trial) {
+  MeshOptions options;
+  options.width = trial.grid.width;
+  options.height = trial.grid.height;
+  options.packet_loss = trial.packet_loss;
+  options.per_byte_loss = trial.per_byte_loss;
+  options.seed = trial.seed;
+  options.store = trial.store;
+  options.config.tuple_space.store_kind = trial.store;
+  return options;
+}
+
+Mesh::Mesh(const TrialSpec& trial) : Mesh(mesh_options_for(trial)) {}
+
+Mesh::Mesh(MeshOptions options)
+    : options_(options),
+      simulator_(options.seed),
+      network_(simulator_,
+               std::make_unique<sim::GridNeighborRadio>(
+                   sim::GridNeighborRadio::Options{
+                       .spacing = 1.0,
+                       .eight_connected = false,
+                       .packet_loss = options.packet_loss,
+                       .per_byte_loss = options.per_byte_loss})) {
+  options_.config.tuple_space.store_kind = options_.store;
+  topology_ = sim::make_grid(network_, options_.width, options_.height);
+  motes_.reserve(topology_.nodes.size());
+  for (const sim::NodeId id : topology_.nodes) {
+    motes_.push_back(std::make_unique<core::AgillaMiddleware>(
+        network_, id, &environment_, options_.config));
+    motes_.back()->start();
+  }
+  if (options_.warmup > 0) {
+    simulator_.run_for(options_.warmup);
+  }
+}
+
+core::AgillaMiddleware& Mesh::mote_at(double x, double y) {
+  return *motes_.at(
+      sim::nearest_node(network_, topology_, sim::Location{x, y}).value);
+}
+
+void Mesh::clear_all_stores() {
+  for (const auto& mote : motes_) {
+    mote->tuple_space().store().clear();
+  }
+}
+
+std::optional<sim::SimTime> Mesh::await_tuple(core::AgillaMiddleware& mote,
+                                              const ts::Template& templ,
+                                              sim::SimTime timeout,
+                                              sim::SimTime poll_step) {
+  const sim::SimTime deadline = simulator_.now() + timeout;
+  while (simulator_.now() < deadline) {
+    if (mote.tuple_space().rdp(templ).has_value()) {
+      return simulator_.now();
+    }
+    simulator_.run_for(poll_step);
+  }
+  return std::nullopt;
+}
+
+std::size_t Mesh::motes_matching(const ts::Template& templ) const {
+  std::size_t count = 0;
+  for (const auto& mote : motes_) {
+    if (mote->tuple_space().rdp(templ).has_value()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t Mesh::tuples_matching(const ts::Template& templ) const {
+  std::size_t count = 0;
+  for (const auto& mote : motes_) {
+    count += mote->tuple_space().tcount(templ);
+  }
+  return count;
+}
+
+std::size_t Mesh::agent_count() const {
+  std::size_t count = 0;
+  for (const auto& mote : motes_) {
+    count += mote->agents().count();
+  }
+  return count;
+}
+
+}  // namespace agilla::harness

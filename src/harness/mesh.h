@@ -1,0 +1,103 @@
+// Mesh: a self-contained AgillaMesh simulation — simulator, lossy grid
+// radio, sensor environment, and one AgillaMiddleware per node — built
+// from a TrialSpec (or explicit options). This generalizes the benches'
+// old 5x5 Testbed to arbitrary grid sizes and tuple-store backends, and
+// is the unit the harness thread pool runs: one Mesh per trial, no state
+// shared between trials.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/injector.h"
+#include "core/middleware.h"
+#include "harness/experiment.h"
+#include "sim/environment.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+
+namespace agilla::harness {
+
+/// Loss calibration shared with the paper experiments (see bench_common.h
+/// for the derivation): per-packet floor + per-byte fade.
+inline constexpr double kDefaultLoss = 0.02;
+inline constexpr double kDefaultPerByteLoss = 0.0016;
+
+struct MeshOptions {
+  std::size_t width = 5;
+  std::size_t height = 5;
+  double packet_loss = kDefaultLoss;
+  double per_byte_loss = 0.0;
+  std::uint64_t seed = 1;
+  ts::StoreKind store = ts::StoreKind::kLinear;
+  core::AgillaConfig config{};
+  /// Neighbour-discovery warm-up run before the constructor returns.
+  sim::SimTime warmup = 5 * sim::kSecond;
+};
+
+class Mesh {
+ public:
+  explicit Mesh(MeshOptions options);
+  /// Mesh for one harness trial: grid/loss/store/seed from the spec.
+  explicit Mesh(const TrialSpec& trial);
+
+  Mesh(const Mesh&) = delete;
+  Mesh& operator=(const Mesh&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] sim::Network& network() { return network_; }
+  [[nodiscard]] sim::SensorEnvironment& environment() {
+    return environment_;
+  }
+  [[nodiscard]] const sim::Topology& topology() const { return topology_; }
+  [[nodiscard]] const MeshOptions& options() const { return options_; }
+
+  [[nodiscard]] std::size_t mote_count() const { return motes_.size(); }
+  [[nodiscard]] core::AgillaMiddleware& mote(std::size_t index) {
+    return *motes_.at(index);
+  }
+  [[nodiscard]] core::AgillaMiddleware& mote_at(double x, double y);
+
+  /// Base station wired to mote 0 (the grid origin corner). BaseStation
+  /// is a value-semantic handle onto the gateway mote.
+  [[nodiscard]] core::BaseStation base() {
+    return core::BaseStation(*motes_.front());
+  }
+
+  /// Empties every mote's tuple store (between dependent sub-runs, so
+  /// result markers cannot fill the 600-byte stores).
+  void clear_all_stores();
+
+  /// Runs the simulation until `mote`'s space holds a tuple matching
+  /// `templ` or `timeout` elapses; returns the virtual observation time.
+  std::optional<sim::SimTime> await_tuple(
+      core::AgillaMiddleware& mote, const ts::Template& templ,
+      sim::SimTime timeout,
+      sim::SimTime poll_step = 2 * sim::kMillisecond);
+
+  /// Number of motes whose space currently matches `templ`.
+  [[nodiscard]] std::size_t motes_matching(const ts::Template& templ) const;
+
+  /// Total matching tuples across all motes.
+  [[nodiscard]] std::size_t tuples_matching(const ts::Template& templ) const;
+
+  /// Total live agents across all motes.
+  [[nodiscard]] std::size_t agent_count() const;
+
+ private:
+  MeshOptions options_;
+  sim::Simulator simulator_;
+  sim::Network network_;
+  sim::SensorEnvironment environment_;
+  sim::Topology topology_;
+  std::vector<std::unique_ptr<core::AgillaMiddleware>> motes_;
+};
+
+/// Translates a TrialSpec into MeshOptions (store kind lands in
+/// config.tuple_space.store_kind — the store_interface.h seam).
+[[nodiscard]] MeshOptions mesh_options_for(const TrialSpec& trial);
+
+}  // namespace agilla::harness

@@ -1,0 +1,126 @@
+#include "harness/runner.h"
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include "harness/json_writer.h"
+
+namespace agilla::harness {
+
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                const RunnerOptions& options) {
+  const ScenarioInfo* scenario = find_scenario(spec.scenario);
+  if (scenario == nullptr) {
+    throw std::invalid_argument("unknown scenario: " + spec.scenario);
+  }
+
+  const std::vector<CellSpec> cells = expand_cells(spec);
+  const std::vector<TrialSpec> trials = expand_trials(spec);
+  std::vector<TrialMetrics> outcomes(trials.size());
+
+  unsigned threads = options.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(
+      threads, std::max<std::size_t>(trials.size(), 1));
+
+  // Work-stealing by atomic index: WHICH thread runs a trial varies, but
+  // each trial is self-contained (own Simulator, own derived seed) and
+  // lands in outcomes[i], so the fold below never sees scheduling order.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= trials.size()) {
+        return;
+      }
+      outcomes[i] = scenario->run(trials[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i) {
+    pool.emplace_back(worker);
+  }
+  worker();
+  for (std::thread& t : pool) {
+    t.join();
+  }
+
+  ExperimentResult result;
+  result.spec = spec;
+  result.cells.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    CellResult cell_result;
+    cell_result.cell = cells[c];
+    result.cells.push_back(std::move(cell_result));
+  }
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    CellResult& cell = result.cells[trials[i].cell];
+    ++cell.trials;
+    for (const auto& [name, value] : outcomes[i].values) {
+      cell.metrics[name].summary.add(value);
+    }
+  }
+  return result;
+}
+
+std::string to_json(const ExperimentResult& result) {
+  const ExperimentSpec& spec = result.spec;
+  JsonWriter json;
+  json.begin_object();
+  json.key("experiment").value(spec.name);
+  json.key("scenario").value(spec.scenario);
+  json.key("base_seed").value(static_cast<std::uint64_t>(spec.base_seed));
+  json.key("trials_per_cell").value(spec.trials);
+  json.key("duration_s")
+      .value(static_cast<double>(spec.duration) / 1e6);
+  if (!spec.params.empty()) {
+    json.key("params").begin_object();
+    for (const auto& [name, value] : spec.params) {
+      json.key(name).value(value);
+    }
+    json.end_object();
+  }
+  json.key("cells").begin_array();
+  for (const CellResult& cell : result.cells) {
+    json.begin_object();
+    char grid[32];
+    std::snprintf(grid, sizeof(grid), "%zux%zu", cell.cell.grid.width,
+                  cell.cell.grid.height);
+    json.key("grid").value(grid);
+    json.key("packet_loss").value(cell.cell.packet_loss);
+    json.key("store").value(ts::to_string(cell.cell.store));
+    if (!cell.cell.axis_values.empty()) {
+      json.key("axes").begin_object();
+      for (const auto& [name, value] : cell.cell.axis_values) {
+        json.key(name).value(value);
+      }
+      json.end_object();
+    }
+    json.key("trials").value(cell.trials);
+    json.key("metrics").begin_object();
+    for (const auto& [name, aggregate] : cell.metrics) {
+      const sim::Summary& s = aggregate.summary;
+      json.key(name).begin_object();
+      json.key("count").value(static_cast<std::uint64_t>(s.count()));
+      json.key("mean").value(s.mean());
+      json.key("stddev").value(s.stddev());
+      json.key("min").value(s.min());
+      json.key("max").value(s.max());
+      json.key("p50").value(s.percentile(50.0));
+      json.key("p90").value(s.percentile(90.0));
+      json.end_object();
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace agilla::harness

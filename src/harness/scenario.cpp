@@ -1,0 +1,403 @@
+#include "harness/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/agent_library.h"
+#include "core/assembler.h"
+#include "core/isa.h"
+#include "core/vm_costs.h"
+#include "harness/mesh.h"
+#include "sim/environment.h"
+#include "sim/stats.h"
+
+namespace agilla::harness {
+namespace {
+
+ts::Template marker_template(const char* tag) {
+  return ts::Template{ts::Value::string(tag),
+                      ts::Value::type_wildcard(ts::ValueType::kLocation)};
+}
+
+void record_network_stats(const Mesh& mesh, const sim::Network& network,
+                          TrialMetrics& metrics) {
+  (void)mesh;
+  const sim::NetworkStats& stats = network.stats();
+  metrics.set("frames_sent", static_cast<double>(stats.frames_sent));
+  metrics.set("frames_lost", static_cast<double>(stats.frames_lost));
+  const double attempts = static_cast<double>(stats.frames_delivered +
+                                              stats.frames_lost);
+  if (attempts > 0) {
+    metrics.set("delivery_rate",
+                static_cast<double>(stats.frames_delivered) / attempts);
+  }
+}
+
+// ----------------------------------------------------------- fire_tracking
+
+/// Paper Sec. 5 end to end, on an arbitrary WxH mesh: FIREDETECTOR agents
+/// flood the grid, a fire ignites at the far corner and spreads, the
+/// FIRETRACKER swarm marks the perimeter. Success = the first <"trk", loc>
+/// perimeter mark appears before the trial ends.
+TrialMetrics run_fire_tracking(const TrialSpec& trial) {
+  Mesh mesh(trial);
+  const double w = static_cast<double>(trial.grid.width);
+  const double h = static_cast<double>(trial.grid.height);
+  const double duration_s =
+      static_cast<double>(trial.duration) / 1e6;
+
+  // Ignite at the far corner 15 s after injection; scale the spread speed
+  // so the front crosses ~80 % of the diagonal within the trial whatever
+  // the grid size (overridable via the "spread_speed" knob).
+  const sim::SimTime inject_time = mesh.simulator().now();
+  const sim::SimTime ignition =
+      inject_time + 15 * sim::kSecond;
+  const double diagonal = std::hypot(w - 1.0, h - 1.0);
+  const double default_speed =
+      0.8 * std::max(diagonal, 1.0) / std::max(duration_s - 15.0, 10.0);
+  const sim::FireField::Options fire_options{
+      .ignition_point = {w, h},
+      .ignition_time = ignition,
+      .extinction_time = 0,
+      .spread_speed = trial.param("spread_speed", default_speed),
+      .peak = 500.0,
+      .ambient = 25.0,
+      .edge_decay = 0.45,
+      .ring_width = 1.6,
+      .burned_over = 40.0};
+  mesh.environment().set_field(
+      sim::SensorType::kTemperature,
+      std::make_unique<sim::FireField>(fire_options));
+  const sim::FireField fire(fire_options);  // ground truth for metrics
+
+  const int threshold =
+      static_cast<int>(trial.param("alert_threshold", 180));
+  core::BaseStation base = mesh.base();
+  base.inject(core::agents::fire_tracker(threshold, /*nap_ticks=*/16));
+  base.inject(core::agents::fire_detector(/*alert_to=*/{1, 1},
+                                          /*threshold=*/200,
+                                          /*sample_ticks=*/32));
+
+  const ts::Template trk = marker_template("trk");
+  const ts::Template det = marker_template("det");
+  const sim::SimTime deadline = inject_time + trial.duration;
+  std::optional<sim::SimTime> first_track;
+  while (mesh.simulator().now() < deadline) {
+    mesh.simulator().run_for(5 * sim::kSecond);
+    if (!first_track && mesh.tuples_matching(trk) > 0) {
+      first_track = mesh.simulator().now();
+    }
+  }
+
+  TrialMetrics metrics;
+  metrics.set("success", first_track ? 1.0 : 0.0);
+  if (first_track) {
+    metrics.set("first_track_s",
+                static_cast<double>(*first_track - ignition) / 1e6);
+  }
+  metrics.set("detector_coverage",
+              static_cast<double>(mesh.motes_matching(det)) /
+                  static_cast<double>(mesh.mote_count()));
+  metrics.set("perimeter_marks",
+              static_cast<double>(mesh.tuples_matching(trk)));
+  metrics.set("live_agents", static_cast<double>(mesh.agent_count()));
+
+  // Of the nodes burning at the end, how many have a tracker mark?
+  const sim::SimTime end = mesh.simulator().now();
+  std::size_t burning = 0;
+  std::size_t burning_tracked = 0;
+  for (std::size_t i = 0; i < mesh.mote_count(); ++i) {
+    core::AgillaMiddleware& mote = mesh.mote(i);
+    if (fire.value(mote.location(), end) > 200.0) {
+      ++burning;
+      if (mote.tuple_space().rdp(trk).has_value()) {
+        ++burning_tracked;
+      }
+    }
+  }
+  if (burning > 0) {
+    metrics.set("burning_tracked_frac",
+                static_cast<double>(burning_tracked) /
+                    static_cast<double>(burning));
+  }
+  record_network_stats(mesh, mesh.network(), metrics);
+  return metrics;
+}
+
+// -------------------------------------------------------- intruder_pursuit
+
+/// Paper Sec. 1 tracking claim: SENTINELs publish magnetometer readings,
+/// one PURSUER chases the loudest signal. The intruder patrols the mesh
+/// perimeter; metrics score how closely the pursuer shadows it.
+TrialMetrics run_intruder_pursuit(const TrialSpec& trial) {
+  Mesh mesh(trial);
+  const double w = static_cast<double>(trial.grid.width);
+  const double h = static_cast<double>(trial.grid.height);
+
+  const sim::MovingBumpField::Options intruder_options{
+      .waypoints = {{1, 1}, {w, 1}, {w, h}, {1, h}},
+      .speed = trial.param("intruder_speed", 0.05),
+      .peak = 400.0,
+      .sigma = 1.0,
+      .ambient = 5.0,
+      .loop = true};
+  mesh.environment().set_field(
+      sim::SensorType::kMagnetometer,
+      std::make_unique<sim::MovingBumpField>(intruder_options));
+  const sim::MovingBumpField intruder(intruder_options);
+
+  core::BaseStation base = mesh.base();
+  base.inject(core::agents::sentinel(/*sample_ticks=*/8));
+  mesh.simulator().run_for(30 * sim::kSecond);  // sentinels claim the grid
+  base.inject(core::agents::pursuer(/*nap_ticks=*/8));
+
+  // The pursuer is wherever two agents share a node (sentinel + pursuer).
+  const auto pursuer_location =
+      [&mesh]() -> std::optional<sim::Location> {
+    for (std::size_t i = 0; i < mesh.mote_count(); ++i) {
+      if (mesh.mote(i).agents().count() >= 2) {
+        return mesh.mote(i).location();
+      }
+    }
+    return std::nullopt;
+  };
+
+  const sim::SimTime deadline = mesh.simulator().now() + trial.duration;
+  sim::Summary distance_track;
+  std::size_t captures = 0;
+  std::size_t samples = 0;
+  std::optional<sim::Location> last_seen;
+  while (mesh.simulator().now() < deadline) {
+    mesh.simulator().run_for(10 * sim::kSecond);
+    const std::optional<sim::Location> at = pursuer_location();
+    if (!at) {
+      continue;
+    }
+    last_seen = at;
+    const double d =
+        distance(intruder.center(mesh.simulator().now()), *at);
+    distance_track.add(d);
+    ++samples;
+    if (d <= 1.0) {
+      ++captures;
+    }
+  }
+
+  TrialMetrics metrics;
+  metrics.set("success", last_seen.has_value() ? 1.0 : 0.0);
+  if (!distance_track.empty()) {
+    metrics.set("mean_distance", distance_track.mean());
+    metrics.set("min_distance", distance_track.min());
+    metrics.set("capture_frac",
+                static_cast<double>(captures) /
+                    static_cast<double>(samples));
+  }
+  metrics.set("live_agents", static_cast<double>(mesh.agent_count()));
+  record_network_stats(mesh, mesh.network(), metrics);
+  return metrics;
+}
+
+// ------------------------------------------------------------ smove / rout
+
+/// The longest hop count the grid can realize along the bottom-row-then-
+/// right-edge path the Fig. 8 experiments use.
+int max_hops(const GridSize& grid) {
+  return static_cast<int>(grid.width) - 1 +
+         static_cast<int>(grid.height) - 1;
+}
+
+/// Destination exactly `hops` grid hops from the corner (1,1): along the
+/// bottom row, then up the right edge (generalizes the Fig. 8 5x5 paths).
+/// `hops` must already be clamped to max_hops(grid).
+sim::Location hop_target(int hops, const GridSize& grid) {
+  const int width_hops = static_cast<int>(grid.width) - 1;
+  if (hops <= width_hops) {
+    return sim::Location{1.0 + hops, 1.0};
+  }
+  return sim::Location{static_cast<double>(grid.width),
+                       1.0 + (hops - width_hops)};
+}
+
+int default_hops(const GridSize& grid) {
+  return std::min<int>(4, static_cast<int>(grid.width) - 1);
+}
+
+/// Fig. 8 (top): strong-move `hops` out and back. One trial = one fresh
+/// mesh + one agent; success when the round trip completes. Latency is
+/// halved for the double migration (paper Sec. 4).
+TrialMetrics run_smove(const TrialSpec& trial) {
+  Mesh mesh(trial);
+  // Clamp unrealizable hop counts and report the realized value, so a
+  // cell whose axis asks for more hops than the grid has is
+  // self-describing in the JSON rather than silently mislabeled.
+  const int hops = std::min(
+      static_cast<int>(trial.param("hops", default_hops(trial.grid))),
+      max_hops(trial.grid));
+  const sim::Location target = hop_target(hops, trial.grid);
+  char source[256];
+  std::snprintf(source, sizeof(source),
+                "pushloc %g %g\n"
+                "smove\n"
+                "rjumpc OK1\nhalt\n"
+                "OK1 pushloc 1 1\n"
+                "smove\n"
+                "rjumpc OK2\nhalt\n"
+                "OK2 pushc 7\npushc 1\nout\nhalt\n",
+                target.x, target.y);
+  const sim::SimTime start = mesh.simulator().now();
+  mesh.mote(0).inject(core::assemble_or_die(source));
+  const sim::SimTime timeout = static_cast<sim::SimTime>(
+      trial.param("timeout_s", 15.0) * 1e6);
+  const auto done = mesh.await_tuple(
+      mesh.mote(0), ts::Template{ts::Value::number(7)}, timeout);
+
+  TrialMetrics metrics;
+  metrics.set("hops_realized", hops);
+  metrics.set("success", done ? 1.0 : 0.0);
+  if (done) {
+    metrics.set("latency_ms",
+                static_cast<double>(*done - start) / 1000.0 / 2.0);
+  }
+  record_network_stats(mesh, mesh.network(), metrics);
+  return metrics;
+}
+
+/// Fig. 8 (bottom): rout a tuple onto the node `hops` away; success when
+/// the acknowledged remote op completes.
+TrialMetrics run_rout(const TrialSpec& trial) {
+  Mesh mesh(trial);
+  const int hops = std::min(
+      static_cast<int>(trial.param("hops", default_hops(trial.grid))),
+      max_hops(trial.grid));
+  const sim::Location target = hop_target(hops, trial.grid);
+  char source[256];
+  std::snprintf(source, sizeof(source),
+                "pushc 7\npushc 1\n"
+                "pushloc %g %g\n"
+                "rout\n"
+                "rjumpc OK\nhalt\n"
+                "OK pushn ack\npushc 7\npushc 2\nout\nhalt\n",
+                target.x, target.y);
+  const sim::SimTime start = mesh.simulator().now();
+  mesh.mote(0).inject(core::assemble_or_die(source));
+  const sim::SimTime timeout = static_cast<sim::SimTime>(
+      trial.param("timeout_s", 10.0) * 1e6);
+  const auto done = mesh.await_tuple(
+      mesh.mote(0),
+      ts::Template{ts::Value::string("ack"), ts::Value::number(7)}, timeout);
+
+  TrialMetrics metrics;
+  metrics.set("hops_realized", hops);
+  metrics.set("success", done ? 1.0 : 0.0);
+  if (done) {
+    metrics.set("latency_ms", static_cast<double>(*done - start) / 1000.0);
+  }
+  record_network_stats(mesh, mesh.network(), metrics);
+  return metrics;
+}
+
+// --------------------------------------------------------------- store_ops
+
+/// Sec. 3.2 ablation micro-benchmark, no radio: probe and removal cost of
+/// the selected store backend with `fillers` tuples in front of the
+/// target, in the simulated microseconds the VM cost model charges.
+TrialMetrics run_store_ops(const TrialSpec& trial) {
+  const int fillers = static_cast<int>(trial.param("fillers", 20));
+  const core::VmCostModel costs;
+  const auto fill = [](ts::TupleStore& store, int n) {
+    for (std::int16_t i = 0; i < n; ++i) {
+      if (i % 2 == 0) {
+        store.insert(
+            ts::Tuple{ts::Value::string("fil"), ts::Value::number(i)});
+      } else {
+        store.insert(ts::Tuple{ts::Value::number(i)});
+      }
+    }
+  };
+
+  TrialMetrics metrics;
+  {
+    // Probe: the target sits behind every filler (worst case for the
+    // linear scan; the arity index skips the odd arity-1 fillers).
+    std::unique_ptr<ts::TupleStore> store = ts::make_store(trial.store, 600);
+    fill(*store, fillers);
+    store->insert(
+        ts::Tuple{ts::Value::string("key"), ts::Value::number(1)});
+    const ts::Template target{
+        ts::Value::string("key"),
+        ts::Value::type_wildcard(ts::ValueType::kNumber)};
+    store->read(target);
+    metrics.set("rdp_bytes",
+                static_cast<double>(store->last_op_bytes_touched()));
+    metrics.set("rdp_cost_us",
+                static_cast<double>(costs.instruction_cost(
+                    static_cast<std::uint8_t>(core::Opcode::kRdp),
+                    store->last_op_bytes_touched(), false)));
+  }
+  if (fillers > 0) {
+    // Removal: the linear store shifts every byte behind the removed
+    // tuple; the indexed store tombstones. With nothing stored there is
+    // nothing to remove — the inp metrics are simply absent from the
+    // fillers=0 cell rather than measured against a fabricated store.
+    std::unique_ptr<ts::TupleStore> store = ts::make_store(trial.store, 600);
+    fill(*store, fillers);
+    const ts::Template first{ts::Value::string("fil"),
+                             ts::Value::number(0)};
+    store->take(first);
+    metrics.set("inp_bytes",
+                static_cast<double>(store->last_op_bytes_touched()));
+    metrics.set("inp_cost_us",
+                static_cast<double>(costs.instruction_cost(
+                    static_cast<std::uint8_t>(core::Opcode::kInp),
+                    store->last_op_bytes_touched(), false)));
+  }
+  metrics.set("success", 1.0);
+  return metrics;
+}
+
+std::vector<ScenarioInfo>& registry() {
+  static std::vector<ScenarioInfo> scenarios = {
+      {"fire_tracking",
+       "Sec. 5 case study: detector flood + tracker swarm on a burning "
+       "mesh",
+       run_fire_tracking},
+      {"intruder_pursuit",
+       "Sec. 1 scenario: sentinels publish readings, a pursuer shadows "
+       "the intruder",
+       run_intruder_pursuit},
+      {"smove",
+       "Fig. 8 strong-move round trip (axis: hops)",
+       run_smove},
+      {"rout",
+       "Fig. 8 remote out with acknowledgement (axis: hops)",
+       run_rout},
+      {"store_ops",
+       "Sec. 3.2 ablation: tuple-store probe/remove cost (axis: fillers)",
+       run_store_ops},
+  };
+  return scenarios;
+}
+
+}  // namespace
+
+const std::vector<ScenarioInfo>& scenarios() { return registry(); }
+
+const ScenarioInfo* find_scenario(std::string_view name) {
+  for (const ScenarioInfo& info : registry()) {
+    if (info.name == name) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+bool register_scenario(ScenarioInfo info) {
+  if (find_scenario(info.name) != nullptr) {
+    return false;
+  }
+  registry().push_back(std::move(info));
+  return true;
+}
+
+}  // namespace agilla::harness

@@ -1,0 +1,54 @@
+// Scenario registry: the unit of work the harness runs.
+//
+// A scenario maps one TrialSpec (grid, loss, store backend, seed, knobs)
+// to a flat set of named metrics. Scenarios must be pure functions of the
+// TrialSpec — no global state, no wall clock, no shared RNG — which is
+// what lets the runner execute trials on any number of threads and still
+// produce bit-identical aggregates.
+//
+// Built-ins:
+//   fire_tracking    paper Sec. 5 case study (detectors + tracker swarm)
+//   intruder_pursuit paper Sec. 1 scenario (sentinels + pursuer)
+//   smove            Fig. 8 strong-move round trip  (params: hops)
+//   rout             Fig. 8 remote out              (params: hops)
+//   store_ops        Sec. 3.2 store ablation micro  (params: fillers)
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace agilla::harness {
+
+/// Metrics from one trial. std::map keeps key order deterministic in the
+/// JSON output. A metric a trial does not emit (e.g. latency of a failed
+/// migration) is simply absent and excluded from that cell's aggregate.
+struct TrialMetrics {
+  std::map<std::string, double> values;
+
+  void set(const std::string& name, double value) { values[name] = value; }
+};
+
+using ScenarioFn = std::function<TrialMetrics(const TrialSpec&)>;
+
+struct ScenarioInfo {
+  std::string name;
+  std::string description;
+  ScenarioFn run;
+};
+
+/// All registered scenarios, built-ins first, in registration order.
+[[nodiscard]] const std::vector<ScenarioInfo>& scenarios();
+
+/// nullptr when unknown.
+[[nodiscard]] const ScenarioInfo* find_scenario(std::string_view name);
+
+/// Registers an additional scenario (tests and future workloads). Returns
+/// false (and does nothing) if the name is taken.
+bool register_scenario(ScenarioInfo info);
+
+}  // namespace agilla::harness

@@ -7,12 +7,25 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "tuplespace/tuple.h"
 
 namespace agilla::ts {
+
+/// Which TupleStore implementation backs a space (paper default is the
+/// linear store; indexed is the Sec. 3.2 "future work" alternative).
+enum class StoreKind : std::uint8_t {
+  kLinear = 0,
+  kIndexed = 1,
+};
+
+[[nodiscard]] const char* to_string(StoreKind kind);
+[[nodiscard]] std::optional<StoreKind> store_kind_from_string(
+    std::string_view name);
 
 class TupleStore {
  public:
@@ -44,5 +57,11 @@ class TupleStore {
   /// model (an indexed store touches fewer bytes => cheaper TS ops).
   [[nodiscard]] virtual std::size_t last_op_bytes_touched() const = 0;
 };
+
+/// Constructs a concrete store for `kind` — the single seam through which
+/// every layer (TupleSpace, the experiment harness, the ablation benches)
+/// selects a backend.
+[[nodiscard]] std::unique_ptr<TupleStore> make_store(
+    StoreKind kind, std::size_t capacity_bytes);
 
 }  // namespace agilla::ts

@@ -1,25 +1,43 @@
 #include "tuplespace/tuple_space.h"
 
 namespace agilla::ts {
-namespace {
 
-std::unique_ptr<TupleStore> make_store(const TupleSpace::Options& options) {
-  switch (options.store_kind) {
+std::unique_ptr<TupleStore> make_store(StoreKind kind,
+                                       std::size_t capacity_bytes) {
+  switch (kind) {
     case StoreKind::kIndexed:
-      return std::make_unique<IndexedTupleStore>(
-          options.store_capacity_bytes);
+      return std::make_unique<IndexedTupleStore>(capacity_bytes);
     case StoreKind::kLinear:
       break;
   }
-  return std::make_unique<LinearTupleStore>(options.store_capacity_bytes);
+  return std::make_unique<LinearTupleStore>(capacity_bytes);
 }
 
-}  // namespace
+const char* to_string(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kIndexed:
+      return "indexed";
+    case StoreKind::kLinear:
+      break;
+  }
+  return "linear";
+}
+
+std::optional<StoreKind> store_kind_from_string(std::string_view name) {
+  if (name == "linear") {
+    return StoreKind::kLinear;
+  }
+  if (name == "indexed") {
+    return StoreKind::kIndexed;
+  }
+  return std::nullopt;
+}
 
 TupleSpace::TupleSpace() : TupleSpace(Options{}) {}
 
 TupleSpace::TupleSpace(Options options)
-    : store_(make_store(options)), registry_(options.registry) {}
+    : store_(make_store(options.store_kind, options.store_capacity_bytes)),
+      registry_(options.registry) {}
 
 bool TupleSpace::out(const Tuple& tuple) {
   if (!store_->insert(tuple)) {

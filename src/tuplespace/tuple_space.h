@@ -18,12 +18,8 @@
 
 namespace agilla::ts {
 
-/// Which TupleStore implementation backs the space (paper default is the
-/// linear store; indexed is the Sec. 3.2 "future work" alternative).
-enum class StoreKind : std::uint8_t {
-  kLinear = 0,
-  kIndexed = 1,
-};
+// StoreKind (which TupleStore implementation backs the space) lives in
+// store_interface.h next to the make_store() seam.
 
 class TupleSpace {
  public:

@@ -1,0 +1,272 @@
+// agilla_sim: the experiment-harness CLI.
+//
+// Sweeps a scenario over a parameter grid of mesh sizes, packet-loss
+// rates, and tuple-store backends, runs every trial on a worker pool, and
+// emits deterministic JSON: for a fixed --seed the output is
+// byte-identical whatever --threads is.
+//
+//   # 16x16 fire-tracking sweep, 2 loss rates, both stores, 8 trials/cell
+//   $ agilla_sim --scenario fire_tracking --grid 16x16 --trials 8
+//       --loss 0.0 --loss 0.05 --stores both --threads 8 --out fire.json
+//
+//   # Fig. 9/10 style hop sweep
+//   $ agilla_sim --scenario smove --axis hops=1,2,3,4,5 --trials 20
+//
+//   $ agilla_sim --list
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/mesh.h"
+#include "harness/runner.h"
+
+using namespace agilla;
+
+namespace {
+
+constexpr std::size_t kMaxGridSide = 32;
+
+void print_usage() {
+  std::printf(
+      "usage: agilla_sim [options]\n"
+      "  --scenario NAME      scenario to run (default: fire_tracking)\n"
+      "  --list               list registered scenarios and exit\n"
+      "  --grid WxH           mesh size, repeatable (default: 5x5, max "
+      "%zux%zu)\n"
+      "  --trials N           trials per parameter cell (default: 8)\n"
+      "  --loss P             packet-loss rate, repeatable (default: "
+      "0.02)\n"
+      "  --per-byte-loss P    extra per-on-air-byte loss (default: 0)\n"
+      "  --stores KIND        linear | indexed | both (default: linear)\n"
+      "  --axis NAME=V1,V2    extra sweep axis, repeatable (e.g. "
+      "hops=1,2,3)\n"
+      "  --param NAME=V       fixed scenario knob, repeatable\n"
+      "  --seed S             base RNG seed (default: 1)\n"
+      "  --duration SECONDS   virtual seconds per trial (default: 120)\n"
+      "  --threads N          worker threads, 0 = hardware (default: 0)\n"
+      "  --name NAME          experiment name in the JSON (default: "
+      "scenario)\n"
+      "  --out FILE           write JSON here and print a summary table;\n"
+      "                       without --out the JSON goes to stdout\n",
+      kMaxGridSide, kMaxGridSide);
+}
+
+void print_scenarios() {
+  std::printf("registered scenarios:\n");
+  for (const harness::ScenarioInfo& info : harness::scenarios()) {
+    std::printf("  %-18s %s\n", info.name.c_str(),
+                info.description.c_str());
+  }
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(std::string(s), &used);
+    if (used != s.size()) {
+      return std::nullopt;
+    }
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::vector<double> parse_double_list(std::string_view s, bool& ok) {
+  std::vector<double> values;
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    const std::string_view item = s.substr(0, comma);
+    const auto v = parse_double(item);
+    if (!v) {
+      ok = false;
+      return values;
+    }
+    values.push_back(*v);
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    s.remove_prefix(comma + 1);
+  }
+  ok = !values.empty();
+  return values;
+}
+
+/// One human-readable line per cell: the cell coordinates plus every
+/// metric's mean (the JSON holds the full distributions).
+void print_summary(const harness::ExperimentResult& result) {
+  std::printf("experiment %s (scenario %s): %zu cells x %d trials\n",
+              result.spec.name.c_str(), result.spec.scenario.c_str(),
+              result.cells.size(), result.spec.trials);
+  for (const harness::CellResult& cell : result.cells) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%zux%zu loss=%g %s",
+                  cell.cell.grid.width, cell.cell.grid.height,
+                  cell.cell.packet_loss, ts::to_string(cell.cell.store));
+    std::string label = buf;
+    for (const auto& [name, value] : cell.cell.axis_values) {
+      std::snprintf(buf, sizeof(buf), " %s=%g", name.c_str(), value);
+      label += buf;
+    }
+    std::printf("  %-40s", label.c_str());
+    for (const auto& [name, aggregate] : cell.metrics) {
+      std::printf(" %s=%.3g", name.c_str(), aggregate.summary.mean());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ExperimentSpec spec;
+  spec.scenario = "fire_tracking";
+  spec.grids.clear();
+  spec.loss_rates.clear();
+  spec.stores.clear();
+  harness::RunnerOptions runner;
+  std::string out_path;
+  std::string name_override;
+
+  const auto fail = [](const std::string& message) {
+    std::fprintf(stderr, "agilla_sim: %s\n", message.c_str());
+    return 2;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+    if (arg == "--list") {
+      print_scenarios();
+      return 0;
+    }
+    if (i + 1 >= argc) {
+      return fail("missing value for " + std::string(arg));
+    }
+    const std::string_view value = argv[++i];
+    if (arg == "--scenario") {
+      spec.scenario = value;
+    } else if (arg == "--grid") {
+      const auto grid = harness::parse_grid(value);
+      if (!grid || grid->width > kMaxGridSide ||
+          grid->height > kMaxGridSide) {
+        return fail("bad --grid (want WxH, sides 1.." +
+                    std::to_string(kMaxGridSide) +
+                    "): " + std::string(value));
+      }
+      spec.grids.push_back(*grid);
+    } else if (arg == "--trials") {
+      spec.trials = std::atoi(std::string(value).c_str());
+      if (spec.trials <= 0) {
+        return fail("bad --trials: " + std::string(value));
+      }
+    } else if (arg == "--loss") {
+      const auto loss = parse_double(value);
+      if (!loss || *loss < 0.0 || *loss >= 1.0) {
+        return fail("bad --loss (want [0,1)): " + std::string(value));
+      }
+      spec.loss_rates.push_back(*loss);
+    } else if (arg == "--per-byte-loss") {
+      const auto loss = parse_double(value);
+      if (!loss || *loss < 0.0) {
+        return fail("bad --per-byte-loss: " + std::string(value));
+      }
+      spec.per_byte_loss = *loss;
+    } else if (arg == "--stores" || arg == "--store") {
+      if (value == "both") {
+        spec.stores = {ts::StoreKind::kLinear, ts::StoreKind::kIndexed};
+      } else {
+        const auto kind = ts::store_kind_from_string(value);
+        if (!kind) {
+          return fail("bad --stores (linear|indexed|both): " +
+                      std::string(value));
+        }
+        spec.stores.push_back(*kind);
+      }
+    } else if (arg == "--axis") {
+      const std::size_t eq = value.find('=');
+      bool ok = false;
+      if (eq != std::string_view::npos && eq > 0) {
+        harness::Axis axis;
+        axis.name = std::string(value.substr(0, eq));
+        axis.values = parse_double_list(value.substr(eq + 1), ok);
+        if (ok) {
+          spec.axes.push_back(std::move(axis));
+        }
+      }
+      if (!ok) {
+        return fail("bad --axis (want name=v1,v2,...): " +
+                    std::string(value));
+      }
+    } else if (arg == "--param") {
+      const std::size_t eq = value.find('=');
+      std::optional<double> v;
+      if (eq != std::string_view::npos && eq > 0) {
+        v = parse_double(value.substr(eq + 1));
+      }
+      if (!v) {
+        return fail("bad --param (want name=value): " +
+                    std::string(value));
+      }
+      spec.params[std::string(value.substr(0, eq))] = *v;
+    } else if (arg == "--seed") {
+      spec.base_seed =
+          std::strtoull(std::string(value).c_str(), nullptr, 10);
+    } else if (arg == "--duration") {
+      const auto seconds = parse_double(value);
+      if (!seconds || *seconds <= 0.0) {
+        return fail("bad --duration: " + std::string(value));
+      }
+      spec.duration = static_cast<sim::SimTime>(*seconds * 1e6);
+    } else if (arg == "--threads") {
+      runner.threads =
+          static_cast<unsigned>(std::atoi(std::string(value).c_str()));
+    } else if (arg == "--name") {
+      name_override = value;
+    } else if (arg == "--out") {
+      out_path = value;
+    } else {
+      print_usage();
+      return fail("unknown option: " + std::string(arg));
+    }
+  }
+
+  if (harness::find_scenario(spec.scenario) == nullptr) {
+    print_scenarios();
+    return fail("unknown scenario: " + spec.scenario);
+  }
+  if (spec.grids.empty()) {
+    spec.grids.push_back(harness::GridSize{5, 5});
+  }
+  if (spec.loss_rates.empty()) {
+    spec.loss_rates.push_back(harness::kDefaultLoss);
+  }
+  if (spec.stores.empty()) {
+    spec.stores.push_back(ts::StoreKind::kLinear);
+  }
+  spec.name = name_override.empty() ? spec.scenario : name_override;
+
+  const harness::ExperimentResult result =
+      harness::run_experiment(spec, runner);
+  const std::string json = to_json(result);
+
+  if (out_path.empty()) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      return fail("cannot write " + out_path);
+    }
+    out << json << "\n";
+    out.close();
+    print_summary(result);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
