@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 verify, exactly as CI and the roadmap run it:
-#   cmake configure + build + full ctest suite.
+#   format check (when clang-format is available) + cmake configure +
+#   build + full ctest suite.
 # Usage: scripts/check.sh [extra cmake args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "== clang-format (dry run) =="
+  git ls-files '*.h' '*.cpp' | xargs clang-format --dry-run -Werror
+else
+  echo "== clang-format not found; skipping format check =="
+fi
 
 cmake -B build -S . "$@"
 cmake --build build -j

@@ -12,6 +12,7 @@
 #include "core/code_pool.h"
 #include "core/isa.h"
 #include "tuplespace/tuple.h"
+#include "tuplespace/tuple_match.h"
 
 namespace agilla::core {
 
@@ -74,9 +75,11 @@ class Agent {
   [[nodiscard]] AgentRunState run_state() const { return run_state_; }
   void set_run_state(AgentRunState s) { run_state_ = s; }
 
-  /// While blocked in `in`/`rd`: the probe to retry on wakeup.
+  /// While blocked in `in`/`rd`: the probe to retry on wakeup. Holds the
+  /// compiled form — the template was lowered once when the op first ran,
+  /// and every wakeup re-probe reuses it.
   struct BlockedProbe {
-    ts::Template templ;
+    ts::CompiledTemplate templ;
     bool remove = false;  ///< true for `in`, false for `rd`
   };
   [[nodiscard]] const std::optional<BlockedProbe>& blocked_probe() const {

@@ -357,11 +357,7 @@ AgentImage AgillaEngine::make_image(Agent& agent, MigrationOp op,
   if (is_strong(op)) {
     image.stack = agent.stack();
     image.heap = agent.heap_entries();
-    for (const ts::Reaction& r : tuple_space_.reactions().all()) {
-      if (r.agent_id == agent.id().value) {
-        image.reactions.push_back(r);
-      }
-    }
+    image.reactions = tuple_space_.reactions().owned_by(agent.id().value);
   } else {
     image.weaken();
   }
@@ -410,8 +406,10 @@ AgillaEngine::StepResult AgillaEngine::exec_tuple_op(Agent& agent, Opcode op,
           return StepResult::kGone;
         }
       }
+      // Compile once; the probe (and any blocked re-probes) reuse it.
+      ts::CompiledTemplate compiled(templ);
       if (op == Opcode::kTCount) {
-        const std::size_t n = tuple_space_.tcount(templ);
+        const std::size_t n = tuple_space_.tcount(compiled);
         charge(false);
         if (!agent.push(ts::Value::number(static_cast<std::int16_t>(n)))) {
           die(agent, "stack overflow (tcount)");
@@ -421,8 +419,8 @@ AgillaEngine::StepResult AgillaEngine::exec_tuple_op(Agent& agent, Opcode op,
       }
       const bool removes = (op == Opcode::kInp || op == Opcode::kIn);
       const bool blocking = (op == Opcode::kIn || op == Opcode::kRd);
-      const auto result =
-          removes ? tuple_space_.inp(templ) : tuple_space_.rdp(templ);
+      const auto result = removes ? tuple_space_.inp(compiled)
+                                  : tuple_space_.rdp(compiled);
       charge(blocking);
       if (result.has_value()) {
         bool ok = true;
@@ -442,7 +440,7 @@ AgillaEngine::StepResult AgillaEngine::exec_tuple_op(Agent& agent, Opcode op,
       }
       // Blocking probe failed: park the agent until an insertion.
       agent.set_blocked_probe(
-          Agent::BlockedProbe{std::move(templ), removes});
+          Agent::BlockedProbe{std::move(compiled), removes});
       agent.set_run_state(AgentRunState::kBlockedTs);
       return StepResult::kBlocked;
     }

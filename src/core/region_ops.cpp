@@ -1,6 +1,7 @@
 #include "core/region_ops.h"
 
 #include "net/packet.h"
+#include "tuplespace/tuple_match.h"
 
 namespace agilla::core {
 namespace {
@@ -95,8 +96,15 @@ void RegionOps::handle_region_payload(std::span<const std::uint8_t> payload,
   const double radius = net::decode_epsilon(r.u8());
   const auto mode = static_cast<RegionMode>(r.u8());
   const std::uint8_t ttl = r.u8();
-  const auto tuple = ts::Tuple::decode(r);
-  if (!r.ok() || !tuple.has_value()) {
+  if (!r.ok()) {
+    return;
+  }
+  // View the tuple bytes in place (tuple_match.h): malformed payloads and
+  // the common drop paths below — duplicate floods, out-of-region nodes —
+  // are rejected without ever materializing a Tuple.
+  const ts::TupleRef ref(payload.subspan(payload.size() - r.remaining()));
+  const auto tuple_size = ref.encoded_size();
+  if (!tuple_size.has_value()) {
     return;
   }
   if (!remember(flood_key(origin, flood_id))) {
@@ -112,6 +120,7 @@ void RegionOps::handle_region_payload(std::span<const std::uint8_t> payload,
   if (!from_flood) {
     stats_.seeds_delivered++;
   }
+  const auto tuple = ref.materialize();  // encoded_size() proved decodable
   if (space_.out(*tuple)) {
     stats_.tuples_inserted++;
   }
@@ -129,7 +138,8 @@ void RegionOps::handle_region_payload(std::span<const std::uint8_t> payload,
     w.u8(net::encode_epsilon(radius));
     w.u8(static_cast<std::uint8_t>(mode));
     w.u8(static_cast<std::uint8_t>(ttl - 1));
-    tuple->encode(w);
+    // Relay the tuple's original wire bytes — no decode/re-encode cycle.
+    w.bytes(ref.bytes().first(*tuple_size));
     stats_.floods_relayed++;
     link_.send_unacked(sim::kBroadcastNode, sim::AmType::kRegionFlood,
                        w.take());

@@ -161,8 +161,10 @@ void RemoteTsManager::on_request(const net::GeoHeader& header,
       const auto templ = ts::Template::decode(r);
       std::optional<ts::Tuple> found;
       if (templ.has_value()) {
-        found = (op == RemoteOp::kInp) ? local_.inp(*templ)
-                                       : local_.rdp(*templ);
+        // Compile the just-decoded template once before probing the store.
+        const ts::CompiledTemplate compiled(*templ);
+        found = (op == RemoteOp::kInp) ? local_.inp(compiled)
+                                       : local_.rdp(compiled);
       }
       if (found.has_value()) {
         reply.u8(kStatusOk);

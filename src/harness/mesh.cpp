@@ -56,9 +56,10 @@ std::optional<sim::SimTime> Mesh::await_tuple(core::AgillaMiddleware& mote,
                                               const ts::Template& templ,
                                               sim::SimTime timeout,
                                               sim::SimTime poll_step) {
+  const ts::CompiledTemplate compiled(templ);  // one compile, many polls
   const sim::SimTime deadline = simulator_.now() + timeout;
   while (simulator_.now() < deadline) {
-    if (mote.tuple_space().rdp(templ).has_value()) {
+    if (mote.tuple_space().rdp(compiled).has_value()) {
       return simulator_.now();
     }
     simulator_.run_for(poll_step);
@@ -67,9 +68,10 @@ std::optional<sim::SimTime> Mesh::await_tuple(core::AgillaMiddleware& mote,
 }
 
 std::size_t Mesh::motes_matching(const ts::Template& templ) const {
+  const ts::CompiledTemplate compiled(templ);  // one compile, every mote
   std::size_t count = 0;
   for (const auto& mote : motes_) {
-    if (mote->tuple_space().rdp(templ).has_value()) {
+    if (mote->tuple_space().rdp(compiled).has_value()) {
       ++count;
     }
   }
@@ -77,9 +79,10 @@ std::size_t Mesh::motes_matching(const ts::Template& templ) const {
 }
 
 std::size_t Mesh::tuples_matching(const ts::Template& templ) const {
+  const ts::CompiledTemplate compiled(templ);  // one compile, every mote
   std::size_t count = 0;
   for (const auto& mote : motes_) {
-    count += mote->tuple_space().tcount(templ);
+    count += mote->tuple_space().tcount(compiled);
   }
   return count;
 }

@@ -324,9 +324,9 @@ TrialMetrics run_store_ops(const TrialSpec& trial) {
     fill(*store, fillers);
     store->insert(
         ts::Tuple{ts::Value::string("key"), ts::Value::number(1)});
-    const ts::Template target{
-        ts::Value::string("key"),
-        ts::Value::type_wildcard(ts::ValueType::kNumber)};
+    const ts::CompiledTemplate target(
+        ts::Template{ts::Value::string("key"),
+                     ts::Value::type_wildcard(ts::ValueType::kNumber)});
     store->read(target);
     metrics.set("rdp_bytes",
                 static_cast<double>(store->last_op_bytes_touched()));
@@ -342,8 +342,8 @@ TrialMetrics run_store_ops(const TrialSpec& trial) {
     // fillers=0 cell rather than measured against a fabricated store.
     std::unique_ptr<ts::TupleStore> store = ts::make_store(trial.store, 600);
     fill(*store, fillers);
-    const ts::Template first{ts::Value::string("fil"),
-                             ts::Value::number(0)};
+    const ts::CompiledTemplate first(
+        ts::Template{ts::Value::string("fil"), ts::Value::number(0)});
     store->take(first);
     metrics.set("inp_bytes",
                 static_cast<double>(store->last_op_bytes_touched()));

@@ -2,18 +2,20 @@
 // leave a more in-depth investigation of efficient tuple space
 // implementations as future work").
 //
-// Tuples are kept decoded in insertion order; an arity index narrows every
+// Entries keep their wire bytes in a fixed inline buffer (no per-entry
+// heap) plus an insertion-time Fingerprint; an arity index narrows every
 // probe to candidate tuples with the right field count (templates only
-// ever match same-arity tuples), and removal tombstones the entry instead
-// of shifting memory. Byte accounting mirrors the linear store (same wire
+// ever match same-arity tuples), the fingerprint rejects most survivors
+// with one integer compare, and removal tombstones the entry instead of
+// shifting memory. Byte accounting mirrors the linear store (same wire
 // sizes, same capacity limit) so the two are drop-in interchangeable; the
 // difference shows up in last_op_bytes_touched() — the quantity the VM
 // cost model charges for — and is measured by bench_ablation_store.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "tuplespace/store_interface.h"
@@ -25,11 +27,11 @@ class IndexedTupleStore final : public TupleStore {
   explicit IndexedTupleStore(std::size_t capacity_bytes = 600);
 
   bool insert(const Tuple& tuple) override;
-  std::optional<Tuple> take(const Template& templ) override;
+  std::optional<Tuple> take(const CompiledTemplate& templ) override;
   [[nodiscard]] std::optional<Tuple> read(
-      const Template& templ) const override;
+      const CompiledTemplate& templ) const override;
   [[nodiscard]] std::size_t count_matching(
-      const Template& templ) const override;
+      const CompiledTemplate& templ) const override;
 
   [[nodiscard]] std::size_t tuple_count() const override {
     return live_count_;
@@ -46,20 +48,42 @@ class IndexedTupleStore final : public TupleStore {
 
  private:
   struct Entry {
-    Tuple tuple;
-    std::size_t wire_bytes = 0;  // incl. the 1-byte length prefix
+    /// Encoded tuple fields (no length prefix), inline: kMaxTupleWireBytes
+    /// bounds every stored tuple.
+    std::array<std::uint8_t, kMaxTupleWireBytes> wire{};
+    std::uint8_t wire_len = 0;
+    Fingerprint fp = 0;
     bool live = false;
+
+    /// Record bytes for accounting: same 1-byte length prefix the linear
+    /// store pays.
+    [[nodiscard]] std::size_t record_bytes() const { return wire_len + 1u; }
+    [[nodiscard]] TupleRef ref() const {
+      return TupleRef(std::span<const std::uint8_t>(wire.data(), wire_len));
+    }
   };
 
-  /// Index of the first live entry matching `templ`, or npos.
-  [[nodiscard]] std::size_t find(const Template& templ) const;
+  /// Walks the arity bucket for `templ` in insertion order, charging
+  /// last_op_bytes_ for every live candidate scanned, and calls
+  /// `visit(index)` for each matching entry. `visit` returns true to stop
+  /// the scan (first-match probes) or false to keep counting. The single
+  /// implementation behind find_first() and count_matching().
+  template <typename Visit>
+  void scan_bucket(const CompiledTemplate& templ, Visit&& visit) const;
+
+  /// Index of the first live entry matching `templ`, or kNpos.
+  [[nodiscard]] std::size_t find_first(const CompiledTemplate& templ) const;
   void compact();
 
   static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
   std::size_t capacity_;
   std::vector<Entry> entries_;  // insertion order, with tombstones
-  std::unordered_map<std::size_t, std::vector<std::size_t>> by_arity_;
+  /// Arity -> entry indices, in insertion order. A flat array, not a hash
+  /// map: stored tuples have 1..kMaxTupleFields fields (wire budget), so
+  /// the bucket lookup is one indexed load. Templates with a larger arity
+  /// match nothing.
+  std::array<std::vector<std::uint32_t>, kMaxTupleFields + 1> by_arity_;
   std::size_t used_ = 0;
   std::size_t live_count_ = 0;
   std::size_t tombstones_ = 0;

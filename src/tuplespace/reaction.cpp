@@ -9,54 +9,86 @@ ReactionRegistry::ReactionRegistry() : ReactionRegistry(Options{}) {}
 ReactionRegistry::ReactionRegistry(Options options) : options_(options) {}
 
 bool ReactionRegistry::add(Reaction reaction) {
-  if (reactions_.size() >= capacity()) {
+  if (entries_.size() >= capacity()) {
     return false;
   }
   const bool exists = std::any_of(
-      reactions_.begin(), reactions_.end(), [&](const Reaction& r) {
-        return r.agent_id == reaction.agent_id && r.templ == reaction.templ;
+      entries_.begin(), entries_.end(), [&](const Entry& e) {
+        return e.reaction.agent_id == reaction.agent_id &&
+               e.reaction.templ == reaction.templ;
       });
   if (exists) {
     return false;
   }
-  reactions_.push_back(std::move(reaction));
+  CompiledTemplate compiled(reaction.templ);
+  by_arity_[compiled.arity()].push_back(entries_.size());
+  entries_.push_back(Entry{std::move(reaction), std::move(compiled)});
   return true;
 }
 
 bool ReactionRegistry::remove(std::uint16_t agent_id, const Template& templ) {
   const auto it = std::find_if(
-      reactions_.begin(), reactions_.end(), [&](const Reaction& r) {
-        return r.agent_id == agent_id && r.templ == templ;
+      entries_.begin(), entries_.end(), [&](const Entry& e) {
+        return e.reaction.agent_id == agent_id && e.reaction.templ == templ;
       });
-  if (it == reactions_.end()) {
+  if (it == entries_.end()) {
     return false;
   }
-  reactions_.erase(it);
+  entries_.erase(it);
+  reindex();
   return true;
 }
 
 std::vector<Reaction> ReactionRegistry::extract_all(std::uint16_t agent_id) {
   std::vector<Reaction> out;
-  auto it = reactions_.begin();
-  while (it != reactions_.end()) {
-    if (it->agent_id == agent_id) {
-      out.push_back(std::move(*it));
-      it = reactions_.erase(it);
+  auto it = entries_.begin();
+  while (it != entries_.end()) {
+    if (it->reaction.agent_id == agent_id) {
+      out.push_back(std::move(it->reaction));
+      it = entries_.erase(it);
     } else {
       ++it;
     }
+  }
+  if (!out.empty()) {
+    reindex();
   }
   return out;
 }
 
 std::vector<Reaction> ReactionRegistry::matches(const Tuple& tuple) const {
   std::vector<Reaction> out;
-  for (const Reaction& r : reactions_) {
-    if (r.templ.matches(tuple)) {
-      out.push_back(r);
+  if (tuple.arity() >= by_arity_.size()) {
+    return out;
+  }
+  const Fingerprint fp = fingerprint_of(tuple);
+  for (const std::size_t index : by_arity_[tuple.arity()]) {
+    const Entry& entry = entries_[index];
+    if (!entry.compiled.key_rejects(fp) && entry.compiled.matches(tuple)) {
+      out.push_back(entry.reaction);
     }
   }
   return out;
+}
+
+std::vector<Reaction> ReactionRegistry::owned_by(
+    std::uint16_t agent_id) const {
+  std::vector<Reaction> out;
+  for (const Entry& entry : entries_) {
+    if (entry.reaction.agent_id == agent_id) {
+      out.push_back(entry.reaction);
+    }
+  }
+  return out;
+}
+
+void ReactionRegistry::reindex() {
+  for (auto& bucket : by_arity_) {
+    bucket.clear();
+  }
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    by_arity_[entries_[i].compiled.arity()].push_back(i);
+  }
 }
 
 }  // namespace agilla::ts

@@ -27,73 +27,80 @@ bool LinearTupleStore::insert(const Tuple& tuple) {
   std::copy(w.data().begin(), w.data().end(),
             buffer_.begin() + static_cast<std::ptrdiff_t>(used_));
   used_ += w.size();
-  ++tuple_count_;
+  records_.push_back(RecordMeta{fingerprint_of(tuple),
+                                static_cast<std::uint8_t>(w.size())});
   last_op_bytes_ = w.size();
   return true;
 }
 
+TupleRef LinearTupleStore::record_ref(std::size_t offset,
+                                      std::size_t size) const {
+  return TupleRef(
+      std::span<const std::uint8_t>(buffer_.data() + offset + 1, size - 1));
+}
+
 std::optional<LinearTupleStore::Found> LinearTupleStore::find(
-    const Template& templ) const {
+    const CompiledTemplate& templ) const {
   std::size_t offset = 0;
   std::size_t scanned = 0;
-  while (offset < used_) {
-    const std::uint8_t size = buffer_[offset];
-    assert(offset + 1 + size <= used_);
-    net::Reader r(
-        std::span<const std::uint8_t>(buffer_.data() + offset + 1, size));
-    auto tuple = Tuple::decode(r);
-    scanned += 1 + size;
-    if (tuple.has_value() && templ.matches(*tuple)) {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const RecordMeta& meta = records_[i];
+    assert(offset + meta.size <= used_);
+    scanned += meta.size;
+    if (!templ.key_rejects(meta.fp) &&
+        templ.matches(record_ref(offset, meta.size))) {
       last_op_bytes_ = scanned;
-      return Found{offset, static_cast<std::size_t>(size) + 1,
-                   std::move(*tuple)};
+      return Found{i, offset, meta.size};
     }
-    offset += 1 + size;
+    offset += meta.size;
   }
   last_op_bytes_ = scanned;
   return std::nullopt;
 }
 
-std::optional<Tuple> LinearTupleStore::take(const Template& templ) {
-  auto found = find(templ);
+std::optional<Tuple> LinearTupleStore::take(const CompiledTemplate& templ) {
+  const auto found = find(templ);
   if (!found.has_value()) {
     return std::nullopt;
   }
+  std::optional<Tuple> out = record_ref(found->offset, found->size)
+                                 .materialize();
+  assert(out.has_value());  // insert only writes well-formed records
   // Shift all following tuples forward (paper Sec. 3.2).
   const std::size_t tail_start = found->offset + found->size;
   const std::size_t tail_len = used_ - tail_start;
   if (tail_len > 0) {
-    std::memmove(buffer_.data() + found->offset,
-                 buffer_.data() + tail_start, tail_len);
+    std::memmove(buffer_.data() + found->offset, buffer_.data() + tail_start,
+                 tail_len);
     last_op_bytes_ += tail_len;
   }
   used_ -= found->size;
-  --tuple_count_;
-  return std::move(found->tuple);
+  records_.erase(records_.begin() +
+                 static_cast<std::ptrdiff_t>(found->index));
+  return out;
 }
 
-std::optional<Tuple> LinearTupleStore::read(const Template& templ) const {
-  auto found = find(templ);
+std::optional<Tuple> LinearTupleStore::read(
+    const CompiledTemplate& templ) const {
+  const auto found = find(templ);
   if (!found.has_value()) {
     return std::nullopt;
   }
-  return std::move(found->tuple);
+  return record_ref(found->offset, found->size).materialize();
 }
 
-std::size_t LinearTupleStore::count_matching(const Template& templ) const {
+std::size_t LinearTupleStore::count_matching(
+    const CompiledTemplate& templ) const {
   std::size_t count = 0;
   std::size_t offset = 0;
   std::size_t scanned = 0;
-  while (offset < used_) {
-    const std::uint8_t size = buffer_[offset];
-    net::Reader r(
-        std::span<const std::uint8_t>(buffer_.data() + offset + 1, size));
-    const auto tuple = Tuple::decode(r);
-    scanned += 1 + size;
-    if (tuple.has_value() && templ.matches(*tuple)) {
+  for (const RecordMeta& meta : records_) {
+    scanned += meta.size;
+    if (!templ.key_rejects(meta.fp) &&
+        templ.matches(record_ref(offset, meta.size))) {
       ++count;
     }
-    offset += 1 + size;
+    offset += meta.size;
   }
   last_op_bytes_ = scanned;
   return count;
@@ -101,23 +108,21 @@ std::size_t LinearTupleStore::count_matching(const Template& templ) const {
 
 std::vector<Tuple> LinearTupleStore::snapshot() const {
   std::vector<Tuple> out;
+  out.reserve(records_.size());
   std::size_t offset = 0;
-  while (offset < used_) {
-    const std::uint8_t size = buffer_[offset];
-    net::Reader r(
-        std::span<const std::uint8_t>(buffer_.data() + offset + 1, size));
-    auto tuple = Tuple::decode(r);
+  for (const RecordMeta& meta : records_) {
+    auto tuple = record_ref(offset, meta.size).materialize();
     if (tuple.has_value()) {
       out.push_back(std::move(*tuple));
     }
-    offset += 1 + size;
+    offset += meta.size;
   }
   return out;
 }
 
 void LinearTupleStore::clear() {
   used_ = 0;
-  tuple_count_ = 0;
+  records_.clear();
   last_op_bytes_ = 0;
 }
 

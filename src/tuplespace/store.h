@@ -6,7 +6,10 @@
 // We reproduce the layout faithfully because the Fig. 12 latencies of the
 // tuple-space instructions are dominated by exactly this scan/shift work;
 // the store reports bytes touched per operation so the VM cost model can
-// charge for it.
+// charge for it. On the host, matching runs zero-copy: a per-record
+// Fingerprint (computed at insertion) rejects most candidates with one
+// integer compare, survivors are matched in place against their wire bytes
+// (tuple_match.h), and a Tuple is only materialized for a hit.
 #pragma once
 
 #include <cstdint>
@@ -28,18 +31,18 @@ class LinearTupleStore final : public TupleStore {
   bool insert(const Tuple& tuple) override;
 
   /// Finds, removes and returns the first matching tuple (Linda `inp`).
-  std::optional<Tuple> take(const Template& templ) override;
+  std::optional<Tuple> take(const CompiledTemplate& templ) override;
 
   /// Finds and copies the first matching tuple (Linda `rdp`).
   [[nodiscard]] std::optional<Tuple> read(
-      const Template& templ) const override;
+      const CompiledTemplate& templ) const override;
 
   /// Number of stored tuples matching `templ` (the `tcount` instruction).
   [[nodiscard]] std::size_t count_matching(
-      const Template& templ) const override;
+      const CompiledTemplate& templ) const override;
 
   [[nodiscard]] std::size_t tuple_count() const override {
-    return tuple_count_;
+    return records_.size();
   }
   [[nodiscard]] std::size_t used_bytes() const override { return used_; }
   [[nodiscard]] std::size_t capacity_bytes() const override {
@@ -51,26 +54,38 @@ class LinearTupleStore final : public TupleStore {
 
   void clear() override;
 
-  /// Bytes scanned/moved by the most recent operation — consumed by the VM
-  /// cycle-cost model (see DESIGN.md "CPU calibration").
+  /// See the contract in store_interface.h.
   [[nodiscard]] std::size_t last_op_bytes_touched() const override {
     return last_op_bytes_;
   }
 
  private:
-  struct Found {
-    std::size_t offset = 0;
-    std::size_t size = 0;  // bytes incl. length prefix
-    Tuple tuple;
+  /// Side-car of one buffer record, aligned with the buffer walk: the
+  /// insertion-time fingerprint plus the record size ([len u8] + tuple
+  /// bytes), so a scan skips rejected records without touching the buffer.
+  struct RecordMeta {
+    Fingerprint fp = 0;
+    std::uint8_t size = 0;
   };
 
-  [[nodiscard]] std::optional<Found> find(const Template& templ) const;
+  struct Found {
+    std::size_t index = 0;   // position in records_
+    std::size_t offset = 0;  // byte offset of the record in buffer_
+    std::size_t size = 0;    // record bytes incl. length prefix
+  };
+
+  [[nodiscard]] std::optional<Found> find(const CompiledTemplate& templ) const;
+
+  /// The record's tuple bytes (without the length prefix) as a view.
+  [[nodiscard]] TupleRef record_ref(std::size_t offset,
+                                    std::size_t size) const;
 
   // Buffer layout: a sequence of records [len u8][tuple bytes], packed from
-  // offset 0; used_ marks the end of live data.
+  // offset 0; used_ marks the end of live data. records_ mirrors the
+  // record sequence in order.
   std::vector<std::uint8_t> buffer_;
+  std::vector<RecordMeta> records_;
   std::size_t used_ = 0;
-  std::size_t tuple_count_ = 0;
   mutable std::size_t last_op_bytes_ = 0;
 };
 

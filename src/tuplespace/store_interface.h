@@ -4,6 +4,10 @@
 // for that investigation: LinearTupleStore is the paper-faithful baseline,
 // IndexedTupleStore the future-work alternative, and
 // bench_ablation_store compares them under the simulated cost model.
+//
+// Probes take a CompiledTemplate (tuple_match.h): callers compile a
+// Template once and the store matches candidates against their wire bytes
+// with a fingerprint prefilter — no allocation on the non-matching path.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +17,7 @@
 #include <vector>
 
 #include "tuplespace/tuple.h"
+#include "tuplespace/tuple_match.h"
 
 namespace agilla::ts {
 
@@ -35,14 +40,14 @@ class TupleStore {
   virtual bool insert(const Tuple& tuple) = 0;
 
   /// Removes and returns the FIRST matching tuple in insertion order.
-  virtual std::optional<Tuple> take(const Template& templ) = 0;
+  virtual std::optional<Tuple> take(const CompiledTemplate& templ) = 0;
 
   /// Copies the first matching tuple.
   [[nodiscard]] virtual std::optional<Tuple> read(
-      const Template& templ) const = 0;
+      const CompiledTemplate& templ) const = 0;
 
   [[nodiscard]] virtual std::size_t count_matching(
-      const Template& templ) const = 0;
+      const CompiledTemplate& templ) const = 0;
 
   [[nodiscard]] virtual std::size_t tuple_count() const = 0;
   [[nodiscard]] virtual std::size_t used_bytes() const = 0;
@@ -53,8 +58,21 @@ class TupleStore {
 
   virtual void clear() = 0;
 
-  /// Bytes scanned/moved by the most recent operation; feeds the VM cost
-  /// model (an indexed store touches fewer bytes => cheaper TS ops).
+  /// Bytes the most recent operation charged to the VM cost model. The
+  /// contract is identical for every backend (asserted by
+  /// test_store_conformance.cpp):
+  ///   * insert — the record bytes written (1 length byte + encoded
+  ///     tuple), 0 on rejection;
+  ///   * read/take/count — the record bytes of every candidate SCANNED,
+  ///     i.e. each record the scan examined, fingerprint-rejected or not
+  ///     (the mote model charges for walking the buffer, not for how
+  ///     cleverly the walk compares), with the scan stopping at the first
+  ///     match for read/take and covering all candidates for count;
+  ///   * take additionally counts each byte MOVED to close the gap (the
+  ///     linear store's shift; an indexing backend that tombstones moves
+  ///     nothing and reports only the scan).
+  /// Backends differ only in which candidates their layout must scan —
+  /// the linear buffer walks every record, an index walks its bucket.
   [[nodiscard]] virtual std::size_t last_op_bytes_touched() const = 0;
 };
 

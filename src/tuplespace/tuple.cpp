@@ -5,7 +5,7 @@
 namespace agilla::ts {
 namespace detail {
 
-std::size_t fields_wire_size(const std::vector<Value>& fields) {
+std::size_t fields_wire_size(std::span<const Value> fields) {
   std::size_t total = 1;  // count byte
   for (const Value& f : fields) {
     total += f.compact_size();
@@ -13,27 +13,29 @@ std::size_t fields_wire_size(const std::vector<Value>& fields) {
   return total;
 }
 
-void encode_fields(net::Writer& w, const std::vector<Value>& fields) {
+void encode_fields(net::Writer& w, std::span<const Value> fields) {
   w.u8(static_cast<std::uint8_t>(fields.size()));
   for (const Value& f : fields) {
     f.encode_compact(w);
   }
 }
 
-std::optional<std::vector<Value>> decode_fields(net::Reader& r) {
-  const std::uint8_t count = r.u8();
-  std::vector<Value> fields;
-  fields.reserve(count);
-  for (std::uint8_t i = 0; i < count; ++i) {
-    fields.push_back(Value::decode_compact(r));
+bool decode_fields(net::Reader& r, FieldArray& out, std::uint8_t& count) {
+  const std::uint8_t n = r.u8();
+  if (!r.ok() || n > kMaxTupleFields) {
+    return false;
+  }
+  for (std::uint8_t i = 0; i < n; ++i) {
+    out[i] = Value::decode_compact(r);
   }
   if (!r.ok()) {
-    return std::nullopt;
+    return false;
   }
-  return fields;
+  count = n;
+  return true;
 }
 
-std::string fields_to_string(const std::vector<Value>& fields) {
+std::string fields_to_string(std::span<const Value> fields) {
   std::ostringstream os;
   os << "<";
   for (std::size_t i = 0; i < fields.size(); ++i) {
@@ -58,33 +60,32 @@ bool Tuple::add(const Value& field) {
   if (!field.concrete() || field.type() == ValueType::kTypeWildcard) {
     return false;
   }
-  if (wire_size() + field.compact_size() > kMaxTupleWireBytes) {
+  if (count_ >= kMaxTupleFields ||
+      wire_size() + field.compact_size() > kMaxTupleWireBytes) {
     return false;
   }
-  fields_.push_back(field);
+  fields_[count_++] = field;
   return true;
 }
 
 std::size_t Tuple::wire_size() const {
-  return detail::fields_wire_size(fields_);
+  return detail::fields_wire_size(fields());
 }
 
 void Tuple::encode(net::Writer& w) const {
-  detail::encode_fields(w, fields_);
+  detail::encode_fields(w, fields());
 }
 
 std::optional<Tuple> Tuple::decode(net::Reader& r) {
-  auto fields = detail::decode_fields(r);
-  if (!fields.has_value()) {
+  Tuple t;
+  if (!detail::decode_fields(r, t.fields_, t.count_)) {
     return std::nullopt;
   }
-  Tuple t;
-  t.fields_ = std::move(*fields);
   return t;
 }
 
 std::string Tuple::to_string() const {
-  return detail::fields_to_string(fields_);
+  return detail::fields_to_string(fields());
 }
 
 Template::Template(std::initializer_list<Value> fields) {
@@ -97,18 +98,19 @@ bool Template::add(const Value& field) {
   if (!field.valid()) {
     return false;
   }
-  if (wire_size() + field.compact_size() > kMaxTupleWireBytes) {
+  if (count_ >= kMaxTupleFields ||
+      wire_size() + field.compact_size() > kMaxTupleWireBytes) {
     return false;
   }
-  fields_.push_back(field);
+  fields_[count_++] = field;
   return true;
 }
 
 bool Template::matches(const Tuple& tuple) const {
-  if (tuple.arity() != fields_.size()) {
+  if (tuple.arity() != count_) {
     return false;
   }
-  for (std::size_t i = 0; i < fields_.size(); ++i) {
+  for (std::size_t i = 0; i < count_; ++i) {
     if (!fields_[i].matches(tuple.field(i))) {
       return false;
     }
@@ -117,25 +119,23 @@ bool Template::matches(const Tuple& tuple) const {
 }
 
 std::size_t Template::wire_size() const {
-  return detail::fields_wire_size(fields_);
+  return detail::fields_wire_size(fields());
 }
 
 void Template::encode(net::Writer& w) const {
-  detail::encode_fields(w, fields_);
+  detail::encode_fields(w, fields());
 }
 
 std::optional<Template> Template::decode(net::Reader& r) {
-  auto fields = detail::decode_fields(r);
-  if (!fields.has_value()) {
+  Template t;
+  if (!detail::decode_fields(r, t.fields_, t.count_)) {
     return std::nullopt;
   }
-  Template t;
-  t.fields_ = std::move(*fields);
   return t;
 }
 
 std::string Template::to_string() const {
-  return detail::fields_to_string(fields_);
+  return detail::fields_to_string(fields());
 }
 
 }  // namespace agilla::ts

@@ -3,13 +3,18 @@
 // type-wildcards. "A template matches a tuple if they have the same number
 // of fields, and each field in the tuple matches the corresponding field in
 // the template."
+//
+// Both store their fields inline (the 25-byte wire budget bounds a tuple at
+// kMaxTupleFields fields), so building, copying, and decoding them never
+// heap-allocates — the tuple-space data plane moves plain values around.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <initializer_list>
 #include <optional>
+#include <span>
 #include <string>
-#include <vector>
 
 #include "tuplespace/value.h"
 
@@ -19,11 +24,24 @@ namespace agilla::ts {
 /// may contain up to 25 bytes worth of fields").
 inline constexpr std::size_t kMaxTupleWireBytes = 25;
 
+/// Most fields that budget admits for a buildable tuple/template: every
+/// VALID field encodes to >= 2 bytes under a 1-byte count prefix
+/// (1 + 12 * 2 = 25). Tuple and Template reserve exactly this many inline
+/// slots. Hostile wire encodings can declare more fields in budget (a
+/// kInvalid field is 1 byte), so decode_fields enforces this cap
+/// explicitly — the inline slot count is a hard contract, not a corollary
+/// of the byte budget.
+inline constexpr std::size_t kMaxTupleFields = (kMaxTupleWireBytes - 1) / 2;
+
 namespace detail {
-std::size_t fields_wire_size(const std::vector<Value>& fields);
-void encode_fields(net::Writer& w, const std::vector<Value>& fields);
-std::optional<std::vector<Value>> decode_fields(net::Reader& r);
-std::string fields_to_string(const std::vector<Value>& fields);
+using FieldArray = std::array<Value, kMaxTupleFields>;
+
+std::size_t fields_wire_size(std::span<const Value> fields);
+void encode_fields(net::Writer& w, std::span<const Value> fields);
+/// Reads [count u8][fields...]; false when the stream truncates or the
+/// count exceeds kMaxTupleFields (no such encoding fits the wire budget).
+bool decode_fields(net::Reader& r, FieldArray& out, std::uint8_t& count);
+std::string fields_to_string(std::span<const Value> fields);
 }  // namespace detail
 
 class Tuple {
@@ -35,10 +53,12 @@ class Tuple {
   /// field is not concrete or the tuple would exceed kMaxTupleWireBytes.
   bool add(const Value& field);
 
-  [[nodiscard]] std::size_t arity() const { return fields_.size(); }
-  [[nodiscard]] bool empty() const { return fields_.empty(); }
+  [[nodiscard]] std::size_t arity() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
   [[nodiscard]] const Value& field(std::size_t i) const { return fields_[i]; }
-  [[nodiscard]] const std::vector<Value>& fields() const { return fields_; }
+  [[nodiscard]] std::span<const Value> fields() const {
+    return {fields_.data(), count_};
+  }
 
   /// Compact serialized size: 1 count byte + fields.
   [[nodiscard]] std::size_t wire_size() const;
@@ -51,7 +71,8 @@ class Tuple {
   friend bool operator==(const Tuple& a, const Tuple& b) = default;
 
  private:
-  std::vector<Value> fields_;
+  detail::FieldArray fields_{};
+  std::uint8_t count_ = 0;
 };
 
 class Template {
@@ -63,9 +84,11 @@ class Template {
   /// would exceed kMaxTupleWireBytes.
   bool add(const Value& field);
 
-  [[nodiscard]] std::size_t arity() const { return fields_.size(); }
+  [[nodiscard]] std::size_t arity() const { return count_; }
   [[nodiscard]] const Value& field(std::size_t i) const { return fields_[i]; }
-  [[nodiscard]] const std::vector<Value>& fields() const { return fields_; }
+  [[nodiscard]] std::span<const Value> fields() const {
+    return {fields_.data(), count_};
+  }
 
   [[nodiscard]] bool matches(const Tuple& tuple) const;
 
@@ -78,7 +101,8 @@ class Template {
   friend bool operator==(const Template& a, const Template& b) = default;
 
  private:
-  std::vector<Value> fields_;
+  detail::FieldArray fields_{};
+  std::uint8_t count_ = 0;
 };
 
 }  // namespace agilla::ts

@@ -1,0 +1,112 @@
+#include "tuplespace/tuple_match.h"
+
+#include <algorithm>
+
+namespace agilla::ts {
+namespace {
+
+constexpr Fingerprint kArityMask = 0xF;
+constexpr std::size_t kTypeShiftBase = 4;
+constexpr std::size_t kTypeBits = 3;
+constexpr Fingerprint kTypeMask = 0x7;
+constexpr std::size_t kHashShift = 40;
+constexpr Fingerprint kHashMask = Fingerprint{0xFFFFFF} << kHashShift;
+
+constexpr Fingerprint type_shift(std::size_t i) {
+  return kTypeShiftBase + kTypeBits * i;
+}
+
+/// 24-bit mix of one field's type + payload, positioned at kHashShift.
+Fingerprint field_hash(const Value& v) {
+  std::uint64_t x =
+      (static_cast<std::uint64_t>(v.type()) << 32) | v.payload_bits();
+  x *= 0x9E3779B97F4A7C15ULL;  // SplitMix64 finalizer constant
+  return (x >> kHashShift) << kHashShift;
+}
+
+/// True when a template field of this type accepts tuple fields of exactly
+/// one ValueType (so its 3-bit code can join the fingerprint mask).
+constexpr bool pins_field_type(ValueType t) {
+  // kReadingType accepts both kReading fields and kReadingType fields.
+  return t != ValueType::kReadingType;
+}
+
+/// True when a template field of this type matches by value equality only
+/// (so field 0's content hash can join the fingerprint mask).
+constexpr bool pins_field_content(ValueType t) {
+  return t != ValueType::kReadingType && t != ValueType::kTypeWildcard;
+}
+
+}  // namespace
+
+Fingerprint fingerprint_of(const Tuple& tuple) {
+  Fingerprint fp = tuple.arity() & kArityMask;
+  for (std::size_t i = 0; i < tuple.arity(); ++i) {
+    fp |= (static_cast<Fingerprint>(tuple.field(i).type()) & kTypeMask)
+          << type_shift(i);
+  }
+  if (tuple.arity() > 0) {
+    fp |= field_hash(tuple.field(0));
+  }
+  return fp;
+}
+
+std::optional<std::size_t> TupleRef::encoded_size() const {
+  net::Reader r(bytes_);
+  const std::uint8_t count = r.u8();
+  if (!r.ok() || count > kMaxTupleFields) {
+    return std::nullopt;
+  }
+  for (std::uint8_t i = 0; i < count; ++i) {
+    Value::decode_compact(r);  // bounds-checked skip
+  }
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return bytes_.size() - r.remaining();
+}
+
+std::optional<Tuple> TupleRef::materialize() const {
+  net::Reader r(bytes_);
+  return Tuple::decode(r);
+}
+
+CompiledTemplate::CompiledTemplate(const Template& templ) : templ_(templ) {
+  mask_ = kArityMask;
+  want_ = templ_.arity() & kArityMask;
+  for (std::size_t i = 0; i < templ_.arity(); ++i) {
+    const Value& f = templ_.field(i);
+    if (!pins_field_type(f.type())) {
+      continue;
+    }
+    const ValueType required = f.type() == ValueType::kTypeWildcard
+                                   ? f.wrapped_type()
+                                   : f.type();
+    mask_ |= kTypeMask << type_shift(i);
+    want_ |= (static_cast<Fingerprint>(required) & kTypeMask)
+             << type_shift(i);
+  }
+  if (templ_.arity() > 0 && pins_field_content(templ_.field(0).type())) {
+    mask_ |= kHashMask;
+    want_ |= field_hash(templ_.field(0));
+  }
+}
+
+bool CompiledTemplate::matches(TupleRef ref) const {
+  net::Reader r(ref.bytes());
+  const std::uint8_t count = r.u8();
+  if (!r.ok() || count != templ_.arity()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!templ_.field(i).matches(Value::decode_compact(r))) {
+      return false;
+    }
+  }
+  // A mutated stream can truncate inside a field AFTER every prefix field
+  // compared equal (Reader zero-fills on underrun); the eager path fails
+  // Tuple::decode there, so the lazy path must report no-match too.
+  return r.ok();
+}
+
+}  // namespace agilla::ts

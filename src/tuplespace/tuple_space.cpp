@@ -56,15 +56,15 @@ bool TupleSpace::out(const Tuple& tuple) {
   return true;
 }
 
-std::optional<Tuple> TupleSpace::inp(const Template& templ) {
+std::optional<Tuple> TupleSpace::inp(const CompiledTemplate& templ) {
   return store_->take(templ);
 }
 
-std::optional<Tuple> TupleSpace::rdp(const Template& templ) const {
+std::optional<Tuple> TupleSpace::rdp(const CompiledTemplate& templ) const {
   return store_->read(templ);
 }
 
-std::size_t TupleSpace::tcount(const Template& templ) const {
+std::size_t TupleSpace::tcount(const CompiledTemplate& templ) const {
   return store_->count_matching(templ);
 }
 

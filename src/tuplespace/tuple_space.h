@@ -45,13 +45,16 @@ class TupleSpace {
   bool out(const Tuple& tuple);
 
   /// Linda inp: non-blocking remove. (Blocking `in` is built on this.)
-  std::optional<Tuple> inp(const Template& templ);
+  /// Probes take a CompiledTemplate (tuple_match.h) — compile once, then
+  /// every candidate is fingerprint-filtered and matched against its wire
+  /// bytes without allocation.
+  std::optional<Tuple> inp(const CompiledTemplate& templ);
 
   /// Linda rdp: non-blocking copy.
-  [[nodiscard]] std::optional<Tuple> rdp(const Template& templ) const;
+  [[nodiscard]] std::optional<Tuple> rdp(const CompiledTemplate& templ) const;
 
   /// Number of stored tuples matching the template.
-  [[nodiscard]] std::size_t tcount(const Template& templ) const;
+  [[nodiscard]] std::size_t tcount(const CompiledTemplate& templ) const;
 
   bool register_reaction(Reaction reaction);
   bool deregister_reaction(std::uint16_t agent_id, const Template& templ);

@@ -72,6 +72,13 @@ class Value {
   /// the concrete field `v`?
   [[nodiscard]] bool matches(const Value& v) const;
 
+  /// Both payload halves as one word — the fingerprint hash input
+  /// (tuple_match.h). Equal values always produce equal bits.
+  [[nodiscard]] std::uint32_t payload_bits() const {
+    return (static_cast<std::uint32_t>(static_cast<std::uint16_t>(a_)) << 16) |
+           static_cast<std::uint16_t>(b_);
+  }
+
   /// True for field types that can appear in a stored tuple.
   [[nodiscard]] bool concrete() const;
 

@@ -9,6 +9,7 @@
 #include "mate/capsule.h"
 #include "net/packet.h"
 #include "sim/rng.h"
+#include "tuplespace/tuple_match.h"
 
 namespace agilla {
 namespace {
@@ -134,6 +135,97 @@ TEST_P(ParserFuzz, VmContainsRandomBytecode) {
                   agent->run_state() == core::AgentRunState::kWaitingRxn ||
                   agent->run_state() == core::AgentRunState::kBlockedOp);
     }
+  }
+}
+
+TEST_P(ParserFuzz, TupleRefMatchingAgreesWithEagerDecodeAndMatch) {
+  // The tuple_match.h equivalence contract over an adversarial corpus:
+  // random bytes, truncations of valid encodings, and single-byte
+  // mutations of valid encodings. For every (bytes, template) pair the
+  // zero-copy wire match must equal eager decode-then-match, and (under
+  // ASan) must never read outside the span.
+  sim::Rng rng(GetParam() + 5);
+
+  auto random_concrete = [&rng]() -> ts::Value {
+    switch (rng.uniform(5)) {
+      case 0:
+        return ts::Value::number(static_cast<std::int16_t>(rng.uniform(8)));
+      case 1:
+        return ts::Value::string(std::string(1, 'a' + rng.uniform(3)));
+      case 2:
+        return ts::Value::location({static_cast<double>(rng.uniform(3)),
+                                    static_cast<double>(rng.uniform(3))});
+      case 3:
+        return ts::Value::reading(sim::SensorType::kPhoto,
+                                  static_cast<std::int16_t>(rng.uniform(4)));
+      default:
+        return ts::Value::agent_id(
+            static_cast<std::uint16_t>(rng.uniform(4)));
+    }
+  };
+
+  // A pool of templates compiled once, fuzzed bytes matched against all.
+  std::vector<ts::Template> templates;
+  for (int i = 0; i < 24; ++i) {
+    ts::Template t;
+    const std::size_t arity = rng.uniform(4);  // includes the empty template
+    for (std::size_t f = 0; f < arity; ++f) {
+      switch (rng.uniform(4)) {
+        case 0:
+          t.add(ts::Value::type_wildcard(random_concrete().type()));
+          break;
+        case 1:
+          t.add(ts::Value::reading_type(sim::SensorType::kPhoto));
+          break;
+        default:
+          t.add(random_concrete());
+          break;
+      }
+    }
+    templates.push_back(t);
+  }
+  std::vector<ts::CompiledTemplate> compiled(templates.begin(),
+                                             templates.end());
+
+  auto check_all = [&](const std::vector<std::uint8_t>& bytes) {
+    // Exact-sized heap span: ASan catches any out-of-bounds read.
+    const ts::TupleRef ref{std::span<const std::uint8_t>(bytes)};
+    net::Reader r(bytes);
+    const auto eager = ts::Tuple::decode(r);
+    ASSERT_EQ(ref.encoded_size().has_value(), eager.has_value());
+    ASSERT_EQ(ref.materialize(), eager);
+    for (std::size_t i = 0; i < templates.size(); ++i) {
+      const bool expected =
+          eager.has_value() && templates[i].matches(*eager);
+      ASSERT_EQ(compiled[i].matches(ref), expected)
+          << templates[i].to_string() << " over "
+          << (eager ? eager->to_string() : "<malformed>");
+    }
+  };
+
+  for (int round = 0; round < 400; ++round) {
+    check_all(random_bytes(rng, 32));
+
+    ts::Tuple valid;
+    const std::size_t arity = 1 + rng.uniform(3);
+    for (std::size_t f = 0; f < arity; ++f) {
+      valid.add(random_concrete());
+    }
+    net::Writer w;
+    valid.encode(w);
+    const std::vector<std::uint8_t> encoded = w.take();
+    check_all(encoded);  // the untouched encoding must agree too
+
+    std::vector<std::uint8_t> truncated(
+        encoded.begin(),
+        encoded.begin() + static_cast<std::ptrdiff_t>(
+                              rng.uniform(encoded.size())));
+    check_all(truncated);
+
+    std::vector<std::uint8_t> mutated = encoded;
+    mutated[rng.uniform(mutated.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.uniform(255));
+    check_all(mutated);
   }
 }
 
