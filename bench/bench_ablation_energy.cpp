@@ -1,0 +1,112 @@
+// Energy ablation: what low-power listening buys and what it costs.
+//
+// Sweeps the LPL listen fraction (the harness `duty_cycle` axis) across
+// two experiments on the 5x5 testbed:
+//   * network_lifetime — fire tracking on 2 J batteries: when does the
+//     mesh start dying, and where does the energy go per component;
+//   * rout             — one remote out over 2 hops on immortal nodes:
+//     the per-exchange latency the longer LPL preamble costs.
+// The interior optimum is the point of the bench: always-on listening
+// burns the battery in ~70 s, but over-aggressive duty cycling spends
+// more on beacon preambles than it saves on listening (and doubles
+// delivery latency), so lifetime peaks between the extremes.
+#include <algorithm>
+#include <iterator>
+
+#include "fig8_experiment.h"
+
+using namespace agilla;
+using namespace agilla::bench;
+
+namespace {
+
+constexpr double kDutyCycles[] = {1.0, 0.5, 0.2, 0.1, 0.05};
+constexpr double kBatteryMj = 2000.0;
+
+harness::ExperimentSpec lifetime_spec(int trials, double loss,
+                                      std::uint64_t seed) {
+  harness::ExperimentSpec spec;
+  spec.name = "ablation_energy_lifetime";
+  spec.scenario = "network_lifetime";
+  spec.grids = {{5, 5}};
+  spec.loss_rates = {loss};
+  spec.axes = {{"duty_cycle", {std::begin(kDutyCycles),
+                               std::end(kDutyCycles)}}};
+  spec.trials = trials;
+  spec.base_seed = seed;
+  spec.duration = 240 * sim::kSecond;
+  spec.params["battery_mj"] = kBatteryMj;
+  return spec;
+}
+
+harness::ExperimentSpec latency_spec(int trials, double loss,
+                                     std::uint64_t seed) {
+  harness::ExperimentSpec spec;
+  spec.name = "ablation_energy_latency";
+  spec.scenario = "rout";
+  spec.grids = {{5, 5}};
+  spec.loss_rates = {loss};
+  spec.per_byte_loss = kExperimentPerByteLoss;
+  spec.axes = {{"duty_cycle", {std::begin(kDutyCycles),
+                               std::end(kDutyCycles)}}};
+  spec.trials = trials;
+  spec.base_seed = seed;
+  spec.params["hops"] = 2;
+  spec.params["timeout_s"] = 30.0;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  // The lifetime sweep simulates 4 virtual minutes x 25 motes per trial;
+  // a handful of trials per cell is plenty for the shape.
+  const int trials = std::min(args.trials, 16);
+  print_header(
+      "Ablation — LPL duty cycle vs. lifetime and latency",
+      "energy subsystem (DESIGN.md): CC1000 LPL tradeoff, not in paper");
+  std::printf(
+      "5x5 mesh, %d trials/cell, battery %.0f mJ (lifetime runs), "
+      "rout over 2 hops (latency runs)\n\n",
+      trials, kBatteryMj);
+
+  const harness::RunnerOptions runner{.threads = args.threads};
+  const harness::ExperimentResult lifetime = harness::run_experiment(
+      lifetime_spec(trials, args.loss, args.seed), runner);
+  const harness::ExperimentResult latency = harness::run_experiment(
+      latency_spec(trials, args.loss, args.seed + 77), runner);
+
+  std::printf(
+      "  duty   first_death  life_p50   idle_mJ    tx_mJ   rout_ms  "
+      "delivery\n");
+  std::printf(
+      "  -----  -----------  --------  --------  -------  --------  "
+      "--------\n");
+  for (std::size_t i = 0; i < lifetime.cells.size(); ++i) {
+    const double duty = lifetime.cells[i].cell.axis_values[0].second;
+    const double first = cell_mean(lifetime.cells[i], "first_death_s", -1);
+    const double p50 = cell_mean(lifetime.cells[i], "lifetime_p50_s", -1);
+    const double idle = cell_mean(lifetime.cells[i], "e_idle_mj");
+    const double tx = cell_mean(lifetime.cells[i], "e_tx_mj");
+    const double ms = cell_mean(latency.cells[i], "latency_ms", -1);
+    const double delivery = cell_mean(latency.cells[i], "success");
+    char first_buf[16];
+    char p50_buf[16];
+    char ms_buf[16];
+    std::snprintf(first_buf, sizeof(first_buf), "%.1f",
+                  first < 0 ? 0.0 : first);
+    std::snprintf(p50_buf, sizeof(p50_buf), "%.1f", p50 < 0 ? 0.0 : p50);
+    std::snprintf(ms_buf, sizeof(ms_buf), "%.1f", ms < 0 ? 0.0 : ms);
+    std::printf("  %5.2f  %11s  %8s  %8.0f  %7.0f  %8s  %7.0f%%\n", duty,
+                first < 0 ? "none" : first_buf, p50 < 0 ? "-" : p50_buf,
+                idle, tx, ms < 0 ? "-" : ms_buf, delivery * 100.0);
+  }
+
+  std::printf(
+      "\nreading the table: always-on (duty 1.0) dies first from idle\n"
+      "listening; aggressive LPL (duty 0.05) trades that for per-frame\n"
+      "preamble TX energy and per-hop latency. The lifetime knee sits\n"
+      "between 0.1 and 0.5 for this beacon rate.\n");
+  return 0;
+}

@@ -30,6 +30,24 @@ int main() {
       "reaction registry (10 reactions), 440 B instruction memory (20 x\n"
       "22-byte blocks), 4 agent contexts.\n");
 
+  // Not in the paper: the energy subsystem's per-node state (src/energy/),
+  // sized as the 16-bit mote structs would be — the battery's five-component
+  // draw ledger plus the LPL duty-cycler schedule. Cheap on purpose: a
+  // lifetime-aware Agilla still fits the MICA2 with the paper's headroom.
+  std::size_t energy_bytes = 0;
+  for (const core::MemoryBudget::Item& item : budget.items()) {
+    if (item.label.find("battery") != std::string::npos ||
+        item.label.find("duty cycler") != std::string::npos) {
+      energy_bytes += item.bytes;
+    }
+  }
+  std::printf(
+      "\nenergy/duty-cycle state (battery ledger + LPL schedule): %zu B\n"
+      "of the %zu B total (%.1f %%).\n",
+      energy_bytes, budget.total_bytes(),
+      100.0 * static_cast<double>(energy_bytes) /
+          static_cast<double>(budget.total_bytes()));
+
   // A smaller configuration for extremely constrained motes.
   core::AgillaConfig lean;
   lean.agents.max_agents = 2;

@@ -123,6 +123,31 @@ void AgillaEngine::make_ready(Agent& agent) {
   schedule_tick(0);
 }
 
+void AgillaEngine::set_energy(energy::Battery* battery,
+                              energy::CpuEnergyModel cpu) {
+  battery_ = battery;
+  cpu_energy_ = cpu;
+}
+
+void AgillaEngine::kill_all_agents() {
+  std::vector<AgentId> ids;
+  ids.reserve(agents_.count());
+  for (const auto& agent : agents_.agents()) {
+    ids.push_back(agent->id());
+  }
+  for (const AgentId id : ids) {
+    stats_.agents_power_lost++;
+    destroy(id, /*drop_reactions=*/true);
+  }
+}
+
+void AgillaEngine::charge_cpu(sim::SimTime cost) {
+  if (battery_ != nullptr && cost > 0) {
+    battery_->drain(energy::EnergyComponent::kCpu,
+                    cpu_energy_.mj_for(cost));
+  }
+}
+
 void AgillaEngine::schedule_tick(sim::SimTime delay) {
   if (tick_scheduled_) {
     return;
@@ -172,11 +197,13 @@ void AgillaEngine::tick() {
       agent->set_condition(1);
       if (!ok) {
         die(*agent, "stack overflow resuming blocked in/rd");
+        charge_cpu(cost);
         schedule_tick(cost);
         return;
       }
     } else {
       agent->set_run_state(AgentRunState::kBlockedTs);
+      charge_cpu(cost);
       if (!ready_.empty()) {
         schedule_tick(cost);
       }
@@ -215,6 +242,7 @@ void AgillaEngine::tick() {
     }
   }
   cost += options_.costs.context_switch_cost();
+  charge_cpu(cost);
   if (!ready_.empty()) {
     schedule_tick(cost);
   }
@@ -722,6 +750,10 @@ AgillaEngine::StepResult AgillaEngine::step(Agent& agent,
               : static_cast<sim::SensorType>(designator.as_number());
       const auto reading = sensors_.read(sensor, sim_.now());
       cost += options_.costs.sense_cost();
+      if (battery_ != nullptr) {
+        battery_->drain(energy::EnergyComponent::kSense,
+                        cpu_energy_.sense_mj_per_sample);
+      }
       if (reading.has_value()) {
         agent.set_condition(1);
         if (!push_or_die(ts::Value::reading(sensor, *reading))) {

@@ -17,6 +17,8 @@
 #include "core/remote_ts.h"
 #include "core/sensors.h"
 #include "core/vm_costs.h"
+#include "energy/battery.h"
+#include "energy/energy_model.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 
@@ -43,6 +45,7 @@ struct EngineStats {
   std::uint64_t agents_halted = 0;
   std::uint64_t agents_installed = 0;   ///< arrived via migration
   std::uint64_t agents_rejected = 0;    ///< arrival refused (no resources)
+  std::uint64_t agents_power_lost = 0;  ///< killed by node death/reboot
   std::uint64_t migrations_started = 0;
   std::uint64_t migrations_failed = 0;  ///< resumed with condition 0
   std::uint64_t remote_ops = 0;
@@ -78,6 +81,15 @@ class AgillaEngine {
   void on_tuple_inserted(const ts::Tuple& tuple);
   void on_reaction(const ts::Reaction& reaction, const ts::Tuple& tuple);
 
+  /// Connects the node's battery so every simulated CPU microsecond the
+  /// cost model charges also drains energy (and sense drains per sample).
+  /// `battery` may be nullptr (mains-powered / energy disabled).
+  void set_energy(energy::Battery* battery, energy::CpuEnergyModel cpu);
+
+  /// Kills every agent on this node (node death / reboot): reactions are
+  /// dropped, code blocks released, pending wakeups cancelled.
+  void kill_all_agents();
+
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
 
   /// Per-opcode execution profile (key: raw opcode byte; getvar/setvar
@@ -105,6 +117,7 @@ class AgillaEngine {
   void make_ready(Agent& agent);
   void schedule_tick(sim::SimTime delay);
   void tick();
+  void charge_cpu(sim::SimTime cost);
   StepResult step(Agent& agent, sim::SimTime& cost);
   void die(Agent& agent, const std::string& reason);
   void destroy(AgentId id, bool drop_reactions);
@@ -131,6 +144,8 @@ class AgillaEngine {
   MigrationManager& migration_;
   RemoteTsManager& remote_ts_;
   sim::Trace* trace_;
+  energy::Battery* battery_ = nullptr;
+  energy::CpuEnergyModel cpu_energy_{};
 
   std::deque<AgentId> ready_;
   bool tick_scheduled_ = false;

@@ -50,6 +50,29 @@ void AgillaMiddleware::start() {
   link_->attach();
   neighbors_->start();
   context_->seed_context_tuples(tuple_space_, sensors_);
+  // Energy wiring: when the network runs the energy subsystem, the VM and
+  // the migration protocol charge this node's battery (nullptr for the
+  // mains-powered gateway — charging no-ops).
+  if (const energy::EnergyOptions* energy = network_.energy_options();
+      energy != nullptr) {
+    engine_->set_energy(network_.battery(self_), energy->cpu);
+    migration_->set_energy(network_.battery(self_),
+                           energy->cpu.migration_msg_mj);
+  }
+}
+
+void AgillaMiddleware::power_down() {
+  engine_->kill_all_agents();
+  migration_->drop_in_flight();
+  tuple_space_.store().clear();
+  tuple_space_.clear_reactions();
+  neighbors_->stop();
+  neighbors_->clear();
+}
+
+void AgillaMiddleware::power_up() {
+  neighbors_->start();
+  context_->seed_context_tuples(tuple_space_, sensors_);
 }
 
 std::optional<AgentId> AgillaMiddleware::inject(
@@ -89,6 +112,11 @@ MemoryBudget AgillaMiddleware::memory_budget() const {
              config_.remote_ts.replay_cache * 32);
   budget.add("radio tx/rx buffers (2 x 48 + queue)", 2 * 48 + 96);
   budget.add("engine (ready queue, timers, misc)", 96);
+  // Energy subsystem state (src/energy/): the battery ledger (capacity +
+  // five 4-byte component accumulators + settle timestamp) and the LPL
+  // duty-cycler schedule (fraction, wake time, next-sample alarm).
+  budget.add("battery ledger (5 components + settle)", 4 + 5 * 4 + 4);
+  budget.add("duty cycler (LPL schedule)", 8);
   return budget;
 }
 

@@ -49,6 +49,17 @@ class AgillaMiddleware {
   /// Attaches the radio, starts beaconing, and seeds the context tuples.
   void start();
 
+  /// Node death (battery depletion or churn crash): kills every agent,
+  /// wipes the tuple space, reactions, and acquaintance list, and stops
+  /// beaconing — the mote's RAM is gone. The network layer has already
+  /// silenced the radio; in-flight protocol exchanges with this node time
+  /// out at their initiators and report failure there.
+  void power_down();
+
+  /// Reboot after a churn crash: resumes beaconing and reseeds the
+  /// context tuples into the (empty) tuple space.
+  void power_up();
+
   /// Injects an agent on this node (the paper's base-station injection).
   std::optional<AgentId> inject(std::span<const std::uint8_t> code);
 

@@ -87,6 +87,17 @@ void MigrationManager::send(AgentImage image, HopCompletion done) {
   send_next(std::prev(outgoing_.end()));
 }
 
+void MigrationManager::drop_in_flight() {
+  for (Outgoing& transfer : outgoing_) {
+    transfer.done = nullptr;
+    transfer.custody_image.reset();
+  }
+  for (auto& [agent_id, incoming] : incoming_) {
+    incoming.abort_timer.cancel();
+  }
+  incoming_.clear();
+}
+
 void MigrationManager::send_next(std::list<Outgoing>::iterator it) {
   Outgoing& transfer = *it;
   if (transfer.next >= transfer.messages.size()) {
@@ -101,6 +112,9 @@ void MigrationManager::send_next(std::list<Outgoing>::iterator it) {
   }
   const MigrationMessage& msg = transfer.messages[transfer.next];
   stats_.messages_sent++;
+  if (battery_ != nullptr) {
+    battery_->drain(energy::EnergyComponent::kCpu, per_message_mj_);
+  }
   link_.send_acked(
       transfer.hop, msg.am, msg.payload, [this, it](bool delivered) {
         if (!delivered) {
@@ -128,6 +142,9 @@ bool MigrationManager::on_message(sim::AmType am, sim::NodeId /*from*/,
   const std::uint8_t transfer_id = peek.u8();
   if (!peek.ok()) {
     return false;
+  }
+  if (battery_ != nullptr) {
+    battery_->drain(energy::EnergyComponent::kCpu, per_message_mj_);
   }
 
   auto it = incoming_.find(agent_id);

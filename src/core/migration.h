@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "core/agent_serializer.h"
+#include "energy/battery.h"
 #include "net/geo_router.h"
 #include "net/link_layer.h"
 
@@ -60,9 +61,25 @@ class MigrationManager {
     arrival_ = std::move(handler);
   }
 
+  /// Connects the node's battery: every migration message built or
+  /// accepted charges `per_message_mj` of CPU (serialization work) on top
+  /// of the radio energy the network layer already bills per frame.
+  void set_energy(energy::Battery* battery, double per_message_mj) {
+    battery_ = battery;
+    per_message_mj_ = per_message_mj;
+  }
+
   /// Starts moving `image` toward image.dest. `done` reports the first-hop
   /// outcome; pass nullptr for forwarded transfers.
   void send(AgentImage image, HopCompletion done);
+
+  /// Node death: drops every in-flight transfer's custody image, hop
+  /// callback, and partial incoming assembly — the agent copies lived in
+  /// the mote's RAM. Without this, a forwarded transfer's ack timeout
+  /// would later "resume" an agent onto the dead node. The link-layer
+  /// callbacks of already-sent messages still fire; with nothing to
+  /// deliver they only erase their bookkeeping entry.
+  void drop_in_flight();
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -97,6 +114,8 @@ class MigrationManager {
   sim::Location self_;
   Options options_;
   sim::Trace* trace_;
+  energy::Battery* battery_ = nullptr;
+  double per_message_mj_ = 0.0;
   ArrivalHandler arrival_;
   std::list<Outgoing> outgoing_;
   std::unordered_map<std::uint16_t, Incoming> incoming_;  // by agent id

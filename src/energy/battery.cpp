@@ -1,0 +1,53 @@
+#include "energy/battery.h"
+
+#include <algorithm>
+
+namespace agilla::energy {
+
+const char* to_string(EnergyComponent c) {
+  switch (c) {
+    case EnergyComponent::kRadioTx:
+      return "radio_tx";
+    case EnergyComponent::kRadioRx:
+      return "radio_rx";
+    case EnergyComponent::kRadioIdle:
+      return "radio_idle";
+    case EnergyComponent::kCpu:
+      return "cpu";
+    case EnergyComponent::kSense:
+      return "sense";
+  }
+  return "?";
+}
+
+void Battery::drain(EnergyComponent component, double mj) {
+  if (mj <= 0.0) {
+    return;
+  }
+  const double applied = std::min(mj, remaining_mj());
+  drained_[static_cast<std::size_t>(component)] += applied;
+}
+
+void Battery::settle(sim::SimTime now) {
+  if (now <= last_settle_) {
+    return;
+  }
+  const double elapsed_s =
+      static_cast<double>(now - last_settle_) / 1e6;
+  last_settle_ = now;
+  drain(EnergyComponent::kRadioIdle, idle_draw_mw_ * elapsed_s);
+}
+
+double Battery::total_drained_mj() const {
+  double total = 0.0;
+  for (const double d : drained_) {
+    total += d;
+  }
+  return total;
+}
+
+double Battery::remaining_mj() const {
+  return std::max(0.0, capacity_mj_ - total_drained_mj());
+}
+
+}  // namespace agilla::energy

@@ -1,0 +1,20 @@
+#include "energy/duty_cycler.h"
+
+namespace agilla::energy {
+
+sim::SimTime DutyCycler::check_period() const {
+  if (!enabled()) {
+    return options_.wake_time;
+  }
+  return static_cast<sim::SimTime>(
+      static_cast<double>(options_.wake_time) / options_.listen_fraction);
+}
+
+sim::SimTime DutyCycler::preamble_extension() const {
+  if (!enabled()) {
+    return 0;
+  }
+  return check_period() - options_.wake_time;
+}
+
+}  // namespace agilla::energy

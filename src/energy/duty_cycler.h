@@ -1,0 +1,52 @@
+// Low-power-listening duty cycler (B-MAC style, as TinyOS ships for the
+// CC1000): the receiver wakes for a short channel sample every check
+// period and sleeps in between; a sender prepends a preamble long enough
+// to span one full check period so the receiver's next sample catches it.
+//
+// The listen fraction is the knob (`duty_cycle` on the harness axis): the
+// wake time is fixed and the check period derived as wake / fraction, so
+// a lower fraction means a LONGER check period — less idle draw, but every
+// frame pays a longer preamble (more TX energy and more latency). That is
+// exactly the tradeoff bench_ablation_energy sweeps.
+#pragma once
+
+#include "sim/types.h"
+
+namespace agilla::energy {
+
+class DutyCycler {
+ public:
+  struct Options {
+    /// Fraction of time the radio listens; >= 1 disables duty cycling.
+    double listen_fraction = 1.0;
+    /// Channel-sample duration per wakeup (B-MAC default scale).
+    sim::SimTime wake_time = 8 * sim::kMillisecond;
+  };
+
+  DutyCycler() = default;
+  explicit DutyCycler(Options options) : options_(options) {}
+
+  [[nodiscard]] bool enabled() const {
+    return options_.listen_fraction < 1.0 &&
+           options_.listen_fraction > 0.0;
+  }
+
+  /// Effective listen fraction in [0,1]; 1 when duty cycling is off.
+  [[nodiscard]] double listen_fraction() const {
+    return enabled() ? options_.listen_fraction : 1.0;
+  }
+
+  /// Interval between channel samples: wake_time / fraction.
+  [[nodiscard]] sim::SimTime check_period() const;
+
+  /// Extra on-air time every frame pays for its long preamble
+  /// (check_period - wake_time); 0 when duty cycling is off.
+  [[nodiscard]] sim::SimTime preamble_extension() const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace agilla::energy

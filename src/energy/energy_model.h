@@ -1,0 +1,70 @@
+// Energy cost models for the MICA2 platform, in the style of
+// core/vm_costs.h: named constants with calibration sources in DESIGN.md,
+// combined into millijoule charges by small pure functions.
+//
+// Power figures are CC1000/ATmega128L datasheet currents at 3 V (the
+// numbers PowerTOSSIM and the Mica2 power profiles use): TX at 0 dBm
+// ~16.5 mA -> 49.5 mW, RX/listen ~9.6 mA -> 28.8 mW, sleep ~1 uA,
+// MCU active ~8 mA -> 24 mW.
+#pragma once
+
+#include "energy/duty_cycler.h"
+#include "sim/types.h"
+
+namespace agilla::energy {
+
+/// Radio draw: per-frame TX/RX charges from on-air time, continuous
+/// listen/sleep draw for the idle baseline.
+struct RadioEnergyModel {
+  double tx_mw = 49.5;        ///< CC1000 TX at 0 dBm, 3 V
+  double rx_mw = 28.8;        ///< CC1000 RX / idle listen
+  double sleep_mw = 0.003;    ///< CC1000 power-down (~1 uA)
+  /// Per-frame TX fixed cost: preamble + sync + oscillator turnaround.
+  double tx_startup_mj = 0.1;
+
+  /// Energy to transmit for `on_air` microseconds (data + LPL preamble).
+  [[nodiscard]] double tx_mj(sim::SimTime on_air) const {
+    return tx_startup_mj + tx_mw * static_cast<double>(on_air) / 1e6;
+  }
+  /// Energy to receive/decode a frame of `on_air` microseconds.
+  [[nodiscard]] double rx_mj(sim::SimTime on_air) const {
+    return rx_mw * static_cast<double>(on_air) / 1e6;
+  }
+  /// Continuous draw while awake a `listen_fraction` of the time (duty
+  /// cycling mixes listen and sleep power).
+  [[nodiscard]] double listen_mw(double listen_fraction) const {
+    return rx_mw * listen_fraction + sleep_mw * (1.0 - listen_fraction);
+  }
+};
+
+/// The bridge from VmCostModel's simulated microseconds to millijoules,
+/// plus the fixed per-event CPU charges the VM issues.
+struct CpuEnergyModel {
+  double active_mw = 24.0;          ///< ATmega128L active at 8 MHz, 3 V
+  double sense_mj_per_sample = 0.02;  ///< ADC + sensor-board acquisition
+  /// Serialization/deserialization work per migration message.
+  double migration_msg_mj = 0.004;
+
+  /// Energy for `us` microseconds of active CPU (what the VM cost model
+  /// charged for a slice).
+  [[nodiscard]] double mj_for(sim::SimTime us) const {
+    return active_mw * static_cast<double>(us) / 1e6;
+  }
+};
+
+/// Everything sim::Network needs to run the energy subsystem.
+struct EnergyOptions {
+  /// Battery capacity per node; <= 0 means no batteries (immortal nodes,
+  /// but duty-cycle latency still applies if configured).
+  double battery_mj = 0.0;
+  RadioEnergyModel radio{};
+  CpuEnergyModel cpu{};
+  DutyCycler::Options duty{};
+  /// Node 0 (the paper's base-station / gateway mote) is mains-powered:
+  /// no battery, never churned.
+  bool gateway_powered = true;
+  /// Idle-draw settling + depletion-check cadence.
+  sim::SimTime settle_period = 1 * sim::kSecond;
+};
+
+}  // namespace agilla::energy

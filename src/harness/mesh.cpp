@@ -13,6 +13,10 @@ MeshOptions mesh_options_for(const TrialSpec& trial) {
   options.seed = trial.seed;
   options.store = trial.store;
   options.config.tuple_space.store_kind = trial.store;
+  options.battery_mj = trial.param("battery_mj", 0.0);
+  options.duty_cycle = trial.param("duty_cycle", 1.0);
+  options.churn_rate = trial.param("churn_rate", 0.0);
+  options.churn_reboot_s = trial.param("churn_reboot_s", 0.0);
   return options;
 }
 
@@ -30,12 +34,51 @@ Mesh::Mesh(MeshOptions options)
                        .per_byte_loss = options.per_byte_loss})) {
   options_.config.tuple_space.store_kind = options_.store;
   topology_ = sim::make_grid(network_, options_.width, options_.height);
+
+  const bool wants_energy =
+      options_.battery_mj > 0.0 || options_.duty_cycle < 1.0;
+  if (wants_energy) {
+    energy::EnergyOptions energy;
+    energy.battery_mj = options_.battery_mj;
+    energy.duty.listen_fraction = options_.duty_cycle;
+    network_.attach_energy(energy);
+    // LPL stretches every frame by one preamble extension; the per-hop
+    // and end-to-end timers must absorb a data frame plus its ack, or
+    // every exchange degenerates into retransmissions.
+    const sim::SimTime ext = network_.duty_cycler().preamble_extension();
+    if (ext > 0) {
+      options_.config.link.ack_timeout += 2 * ext;
+      options_.config.migration.receiver_abort += 4 * ext;
+      options_.config.remote_ts.reply_timeout += 4 * ext;
+    }
+  }
+
   motes_.reserve(topology_.nodes.size());
   for (const sim::NodeId id : topology_.nodes) {
     motes_.push_back(std::make_unique<core::AgillaMiddleware>(
         network_, id, &environment_, options_.config));
     motes_.back()->start();
   }
+
+  // Node lifecycle: deaths tear the mote's middleware down through the
+  // same path the failure-injection tests use; reboots bring it back
+  // with empty RAM.
+  network_.set_node_down_handler(
+      [this](sim::NodeId id, sim::NodeDownReason reason) {
+        death_log_.push_back(DeathEvent{id, simulator_.now(), reason});
+        motes_.at(id.value)->power_down();
+      });
+  network_.set_node_up_handler([this](sim::NodeId id) {
+    ++reboots_;
+    motes_.at(id.value)->power_up();
+  });
+  if (options_.churn_rate > 0.0) {
+    network_.enable_churn(sim::ChurnOptions{
+        .crash_rate_per_node_s = options_.churn_rate,
+        .reboot_after = static_cast<sim::SimTime>(
+            options_.churn_reboot_s * 1e6)});
+  }
+
   if (options_.warmup > 0) {
     simulator_.run_for(options_.warmup);
   }
@@ -93,6 +136,18 @@ std::size_t Mesh::agent_count() const {
     count += mote->agents().count();
   }
   return count;
+}
+
+double Mesh::total_drained_mj(energy::EnergyComponent component) {
+  network_.settle_batteries();
+  double total = 0.0;
+  for (const sim::NodeId id : topology_.nodes) {
+    if (const energy::Battery* battery = network_.battery(id);
+        battery != nullptr) {
+      total += battery->drained_mj(component);
+    }
+  }
+  return total;
 }
 
 }  // namespace agilla::harness

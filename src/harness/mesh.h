@@ -36,6 +36,13 @@ struct MeshOptions {
   core::AgillaConfig config{};
   /// Neighbour-discovery warm-up run before the constructor returns.
   sim::SimTime warmup = 5 * sim::kSecond;
+  // Energy & lifetime (src/energy/): 0 / 1.0 / 0 keeps the classic
+  // immortal, always-on mesh. The harness axes battery_mj / duty_cycle /
+  // churn_rate land here via mesh_options_for().
+  double battery_mj = 0.0;   ///< per-node battery; <= 0 = immortal
+  double duty_cycle = 1.0;   ///< LPL listen fraction; >= 1 = always on
+  double churn_rate = 0.0;   ///< Poisson crashes per node per second
+  double churn_reboot_s = 0.0;  ///< crashed nodes reboot after this; 0 = never
 };
 
 class Mesh {
@@ -87,6 +94,23 @@ class Mesh {
   /// Total live agents across all motes.
   [[nodiscard]] std::size_t agent_count() const;
 
+  // ------------------------------------------------------------- energy
+  struct DeathEvent {
+    sim::NodeId node;
+    sim::SimTime at = 0;
+    sim::NodeDownReason reason = sim::NodeDownReason::kBatteryDepleted;
+  };
+
+  /// Node deaths in event order (battery + churn), across the whole run.
+  [[nodiscard]] const std::vector<DeathEvent>& death_log() const {
+    return death_log_;
+  }
+  [[nodiscard]] std::size_t reboot_count() const { return reboots_; }
+
+  /// Network-wide drain for one ledger component, batteries settled to
+  /// now() first. 0 when energy is disabled.
+  [[nodiscard]] double total_drained_mj(energy::EnergyComponent component);
+
  private:
   MeshOptions options_;
   sim::Simulator simulator_;
@@ -94,6 +118,8 @@ class Mesh {
   sim::SensorEnvironment environment_;
   sim::Topology topology_;
   std::vector<std::unique_ptr<core::AgillaMiddleware>> motes_;
+  std::vector<DeathEvent> death_log_;
+  std::size_t reboots_ = 0;
 };
 
 /// Translates a TrialSpec into MeshOptions (store kind lands in

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <initializer_list>
+#include <utility>
 
 #include "core/agent_library.h"
 #include "core/assembler.h"
 #include "core/isa.h"
 #include "core/vm_costs.h"
+#include "energy/battery.h"
 #include "harness/mesh.h"
 #include "sim/environment.h"
 #include "sim/stats.h"
@@ -34,31 +37,52 @@ void record_network_stats(const Mesh& mesh, const sim::Network& network,
   }
 }
 
+/// Network-wide per-component energy draw, when batteries are attached.
+void record_energy_stats(Mesh& mesh, TrialMetrics& metrics) {
+  if (mesh.network().energy_options() == nullptr) {
+    return;
+  }
+  double total = 0.0;
+  for (const auto [component, key] :
+       {std::pair{energy::EnergyComponent::kRadioTx, "e_tx_mj"},
+        std::pair{energy::EnergyComponent::kRadioRx, "e_rx_mj"},
+        std::pair{energy::EnergyComponent::kRadioIdle, "e_idle_mj"},
+        std::pair{energy::EnergyComponent::kCpu, "e_cpu_mj"},
+        std::pair{energy::EnergyComponent::kSense, "e_sense_mj"}}) {
+    const double mj = mesh.total_drained_mj(component);
+    metrics.set(key, mj);
+    total += mj;
+  }
+  metrics.set("e_total_mj", total);
+}
+
+/// The energy/lifetime knobs every mesh-backed scenario understands (they
+/// flow from axis/param into MeshOptions via mesh_options_for()).
+std::vector<std::string> with_energy_knobs(
+    std::initializer_list<const char*> own) {
+  std::vector<std::string> knobs(own.begin(), own.end());
+  knobs.insert(knobs.end(), {"battery_mj", "duty_cycle", "churn_rate",
+                             "churn_reboot_s"});
+  return knobs;
+}
+
 // ----------------------------------------------------------- fire_tracking
 
-/// Paper Sec. 5 end to end, on an arbitrary WxH mesh: FIREDETECTOR agents
-/// flood the grid, a fire ignites at the far corner and spreads, the
-/// FIRETRACKER swarm marks the perimeter. Success = the first <"trk", loc>
-/// perimeter mark appears before the trial ends.
-TrialMetrics run_fire_tracking(const TrialSpec& trial) {
-  Mesh mesh(trial);
+/// The Sec. 5 burning world: ignite at the far corner 15 s after
+/// `inject_time`, spread speed scaled so the front crosses ~80 % of the
+/// diagonal within the trial whatever the grid size (overridable via the
+/// "spread_speed" knob). Shared by fire_tracking and network_lifetime.
+sim::FireField::Options fire_options_for(const TrialSpec& trial,
+                                         sim::SimTime inject_time) {
   const double w = static_cast<double>(trial.grid.width);
   const double h = static_cast<double>(trial.grid.height);
-  const double duration_s =
-      static_cast<double>(trial.duration) / 1e6;
-
-  // Ignite at the far corner 15 s after injection; scale the spread speed
-  // so the front crosses ~80 % of the diagonal within the trial whatever
-  // the grid size (overridable via the "spread_speed" knob).
-  const sim::SimTime inject_time = mesh.simulator().now();
-  const sim::SimTime ignition =
-      inject_time + 15 * sim::kSecond;
+  const double duration_s = static_cast<double>(trial.duration) / 1e6;
   const double diagonal = std::hypot(w - 1.0, h - 1.0);
   const double default_speed =
       0.8 * std::max(diagonal, 1.0) / std::max(duration_s - 15.0, 10.0);
-  const sim::FireField::Options fire_options{
+  return sim::FireField::Options{
       .ignition_point = {w, h},
-      .ignition_time = ignition,
+      .ignition_time = inject_time + 15 * sim::kSecond,
       .extinction_time = 0,
       .spread_speed = trial.param("spread_speed", default_speed),
       .peak = 500.0,
@@ -66,6 +90,18 @@ TrialMetrics run_fire_tracking(const TrialSpec& trial) {
       .edge_decay = 0.45,
       .ring_width = 1.6,
       .burned_over = 40.0};
+}
+
+/// Paper Sec. 5 end to end, on an arbitrary WxH mesh: FIREDETECTOR agents
+/// flood the grid, a fire ignites at the far corner and spreads, the
+/// FIRETRACKER swarm marks the perimeter. Success = the first <"trk", loc>
+/// perimeter mark appears before the trial ends.
+TrialMetrics run_fire_tracking(const TrialSpec& trial) {
+  Mesh mesh(trial);
+  const sim::SimTime inject_time = mesh.simulator().now();
+  const sim::FireField::Options fire_options =
+      fire_options_for(trial, inject_time);
+  const sim::SimTime ignition = fire_options.ignition_time;
   mesh.environment().set_field(
       sim::SensorType::kTemperature,
       std::make_unique<sim::FireField>(fire_options));
@@ -127,41 +163,51 @@ TrialMetrics run_fire_tracking(const TrialSpec& trial) {
 
 // -------------------------------------------------------- intruder_pursuit
 
-/// Paper Sec. 1 tracking claim: SENTINELs publish magnetometer readings,
-/// one PURSUER chases the loudest signal. The intruder patrols the mesh
-/// perimeter; metrics score how closely the pursuer shadows it.
-TrialMetrics run_intruder_pursuit(const TrialSpec& trial) {
-  Mesh mesh(trial);
+/// The Sec. 1 intruder: a moving magnetometer bump patrolling the mesh
+/// perimeter. Shared by intruder_pursuit and churn_pursuit.
+sim::MovingBumpField::Options intruder_options_for(const TrialSpec& trial) {
   const double w = static_cast<double>(trial.grid.width);
   const double h = static_cast<double>(trial.grid.height);
-
-  const sim::MovingBumpField::Options intruder_options{
+  return sim::MovingBumpField::Options{
       .waypoints = {{1, 1}, {w, 1}, {w, h}, {1, h}},
       .speed = trial.param("intruder_speed", 0.05),
       .peak = 400.0,
       .sigma = 1.0,
       .ambient = 5.0,
       .loop = true};
-  mesh.environment().set_field(
-      sim::SensorType::kMagnetometer,
-      std::make_unique<sim::MovingBumpField>(intruder_options));
-  const sim::MovingBumpField intruder(intruder_options);
+}
 
+/// The pursuer is wherever two agents share a node (sentinel + pursuer).
+std::optional<sim::Location> pursuer_location(Mesh& mesh) {
+  for (std::size_t i = 0; i < mesh.mote_count(); ++i) {
+    if (mesh.mote(i).agents().count() >= 2) {
+      return mesh.mote(i).location();
+    }
+  }
+  return std::nullopt;
+}
+
+/// Injects the sentinel flood, lets it claim the grid, then releases the
+/// pursuer (the shared opening of both pursuit scenarios).
+void deploy_pursuit_agents(Mesh& mesh) {
   core::BaseStation base = mesh.base();
   base.inject(core::agents::sentinel(/*sample_ticks=*/8));
   mesh.simulator().run_for(30 * sim::kSecond);  // sentinels claim the grid
   base.inject(core::agents::pursuer(/*nap_ticks=*/8));
+}
 
-  // The pursuer is wherever two agents share a node (sentinel + pursuer).
-  const auto pursuer_location =
-      [&mesh]() -> std::optional<sim::Location> {
-    for (std::size_t i = 0; i < mesh.mote_count(); ++i) {
-      if (mesh.mote(i).agents().count() >= 2) {
-        return mesh.mote(i).location();
-      }
-    }
-    return std::nullopt;
-  };
+/// Paper Sec. 1 tracking claim: SENTINELs publish magnetometer readings,
+/// one PURSUER chases the loudest signal. The intruder patrols the mesh
+/// perimeter; metrics score how closely the pursuer shadows it.
+TrialMetrics run_intruder_pursuit(const TrialSpec& trial) {
+  Mesh mesh(trial);
+  const sim::MovingBumpField::Options intruder_options =
+      intruder_options_for(trial);
+  mesh.environment().set_field(
+      sim::SensorType::kMagnetometer,
+      std::make_unique<sim::MovingBumpField>(intruder_options));
+  const sim::MovingBumpField intruder(intruder_options);
+  deploy_pursuit_agents(mesh);
 
   const sim::SimTime deadline = mesh.simulator().now() + trial.duration;
   sim::Summary distance_track;
@@ -170,7 +216,7 @@ TrialMetrics run_intruder_pursuit(const TrialSpec& trial) {
   std::optional<sim::Location> last_seen;
   while (mesh.simulator().now() < deadline) {
     mesh.simulator().run_for(10 * sim::kSecond);
-    const std::optional<sim::Location> at = pursuer_location();
+    const std::optional<sim::Location> at = pursuer_location(mesh);
     if (!at) {
       continue;
     }
@@ -356,25 +402,225 @@ TrialMetrics run_store_ops(const TrialSpec& trial) {
   return metrics;
 }
 
+// -------------------------------------------------------- network_lifetime
+
+/// The fire-tracking workload on battery power: every mote (except the
+/// mains-powered gateway) starts with `battery_mj` millijoules and pays
+/// for listening, TX/RX, VM cycles, and sensing; nodes die as batteries
+/// deplete. Reports when the network starts to die and how long it
+/// stays useful, with per-trial lifetime percentiles over node deaths.
+TrialMetrics run_network_lifetime(const TrialSpec& trial_in) {
+  TrialSpec trial = trial_in;
+  // Finite by default: at the CC1000's 28.8 mW listen draw, 2 J lasts
+  // ~70 s always-on — deaths land inside the default 120 s trial, and
+  // duty-cycled cells visibly outlive always-on ones.
+  trial.params.try_emplace("battery_mj", 2000.0);
+  Mesh mesh(trial);
+  const std::size_t nodes = mesh.mote_count();
+
+  const sim::SimTime inject_time = mesh.simulator().now();
+  const sim::FireField::Options fire_options =
+      fire_options_for(trial, inject_time);
+  mesh.environment().set_field(
+      sim::SensorType::kTemperature,
+      std::make_unique<sim::FireField>(fire_options));
+
+  const int threshold =
+      static_cast<int>(trial.param("alert_threshold", 180));
+  core::BaseStation base = mesh.base();
+  base.inject(core::agents::fire_tracker(threshold, /*nap_ticks=*/16));
+  base.inject(core::agents::fire_detector(/*alert_to=*/{1, 1},
+                                          /*threshold=*/200,
+                                          /*sample_ticks=*/32));
+
+  const ts::Template trk = marker_template("trk");
+  const sim::SimTime deadline = inject_time + trial.duration;
+  std::optional<sim::SimTime> first_track;
+  while (mesh.simulator().now() < deadline) {
+    mesh.simulator().run_for(5 * sim::kSecond);
+    if (!first_track && mesh.tuples_matching(trk) > 0) {
+      first_track = mesh.simulator().now();
+    }
+  }
+
+  TrialMetrics metrics;
+  metrics.set("success", first_track ? 1.0 : 0.0);
+  if (first_track) {
+    metrics.set("first_track_s",
+                static_cast<double>(*first_track -
+                                    fire_options.ignition_time) /
+                    1e6);
+  }
+
+  // Lifetime accounting: node lifetimes (virtual seconds from boot to
+  // death) across this trial's deaths, in death order.
+  sim::Summary lifetimes;
+  for (const Mesh::DeathEvent& death : mesh.death_log()) {
+    lifetimes.add(static_cast<double>(death.at) / 1e6);
+  }
+  metrics.set("deaths", static_cast<double>(lifetimes.count()));
+  metrics.set("alive_frac",
+              static_cast<double>(mesh.network().alive_count()) /
+                  static_cast<double>(nodes));
+  if (!lifetimes.empty()) {
+    metrics.set("first_death_s", lifetimes.min());
+    metrics.set("lifetime_p50_s", lifetimes.p50());
+    metrics.set("lifetime_p95_s", lifetimes.p95());
+    metrics.set("lifetime_p99_s", lifetimes.p99());
+  }
+  // Half-life: the instant the mesh dropped to half strength.
+  if (lifetimes.count() >= nodes - nodes / 2) {
+    metrics.set(
+        "half_dead_s",
+        static_cast<double>(
+            mesh.death_log()[nodes - nodes / 2 - 1].at) /
+            1e6);
+  }
+  metrics.set("perimeter_marks",
+              static_cast<double>(mesh.tuples_matching(trk)));
+  metrics.set("live_agents", static_cast<double>(mesh.agent_count()));
+  record_energy_stats(mesh, metrics);
+  record_network_stats(mesh, mesh.network(), metrics);
+  return metrics;
+}
+
+// ----------------------------------------------------------- churn_pursuit
+
+/// Intruder pursuit on an unreliable substrate: nodes crash as a Poisson
+/// process (`churn_rate` per node per second) and reboot with empty RAM
+/// after `churn_reboot_s`. Measures whether the pursuer survives relays
+/// dying under it (custody resumes) and how much sentinel coverage the
+/// mesh retains — the paper's self-healing claim under real churn.
+TrialMetrics run_churn_pursuit(const TrialSpec& trial_in) {
+  TrialSpec trial = trial_in;
+  // ~0.004 crashes/node/s on a 5x5 mesh = one crash every ~10 s.
+  trial.params.try_emplace("churn_rate", 0.004);
+  trial.params.try_emplace("churn_reboot_s", 20.0);
+  Mesh mesh(trial);
+  const sim::MovingBumpField::Options intruder_options =
+      intruder_options_for(trial);
+  mesh.environment().set_field(
+      sim::SensorType::kMagnetometer,
+      std::make_unique<sim::MovingBumpField>(intruder_options));
+  const sim::MovingBumpField intruder(intruder_options);
+  deploy_pursuit_agents(mesh);
+
+  const sim::SimTime pursuit_start = mesh.simulator().now();
+  const sim::SimTime deadline = pursuit_start + trial.duration;
+  sim::Summary distance_track;
+  std::size_t captures = 0;
+  std::size_t polls = 0;
+  std::size_t sightings = 0;
+  std::optional<sim::SimTime> last_seen_at;
+  while (mesh.simulator().now() < deadline) {
+    mesh.simulator().run_for(10 * sim::kSecond);
+    ++polls;
+    const std::optional<sim::Location> at = pursuer_location(mesh);
+    if (!at) {
+      continue;
+    }
+    ++sightings;
+    last_seen_at = mesh.simulator().now();
+    const double d =
+        distance(intruder.center(mesh.simulator().now()), *at);
+    distance_track.add(d);
+    if (d <= 1.0) {
+      ++captures;
+    }
+  }
+
+  TrialMetrics metrics;
+  // Survived: the pursuer was still observable in the trial's last
+  // quarter despite the churn underneath it.
+  const bool survived =
+      last_seen_at.has_value() &&
+      *last_seen_at >= deadline - trial.duration / 4;
+  metrics.set("success", survived ? 1.0 : 0.0);
+  if (polls > 0) {
+    metrics.set("pursuer_seen_frac",
+                static_cast<double>(sightings) /
+                    static_cast<double>(polls));
+  }
+  if (!distance_track.empty()) {
+    metrics.set("mean_distance", distance_track.mean());
+    metrics.set("min_distance", distance_track.min());
+    metrics.set("capture_frac",
+                static_cast<double>(captures) /
+                    static_cast<double>(distance_track.count()));
+  }
+
+  // Churn + failure-path accounting, summed across the mesh.
+  double hop_failures = 0;
+  double custody_resumes = 0;
+  double migrations_failed = 0;
+  double agents_power_lost = 0;
+  std::size_t sentinels = 0;
+  for (std::size_t i = 0; i < mesh.mote_count(); ++i) {
+    core::AgillaMiddleware& mote = mesh.mote(i);
+    hop_failures +=
+        static_cast<double>(mote.migration().stats().hop_failures);
+    custody_resumes +=
+        static_cast<double>(mote.migration().stats().custody_resumes);
+    migrations_failed +=
+        static_cast<double>(mote.engine().stats().migrations_failed);
+    agents_power_lost +=
+        static_cast<double>(mote.engine().stats().agents_power_lost);
+    if (mote.agents().count() >= 1) {
+      ++sentinels;
+    }
+  }
+  metrics.set("crashes", static_cast<double>(mesh.death_log().size()));
+  metrics.set("reboots", static_cast<double>(mesh.reboot_count()));
+  metrics.set("alive_frac",
+              static_cast<double>(mesh.network().alive_count()) /
+                  static_cast<double>(mesh.mote_count()));
+  metrics.set("sentinel_coverage",
+              static_cast<double>(sentinels) /
+                  static_cast<double>(mesh.mote_count()));
+  metrics.set("hop_failures", hop_failures);
+  metrics.set("custody_resumes", custody_resumes);
+  metrics.set("migrations_failed", migrations_failed);
+  metrics.set("agents_power_lost", agents_power_lost);
+  metrics.set("live_agents", static_cast<double>(mesh.agent_count()));
+  record_energy_stats(mesh, metrics);
+  record_network_stats(mesh, mesh.network(), metrics);
+  return metrics;
+}
+
 std::vector<ScenarioInfo>& registry() {
   static std::vector<ScenarioInfo> scenarios = {
       {"fire_tracking",
        "Sec. 5 case study: detector flood + tracker swarm on a burning "
        "mesh",
-       run_fire_tracking},
+       run_fire_tracking,
+       with_energy_knobs({"spread_speed", "alert_threshold"})},
       {"intruder_pursuit",
        "Sec. 1 scenario: sentinels publish readings, a pursuer shadows "
        "the intruder",
-       run_intruder_pursuit},
+       run_intruder_pursuit,
+       with_energy_knobs({"intruder_speed"})},
       {"smove",
        "Fig. 8 strong-move round trip (axis: hops)",
-       run_smove},
+       run_smove,
+       with_energy_knobs({"hops", "timeout_s"})},
       {"rout",
        "Fig. 8 remote out with acknowledgement (axis: hops)",
-       run_rout},
+       run_rout,
+       with_energy_knobs({"hops", "timeout_s"})},
       {"store_ops",
        "Sec. 3.2 ablation: tuple-store probe/remove cost (axis: fillers)",
-       run_store_ops},
+       run_store_ops,
+       {"fillers"}},
+      {"network_lifetime",
+       "fire tracking on battery power: node deaths, lifetime "
+       "percentiles (axes: battery_mj, duty_cycle)",
+       run_network_lifetime,
+       with_energy_knobs({"spread_speed", "alert_threshold"})},
+      {"churn_pursuit",
+       "intruder pursuit under Poisson crash/reboot churn (axes: "
+       "churn_rate, churn_reboot_s)",
+       run_churn_pursuit,
+       with_energy_knobs({"intruder_speed"})},
   };
   return scenarios;
 }

@@ -12,6 +12,10 @@
 //   smove            Fig. 8 strong-move round trip  (params: hops)
 //   rout             Fig. 8 remote out              (params: hops)
 //   store_ops        Sec. 3.2 store ablation micro  (params: fillers)
+//   network_lifetime fire tracking on battery power (params: battery_mj,
+//                    duty_cycle, ...): node deaths + lifetime percentiles
+//   churn_pursuit    intruder pursuit under Poisson crash/reboot churn
+//                    (params: churn_rate, churn_reboot_s, ...)
 #pragma once
 
 #include <functional>
@@ -39,6 +43,9 @@ struct ScenarioInfo {
   std::string name;
   std::string description;
   ScenarioFn run;
+  /// Knob names this scenario understands (axis/param validation in the
+  /// CLI). Empty = accept anything (externally registered scenarios).
+  std::vector<std::string> knobs;
 };
 
 /// All registered scenarios, built-ins first, in registration order.

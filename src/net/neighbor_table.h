@@ -55,6 +55,10 @@ class NeighborTable {
   /// Force-insert an entry (tests / warm start).
   void insert(sim::NodeId id, sim::Location location);
 
+  /// Forgets every acquaintance (node death wipes the mote's RAM; a
+  /// rebooted node relearns its neighbourhood from beacons).
+  void clear() { entries_.clear(); }
+
   [[nodiscard]] const Options& options() const { return options_; }
 
  private:

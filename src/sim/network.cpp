@@ -1,16 +1,31 @@
 #include "sim/network.h"
 
 #include <cassert>
+#include <cmath>
 #include <utility>
 
 namespace agilla::sim {
+namespace {
+
+/// Exponential inter-arrival sample for the Poisson churn process.
+SimTime exponential_delay(Rng& rng, double rate_per_s) {
+  // Clamp u away from 0 so -log(u) stays finite.
+  const double u = std::max(rng.uniform01(), 1e-12);
+  const double seconds = -std::log(u) / rate_per_s;
+  return static_cast<SimTime>(seconds * 1e6) + 1;
+}
+
+}  // namespace
 
 SimTime RadioTiming::air_time(std::size_t payload_bytes) const {
+  return per_packet_overhead + serialization_time(payload_bytes);
+}
+
+SimTime RadioTiming::serialization_time(std::size_t payload_bytes) const {
   const double bits =
       static_cast<double>((payload_bytes + header_bytes) * 8);
   const double seconds = bits / bit_rate_bps;
-  return per_packet_overhead +
-         static_cast<SimTime>(seconds * static_cast<double>(kSecond));
+  return static_cast<SimTime>(seconds * static_cast<double>(kSecond));
 }
 
 Network::Network(Simulator& sim, std::unique_ptr<RadioModel> radio,
@@ -21,7 +36,8 @@ Network::Network(Simulator& sim, std::unique_ptr<RadioModel> radio,
 
 NodeId Network::add_node(Location loc) {
   const NodeId id{static_cast<std::uint16_t>(nodes_.size())};
-  nodes_.push_back(NodeState{NodeInfo{id, loc, true}, nullptr, {}, false});
+  nodes_.push_back(NodeState{NodeInfo{id, loc, true}, nullptr, {}, false,
+                             true, false, nullptr});
   return id;
 }
 
@@ -31,11 +47,187 @@ void Network::set_receiver(NodeId id, ReceiveHandler handler) {
 
 void Network::set_radio_enabled(NodeId id, bool enabled) {
   auto& node = nodes_.at(id.value);
+  if (node.battery != nullptr &&
+      enabled != node.info.radio_enabled) {
+    // Pause/resume the idle-listen draw across the outage.
+    node.battery->settle(sim_.now());
+    node.battery->set_idle_draw_mw(
+        enabled ? energy_->options.radio.listen_mw(
+                      energy_->duty.listen_fraction())
+                : 0.0);
+  }
   node.info.radio_enabled = enabled;
   if (enabled) {
     try_start_tx(node);
   }
 }
+
+// --------------------------------------------------------------- energy
+
+const energy::DutyCycler& Network::duty_cycler() const {
+  static const energy::DutyCycler kDisabled;
+  return energy_ ? energy_->duty : kDisabled;
+}
+
+void Network::attach_energy(const energy::EnergyOptions& options) {
+  assert(!energy_.has_value());
+  energy_ = EnergyState{options, energy::DutyCycler(options.duty)};
+  if (options.battery_mj <= 0.0) {
+    return;  // duty-cycle latency only; nodes stay immortal
+  }
+  const double idle_mw =
+      options.radio.listen_mw(energy_->duty.listen_fraction());
+  for (NodeState& node : nodes_) {
+    if (options.gateway_powered && node.info.id.value == 0) {
+      continue;
+    }
+    node.battery =
+        std::make_unique<energy::Battery>(options.battery_mj, sim_.now());
+    node.battery->set_idle_draw_mw(node.info.radio_enabled ? idle_mw : 0.0);
+  }
+  schedule_settle_tick();
+}
+
+energy::Battery* Network::battery(NodeId id) {
+  if (id.value >= nodes_.size()) {
+    return nullptr;
+  }
+  return nodes_[id.value].battery.get();
+}
+
+const energy::Battery* Network::battery(NodeId id) const {
+  if (id.value >= nodes_.size()) {
+    return nullptr;
+  }
+  return nodes_[id.value].battery.get();
+}
+
+void Network::settle_batteries() {
+  for (NodeState& node : nodes_) {
+    if (node.battery != nullptr) {
+      node.battery->settle(sim_.now());
+    }
+  }
+}
+
+void Network::schedule_settle_tick() {
+  sim_.schedule_in(energy_->options.settle_period, [this] {
+    for (NodeState& node : nodes_) {
+      if (node.battery == nullptr) {
+        continue;
+      }
+      node.battery->settle(sim_.now());
+      if (node.alive && node.battery->depleted()) {
+        kill_node(node.info.id, NodeDownReason::kBatteryDepleted);
+      }
+    }
+    schedule_settle_tick();
+  });
+}
+
+void Network::charge(NodeState& node, energy::EnergyComponent component,
+                     double mj) {
+  if (node.battery == nullptr) {
+    return;
+  }
+  node.battery->drain(component, mj);
+  if (node.alive && node.battery->depleted()) {
+    // Defer the kill to its own event: we may be mid-delivery, and the
+    // node-down handler tears down middleware state.
+    const NodeId id = node.info.id;
+    sim_.schedule_in(0, [this, id] {
+      auto& n = nodes_.at(id.value);
+      if (n.alive && n.battery != nullptr && n.battery->depleted()) {
+        kill_node(id, NodeDownReason::kBatteryDepleted);
+      }
+    });
+  }
+}
+
+// ------------------------------------------------------ death and churn
+
+void Network::enable_churn(ChurnOptions options) {
+  churn_ = options;
+  if (churn_.crash_rate_per_node_s <= 0.0) {
+    return;
+  }
+  const bool spare_gateway = !energy_ || energy_->options.gateway_powered;
+  for (const NodeState& node : nodes_) {
+    if (spare_gateway && node.info.id.value == 0) {
+      continue;
+    }
+    schedule_crash(node.info.id);
+  }
+}
+
+void Network::schedule_crash(NodeId id) {
+  const SimTime delay =
+      exponential_delay(sim_.rng(), churn_.crash_rate_per_node_s);
+  sim_.schedule_in(delay, [this, id] {
+    auto& node = nodes_.at(id.value);
+    if (!node.alive) {
+      return;  // already down (battery death); churn stops for it
+    }
+    kill_node(id, NodeDownReason::kChurnCrash);
+    if (churn_.reboot_after > 0) {
+      sim_.schedule_in(churn_.reboot_after, [this, id] {
+        revive_node(id);
+        if (nodes_.at(id.value).alive) {
+          schedule_crash(id);
+        }
+      });
+    }
+  });
+}
+
+void Network::kill_node(NodeId id, NodeDownReason reason) {
+  auto& node = nodes_.at(id.value);
+  if (!node.alive) {
+    return;
+  }
+  set_radio_enabled(id, false);  // settles + stops the idle draw
+  node.alive = false;
+  node.tx_doomed = node.transmitting;
+  stats_.node_deaths++;
+  if (node_down_) {
+    node_down_(id, reason);
+  }
+}
+
+void Network::revive_node(NodeId id) {
+  auto& node = nodes_.at(id.value);
+  if (node.alive) {
+    return;
+  }
+  if (node.battery != nullptr && node.battery->depleted()) {
+    return;  // nothing to boot with
+  }
+  node.alive = true;
+  if (!node.transmitting) {
+    node.tx_queue.clear();  // a fresh boot forgets queued frames
+  }
+  stats_.node_reboots++;
+  set_radio_enabled(id, true);  // resumes the idle draw
+  if (node_up_) {
+    node_up_(id);
+  }
+}
+
+bool Network::alive(NodeId id) const {
+  return id.value < nodes_.size() && nodes_[id.value].alive;
+}
+
+std::size_t Network::alive_count() const {
+  std::size_t count = 0;
+  for (const NodeState& node : nodes_) {
+    if (node.alive) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+// ------------------------------------------------------------ transport
 
 const NodeInfo& Network::info(NodeId id) const {
   return nodes_.at(id.value).info;
@@ -65,7 +257,8 @@ void Network::try_start_tx(NodeState& node) {
   }
   node.transmitting = true;
   const Frame& frame = node.tx_queue.front();
-  SimTime duration = timing_.air_time(frame.payload.size());
+  SimTime duration = timing_.air_time(frame.payload.size()) +
+                     duty_cycler().preamble_extension();
   if (timing_.max_jitter > 0) {
     duration += sim_.rng().uniform(timing_.max_jitter + 1);
   }
@@ -80,9 +273,28 @@ void Network::finish_tx(NodeId id) {
   node.tx_queue.pop_front();
   node.transmitting = false;
 
+  if (node.tx_doomed) {
+    // The node died while this frame was on the air. Drop it — and the
+    // rest of the pre-death queue, which revive_node() could not clear
+    // while the finish event was pending — even if the node has already
+    // been revived.
+    node.tx_doomed = false;
+    node.tx_queue.clear();
+    return;
+  }
+  if (!node.info.radio_enabled) {
+    return;  // radio switched off mid-transmission; the frame never lands
+  }
+
   stats_.frames_sent++;
   stats_.sent_by_type[frame.am]++;
   stats_.bytes_on_air += frame.payload.size() + timing_.header_bytes;
+  if (energy_) {
+    charge(node, energy::EnergyComponent::kRadioTx,
+           energy_->options.radio.tx_mj(
+               timing_.serialization_time(frame.payload.size()) +
+               energy_->duty.preamble_extension()));
+  }
 
   deliver(frame, node.info);
   try_start_tx(node);
@@ -90,12 +302,21 @@ void Network::finish_tx(NodeId id) {
 
 void Network::deliver(const Frame& frame, const NodeInfo& sender) {
   const std::size_t on_air = frame.payload.size() + timing_.header_bytes;
+  const SimTime decode_time =
+      timing_.serialization_time(frame.payload.size());
+  const auto charge_rx = [&](NodeState& receiver) {
+    if (energy_) {
+      charge(receiver, energy::EnergyComponent::kRadioRx,
+             energy_->options.radio.rx_mj(decode_time));
+    }
+  };
   if (frame.dst.is_broadcast()) {
     for (auto& other : nodes_) {
       if (other.info.id == sender.id || !other.info.radio_enabled ||
           !radio_->connected(sender, other.info)) {
         continue;
       }
+      charge_rx(other);  // the radio decodes the frame, lost or not
       if (sim_.rng().chance(
               radio_->loss_probability(sender, other.info, on_air))) {
         stats_.frames_lost++;
@@ -119,6 +340,7 @@ void Network::deliver(const Frame& frame, const NodeInfo& sender) {
     stats_.frames_unreachable++;
     return;
   }
+  charge_rx(target);
   if (sim_.rng().chance(
           radio_->loss_probability(sender, target.info, on_air))) {
     stats_.frames_lost++;

@@ -8,15 +8,26 @@
 // one frame at a time; later sends queue behind it — this is what makes a
 // multi-message agent migration take several hundred milliseconds, exactly
 // the effect the paper measures in Figs. 10/11.
+//
+// Energy subsystem (src/energy/): attach_energy() gives every node a
+// Battery and charges TX/RX per frame and idle-listen per unit time; a
+// depleted battery kills the node through the same node-down path
+// set_radio_enabled() uses for failure injection. enable_churn() adds
+// Poisson crash (and optional reboot) events on top. Node death and
+// rebirth are surfaced through the node-down/up handlers so the
+// middleware layer can drop agents and reseed state.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "energy/battery.h"
+#include "energy/energy_model.h"
 #include "sim/radio_model.h"
 #include "sim/simulator.h"
 #include "sim/types.h"
@@ -41,6 +52,11 @@ struct RadioTiming {
   std::size_t header_bytes = 7;          ///< TOS_Msg header + CRC
 
   [[nodiscard]] SimTime air_time(std::size_t payload_bytes) const;
+
+  /// The serialization time alone (header + payload bits on the air),
+  /// without the MAC overhead — what the radio actually spends powered in
+  /// TX, and what receivers spend decoding. Energy charges use this.
+  [[nodiscard]] SimTime serialization_time(std::size_t payload_bytes) const;
 };
 
 struct NetworkStats {
@@ -49,14 +65,31 @@ struct NetworkStats {
   std::uint64_t frames_lost = 0;      ///< channel loss events (per receiver)
   std::uint64_t frames_unreachable = 0;  ///< unicast to a non-neighbour
   std::uint64_t bytes_on_air = 0;
+  std::uint64_t node_deaths = 0;      ///< battery depletion + churn crashes
+  std::uint64_t node_reboots = 0;
   std::unordered_map<AmType, std::uint64_t> sent_by_type;
 
   void reset() { *this = NetworkStats{}; }
 };
 
+/// Why a node left (or re-joined) the network.
+enum class NodeDownReason : std::uint8_t {
+  kBatteryDepleted,
+  kChurnCrash,
+};
+
+struct ChurnOptions {
+  /// Poisson crash intensity per node, in crashes per virtual second.
+  double crash_rate_per_node_s = 0.0;
+  /// Crashed nodes reboot after this long; 0 means they stay down.
+  SimTime reboot_after = 0;
+};
+
 class Network {
  public:
   using ReceiveHandler = std::function<void(const Frame&)>;
+  using NodeDownHandler = std::function<void(NodeId, NodeDownReason)>;
+  using NodeUpHandler = std::function<void(NodeId)>;
 
   Network(Simulator& sim, std::unique_ptr<RadioModel> radio,
           RadioTiming timing = {});
@@ -77,6 +110,51 @@ class Network {
   /// paper's local-instruction benchmarks ("we disabled the radio").
   void set_radio_enabled(NodeId id, bool enabled);
 
+  // ------------------------------------------------------------- energy
+  /// Creates per-node batteries (unless battery_mj <= 0) and starts
+  /// charging TX/RX/idle energy. Call once, after all nodes are added;
+  /// nodes added later get no battery. With gateway_powered, node 0 is
+  /// mains-powered (no battery, never churned).
+  void attach_energy(const energy::EnergyOptions& options);
+
+  /// The node's battery; nullptr when energy is not attached, for the
+  /// powered gateway, or for an out-of-range id.
+  [[nodiscard]] energy::Battery* battery(NodeId id);
+  [[nodiscard]] const energy::Battery* battery(NodeId id) const;
+
+  /// Settles every battery's idle draw up to now() (call before reading
+  /// ledgers mid-run; death checks do this automatically).
+  void settle_batteries();
+
+  [[nodiscard]] const energy::EnergyOptions* energy_options() const {
+    return energy_ ? &energy_->options : nullptr;
+  }
+  [[nodiscard]] const energy::DutyCycler& duty_cycler() const;
+
+  // ------------------------------------------------- node death & churn
+  /// Starts Poisson per-node crash (and optional reboot) events. Requires
+  /// nodes to exist; the gateway is spared when energy options say so (or
+  /// always, when energy is not attached).
+  void enable_churn(ChurnOptions options);
+
+  /// Kills a node now: radio off, transmit queue frozen, idle draw
+  /// stopped, node-down handler invoked. Idempotent.
+  void kill_node(NodeId id, NodeDownReason reason);
+
+  /// Reboots a killed node (fresh radio state). No-op if the node is
+  /// alive or its battery is depleted.
+  void revive_node(NodeId id);
+
+  [[nodiscard]] bool alive(NodeId id) const;
+  [[nodiscard]] std::size_t alive_count() const;
+
+  void set_node_down_handler(NodeDownHandler handler) {
+    node_down_ = std::move(handler);
+  }
+  void set_node_up_handler(NodeUpHandler handler) {
+    node_up_ = std::move(handler);
+  }
+
   [[nodiscard]] const NodeInfo& info(NodeId id) const;
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] const RadioModel& radio() const { return *radio_; }
@@ -96,16 +174,35 @@ class Network {
     ReceiveHandler receiver;
     std::deque<Frame> tx_queue;
     bool transmitting = false;
+    bool alive = true;
+    /// The node died mid-transmission: the in-flight frame (and the rest
+    /// of the pre-death queue) must be dropped when its finish event
+    /// fires, even if the node was revived in the meantime.
+    bool tx_doomed = false;
+    std::unique_ptr<energy::Battery> battery;
+  };
+
+  struct EnergyState {
+    energy::EnergyOptions options;
+    energy::DutyCycler duty;
   };
 
   void try_start_tx(NodeState& node);
   void finish_tx(NodeId id);
   void deliver(const Frame& frame, const NodeInfo& sender);
+  /// Clamped drain + deferred depletion kill (safe mid-delivery).
+  void charge(NodeState& node, energy::EnergyComponent component, double mj);
+  void schedule_settle_tick();
+  void schedule_crash(NodeId id);
 
   Simulator& sim_;
   std::unique_ptr<RadioModel> radio_;
   RadioTiming timing_;
   std::vector<NodeState> nodes_;
+  std::optional<EnergyState> energy_;
+  ChurnOptions churn_;
+  NodeDownHandler node_down_;
+  NodeUpHandler node_up_;
   NetworkStats stats_;
 };
 

@@ -21,6 +21,10 @@ class Summary {
   /// p in [0,100]; linear interpolation between order statistics.
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double median() const { return percentile(50.0); }
+  /// Named tail accessors (lifetime / latency reporting).
+  [[nodiscard]] double p50() const { return percentile(50.0); }
+  [[nodiscard]] double p95() const { return percentile(95.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
   [[nodiscard]] double total() const { return total_; }
 
  private:

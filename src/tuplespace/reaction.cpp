@@ -82,6 +82,11 @@ std::vector<Reaction> ReactionRegistry::owned_by(
   return out;
 }
 
+void ReactionRegistry::clear() {
+  entries_.clear();
+  reindex();
+}
+
 void ReactionRegistry::reindex() {
   for (auto& bucket : by_arity_) {
     bucket.clear();

@@ -59,6 +59,9 @@ class ReactionRegistry {
   /// (migration images; the agent keeps its registrations).
   [[nodiscard]] std::vector<Reaction> owned_by(std::uint16_t agent_id) const;
 
+  /// Drops every registration (node death: mote RAM is gone).
+  void clear();
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const {
     return options_.capacity_bytes / options_.bytes_per_reaction;

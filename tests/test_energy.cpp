@@ -1,0 +1,367 @@
+// The energy & lifetime subsystem: battery ledger conservation, the LPL
+// duty cycler's schedule math, battery-driven node death through the
+// node-down path (neighbour eviction, failed in-flight migrations), churn
+// determinism, and reboot semantics.
+#include <gtest/gtest.h>
+
+#include "core/assembler.h"
+#include "energy/battery.h"
+#include "energy/duty_cycler.h"
+#include "energy/energy_model.h"
+#include "harness/mesh.h"
+#include "sim/environment.h"
+
+namespace agilla {
+namespace {
+
+using energy::Battery;
+using energy::DutyCycler;
+using energy::EnergyComponent;
+
+// ------------------------------------------------------------ unit: battery
+
+TEST(Battery, LedgerConservationIsExact) {
+  Battery battery(100.0, 0);
+  battery.drain(EnergyComponent::kRadioTx, 7.25);
+  battery.drain(EnergyComponent::kRadioRx, 1.5);
+  battery.drain(EnergyComponent::kCpu, 0.125);
+  battery.drain(EnergyComponent::kSense, 0.0625);
+  const double by_component =
+      battery.drained_mj(EnergyComponent::kRadioTx) +
+      battery.drained_mj(EnergyComponent::kRadioRx) +
+      battery.drained_mj(EnergyComponent::kRadioIdle) +
+      battery.drained_mj(EnergyComponent::kCpu) +
+      battery.drained_mj(EnergyComponent::kSense);
+  // The total drop IS the sum of the ledger — equality, not tolerance.
+  EXPECT_EQ(battery.capacity_mj() - battery.remaining_mj(), by_component);
+  EXPECT_EQ(battery.total_drained_mj(), by_component);
+  EXPECT_FALSE(battery.depleted());
+}
+
+TEST(Battery, DrainClampsAtCapacity) {
+  Battery battery(1.0, 0);
+  battery.drain(EnergyComponent::kRadioTx, 0.75);
+  battery.drain(EnergyComponent::kCpu, 10.0);  // only 0.25 left
+  EXPECT_TRUE(battery.depleted());
+  EXPECT_DOUBLE_EQ(battery.remaining_mj(), 0.0);
+  EXPECT_DOUBLE_EQ(battery.drained_mj(EnergyComponent::kCpu), 0.25);
+  battery.drain(EnergyComponent::kSense, 5.0);  // nothing left to give
+  EXPECT_DOUBLE_EQ(battery.drained_mj(EnergyComponent::kSense), 0.0);
+}
+
+TEST(Battery, SettleAccruesIdleDraw) {
+  Battery battery(1000.0, 0);
+  battery.set_idle_draw_mw(28.8);
+  battery.settle(2 * sim::kSecond);
+  EXPECT_DOUBLE_EQ(battery.drained_mj(EnergyComponent::kRadioIdle),
+                   28.8 * 2.0);
+  battery.settle(2 * sim::kSecond);  // idempotent at a fixed time
+  EXPECT_DOUBLE_EQ(battery.drained_mj(EnergyComponent::kRadioIdle),
+                   28.8 * 2.0);
+  battery.set_idle_draw_mw(0.0);  // radio off: the draw stops
+  battery.settle(10 * sim::kSecond);
+  EXPECT_DOUBLE_EQ(battery.drained_mj(EnergyComponent::kRadioIdle),
+                   28.8 * 2.0);
+}
+
+// ------------------------------------------------------- unit: duty cycler
+
+TEST(DutyCycler, AlwaysOnHasNoPreamble) {
+  const DutyCycler off{DutyCycler::Options{.listen_fraction = 1.0}};
+  EXPECT_FALSE(off.enabled());
+  EXPECT_DOUBLE_EQ(off.listen_fraction(), 1.0);
+  EXPECT_EQ(off.preamble_extension(), 0u);
+}
+
+TEST(DutyCycler, PeriodScalesInverselyWithFraction) {
+  const DutyCycler lpl{DutyCycler::Options{
+      .listen_fraction = 0.1, .wake_time = 8 * sim::kMillisecond}};
+  EXPECT_TRUE(lpl.enabled());
+  EXPECT_EQ(lpl.check_period(), 80 * sim::kMillisecond);
+  EXPECT_EQ(lpl.preamble_extension(), 72 * sim::kMillisecond);
+  // Halving the fraction doubles the check period (and the preamble).
+  const DutyCycler lpl2{DutyCycler::Options{
+      .listen_fraction = 0.05, .wake_time = 8 * sim::kMillisecond}};
+  EXPECT_EQ(lpl2.check_period(), 160 * sim::kMillisecond);
+}
+
+TEST(RadioEnergyModel, DutyCycledListenDrawInterpolates) {
+  const energy::RadioEnergyModel radio;
+  EXPECT_DOUBLE_EQ(radio.listen_mw(1.0), radio.rx_mw);
+  EXPECT_DOUBLE_EQ(radio.listen_mw(0.0), radio.sleep_mw);
+  EXPECT_LT(radio.listen_mw(0.1), radio.rx_mw * 0.2);
+  EXPECT_GT(radio.tx_mj(10 * sim::kMillisecond), radio.tx_startup_mj);
+}
+
+// ------------------------------------------- integration: conservation
+
+harness::MeshOptions conservation_options(ts::StoreKind store) {
+  harness::MeshOptions options;
+  options.width = 3;
+  options.height = 1;
+  options.packet_loss = 0.0;
+  options.store = store;
+  options.config.tuple_space.store_kind = store;
+  options.battery_mj = 5000.0;
+  return options;
+}
+
+/// The satellite contract: after a scripted-agent run that exercises
+/// radio, VM, and sensing, the sum of per-component draws equals the
+/// battery's total drop exactly — on both store backends.
+TEST(EnergyConservation, ComponentDrawsEqualTotalDropCrossBackend) {
+  for (const ts::StoreKind store :
+       {ts::StoreKind::kLinear, ts::StoreKind::kIndexed}) {
+    harness::Mesh mesh(conservation_options(store));
+    mesh.environment().set_field(sim::SensorType::kTemperature,
+                                 std::make_unique<sim::ConstantField>(20.0));
+    // A sampling loop on mote 1: sense + arithmetic + tuple churn.
+    ASSERT_TRUE(mesh.mote(1)
+                    .inject(core::assemble_or_die(R"(
+        LOOP pushrt TEMPERATURE
+        sense
+        pop
+        pushc 9
+        pushc 1
+        out
+        pushc 9
+        pushc 1
+        inp
+        pushc 4
+        sleep
+        jump LOOP
+    )"))
+                    .has_value());
+    mesh.simulator().run_for(20 * sim::kSecond);
+    mesh.network().settle_batteries();
+
+    for (std::size_t i = 1; i < mesh.mote_count(); ++i) {
+      const energy::Battery* battery =
+          mesh.network().battery(mesh.topology().nodes[i]);
+      ASSERT_NE(battery, nullptr) << "store=" << to_string(store);
+      const double by_component =
+          battery->drained_mj(EnergyComponent::kRadioTx) +
+          battery->drained_mj(EnergyComponent::kRadioRx) +
+          battery->drained_mj(EnergyComponent::kRadioIdle) +
+          battery->drained_mj(EnergyComponent::kCpu) +
+          battery->drained_mj(EnergyComponent::kSense);
+      // The ledger total IS the sum of components — exact equality; the
+      // capacity-minus-remaining form only differs by the final rounding
+      // of the subtraction.
+      EXPECT_EQ(battery->total_drained_mj(), by_component)
+          << "store=" << to_string(store) << " node=" << i;
+      EXPECT_DOUBLE_EQ(battery->capacity_mj() - battery->remaining_mj(),
+                       by_component)
+          << "store=" << to_string(store) << " node=" << i;
+      // Every radio component really drew something (beacons both ways).
+      EXPECT_GT(battery->drained_mj(EnergyComponent::kRadioIdle), 0.0);
+      EXPECT_GT(battery->drained_mj(EnergyComponent::kRadioTx), 0.0);
+      EXPECT_GT(battery->drained_mj(EnergyComponent::kRadioRx), 0.0);
+    }
+    // The scripted agent's VM and sensor draws landed on mote 1 only.
+    const energy::Battery* active =
+        mesh.network().battery(mesh.topology().nodes[1]);
+    EXPECT_GT(active->drained_mj(EnergyComponent::kCpu), 0.0);
+    EXPECT_GT(active->drained_mj(EnergyComponent::kSense), 0.0);
+    const energy::Battery* passive =
+        mesh.network().battery(mesh.topology().nodes[2]);
+    EXPECT_DOUBLE_EQ(passive->drained_mj(EnergyComponent::kSense), 0.0);
+    // The gateway is mains-powered: no battery at node 0.
+    EXPECT_EQ(mesh.network().battery(mesh.topology().nodes[0]), nullptr);
+  }
+}
+
+// ------------------------------------- integration: battery-driven death
+
+harness::MeshOptions two_node_options() {
+  harness::MeshOptions options;
+  options.width = 2;
+  options.height = 1;
+  options.packet_loss = 0.0;
+  options.battery_mj = 1000.0;
+  return options;
+}
+
+TEST(BatteryDeath, DepletedNodeDiesNeighborsEvictAndMigrationsFail) {
+  harness::Mesh mesh(two_node_options());
+  const sim::NodeId victim = mesh.topology().nodes[1];
+  energy::Battery* battery = mesh.network().battery(victim);
+  ASSERT_NE(battery, nullptr);
+
+  // Exhaust the victim's battery; the next settle tick pronounces death.
+  battery->drain(EnergyComponent::kCpu, battery->remaining_mj());
+  mesh.simulator().run_for(1100 * sim::kMillisecond);
+  EXPECT_FALSE(mesh.network().alive(victim));
+  EXPECT_EQ(mesh.network().stats().node_deaths, 1u);
+  EXPECT_EQ(mesh.mote(1).agents().count(), 0u);
+
+  // The neighbour entry is still fresh, so a migration is attempted —
+  // and must fail cleanly: the agent resumes at the origin with cond 0.
+  mesh.mote(0).inject(core::assemble_or_die(R"(
+      pushloc 2 1
+      smove
+      cpush
+      pushn cnd
+      swap
+      pushc 2
+      out
+      halt
+  )"));
+  mesh.simulator().run_for(15 * sim::kSecond);
+  EXPECT_TRUE(mesh.mote(0)
+                  .tuple_space()
+                  .rdp(ts::Template{ts::Value::string("cnd"),
+                                    ts::Value::number(0)})
+                  .has_value());
+  EXPECT_GE(mesh.mote(0).engine().stats().migrations_failed, 1u);
+  EXPECT_GE(mesh.mote(0).migration().stats().hop_failures, 1u);
+
+  // Beacons stopped: the survivor evicted the dead node.
+  EXPECT_FALSE(mesh.mote(0).neighbors().by_id(victim).has_value());
+  // The death was logged for lifetime metrics.
+  ASSERT_EQ(mesh.death_log().size(), 1u);
+  EXPECT_EQ(mesh.death_log()[0].node, victim);
+  EXPECT_EQ(mesh.death_log()[0].reason,
+            sim::NodeDownReason::kBatteryDepleted);
+}
+
+TEST(BatteryDeath, RelayDyingMidForwardDoesNotResurrectTheAgent) {
+  // A relay holding custody of a forwarded agent dies. The custody
+  // image lived in its RAM: the hop-failure path must NOT install the
+  // agent back onto the dead node (a "zombie" that would run code and
+  // write tuples into supposedly wiped memory).
+  harness::MeshOptions options;
+  options.width = 4;
+  options.height = 1;
+  options.packet_loss = 0.0;
+  harness::Mesh mesh(options);
+  mesh.mote(0).inject(core::assemble_or_die(R"(
+      pushloc 4 1
+      smove
+      pushn end
+      loc
+      pushc 2
+      out
+      halt
+  )"));
+  // 300 ms: hop 0->1 is complete (~250 ms) and node 1 is mid-forward.
+  mesh.simulator().run_for(300 * sim::kMillisecond);
+  mesh.network().kill_node(mesh.topology().nodes[1],
+                           sim::NodeDownReason::kChurnCrash);
+  mesh.simulator().run_for(15 * sim::kSecond);
+
+  EXPECT_EQ(mesh.mote(1).engine().stats().agents_installed, 0u);
+  EXPECT_EQ(mesh.mote(1).agents().count(), 0u);
+  const ts::Template end_marker{
+      ts::Value::string("end"),
+      ts::Value::type_wildcard(ts::ValueType::kLocation)};
+  EXPECT_EQ(mesh.mote(1).tuple_space().tcount(end_marker), 0u);
+  // The agent is either truly lost with the dead relay's RAM or made it
+  // past the relay before the crash — never duplicated onto the corpse.
+  std::size_t markers = 0;
+  for (std::size_t i = 0; i < mesh.mote_count(); ++i) {
+    markers += mesh.mote(i).tuple_space().tcount(end_marker);
+  }
+  EXPECT_LE(markers, 1u);
+}
+
+// ------------------------------------------------- integration: churn
+
+harness::MeshOptions churn_options(std::uint64_t seed) {
+  harness::MeshOptions options;
+  options.width = 3;
+  options.height = 3;
+  options.seed = seed;
+  options.churn_rate = 0.05;
+  options.churn_reboot_s = 5.0;
+  return options;
+}
+
+TEST(Churn, CrashScheduleIsDeterministicForAFixedSeed) {
+  harness::Mesh a(churn_options(42));
+  harness::Mesh b(churn_options(42));
+  a.simulator().run_for(60 * sim::kSecond);
+  b.simulator().run_for(60 * sim::kSecond);
+  ASSERT_GT(a.death_log().size(), 0u);
+  ASSERT_EQ(a.death_log().size(), b.death_log().size());
+  for (std::size_t i = 0; i < a.death_log().size(); ++i) {
+    EXPECT_EQ(a.death_log()[i].node, b.death_log()[i].node);
+    EXPECT_EQ(a.death_log()[i].at, b.death_log()[i].at);
+    EXPECT_EQ(a.death_log()[i].reason, sim::NodeDownReason::kChurnCrash);
+  }
+  EXPECT_EQ(a.reboot_count(), b.reboot_count());
+  EXPECT_GT(a.reboot_count(), 0u);
+  // The gateway is spared so injection keeps working under churn.
+  EXPECT_TRUE(a.network().alive(a.topology().nodes[0]));
+}
+
+TEST(Churn, RebootedNodeRejoinsWithEmptyRam) {
+  harness::MeshOptions options;
+  options.width = 2;
+  options.height = 1;
+  options.packet_loss = 0.0;
+  harness::Mesh mesh(options);
+
+  // Put an agent and a tuple on node 1, then crash and reboot it.
+  mesh.mote(1).inject(
+      core::assemble_or_die("pushcl 400\nsleep\nhalt"));
+  mesh.simulator().run_for(1 * sim::kSecond);
+  ASSERT_EQ(mesh.mote(1).agents().count(), 1u);
+
+  mesh.network().kill_node(mesh.topology().nodes[1],
+                           sim::NodeDownReason::kChurnCrash);
+  EXPECT_EQ(mesh.mote(1).agents().count(), 0u);
+  EXPECT_EQ(mesh.mote(1).engine().stats().agents_power_lost, 1u);
+  EXPECT_EQ(mesh.mote(1).neighbors().size(), 0u);
+
+  mesh.network().revive_node(mesh.topology().nodes[1]);
+  EXPECT_TRUE(mesh.network().alive(mesh.topology().nodes[1]));
+  mesh.simulator().run_for(5 * sim::kSecond);
+  // Beacons repopulated both acquaintance lists and work resumed.
+  EXPECT_TRUE(
+      mesh.mote(0).neighbors().by_id(mesh.topology().nodes[1]).has_value());
+  EXPECT_TRUE(
+      mesh.mote(1).neighbors().by_id(mesh.topology().nodes[0]).has_value());
+  EXPECT_TRUE(mesh.mote(1)
+                  .inject(core::assemble_or_die("pushc 5\npushc 1\nout\nhalt"))
+                  .has_value());
+  mesh.simulator().run_for(1 * sim::kSecond);
+  EXPECT_TRUE(mesh.mote(1)
+                  .tuple_space()
+                  .rdp(ts::Template{ts::Value::number(5)})
+                  .has_value());
+  EXPECT_EQ(mesh.reboot_count(), 1u);
+}
+
+// ----------------------------------------- duty cycle latency visibility
+
+TEST(DutyCycle, LplStretchesDeliveryLatency) {
+  const auto one_hop_latency = [](double duty) {
+    harness::MeshOptions options;
+    options.width = 2;
+    options.height = 1;
+    options.packet_loss = 0.0;
+    options.duty_cycle = duty;
+    harness::Mesh mesh(options);
+    const sim::SimTime start = mesh.simulator().now();
+    mesh.mote(0).inject(core::assemble_or_die(R"(
+        pushc 7
+        pushc 1
+        pushloc 2 1
+        rout
+        halt
+    )"));
+    const auto seen = mesh.await_tuple(
+        mesh.mote(1), ts::Template{ts::Value::number(7)},
+        20 * sim::kSecond);
+    EXPECT_TRUE(seen.has_value());
+    return seen.value_or(start) - start;
+  };
+  const sim::SimTime always_on = one_hop_latency(1.0);
+  const sim::SimTime lpl = one_hop_latency(0.1);
+  // The LPL preamble (72 ms at 10 %) dominates a one-hop delivery.
+  EXPECT_GT(lpl, always_on + 50 * sim::kMillisecond);
+}
+
+}  // namespace
+}  // namespace agilla

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "harness/json_writer.h"
@@ -52,6 +53,58 @@ TEST(Runner, JsonStableAcrossRepeatedRuns) {
   const std::string second =
       to_json(run_experiment(spec, RunnerOptions{.threads = 3}));
   EXPECT_EQ(first, second);
+}
+
+TEST(Runner, EnergyScenariosJsonIdenticalAcrossThreadCounts) {
+  ExperimentSpec lifetime;
+  lifetime.scenario = "network_lifetime";
+  lifetime.grids = {{4, 4}};
+  lifetime.loss_rates = {0.02};
+  lifetime.trials = 2;
+  lifetime.base_seed = 3;
+  lifetime.duration = 50 * sim::kSecond;
+  lifetime.params["battery_mj"] = 900.0;
+  const ExperimentResult life_result =
+      run_experiment(lifetime, RunnerOptions{.threads = 1});
+  const std::string life1 = to_json(life_result);
+  const std::string life4 =
+      to_json(run_experiment(lifetime, RunnerOptions{.threads = 4}));
+  EXPECT_EQ(life1, life4);
+  // Batteries really depleted: the run saw node deaths.
+  EXPECT_GT(life_result.cells.at(0).metrics.at("deaths").summary.total(),
+            0.0);
+
+  ExperimentSpec churn;
+  churn.scenario = "churn_pursuit";
+  churn.grids = {{4, 4}};
+  churn.loss_rates = {0.02};
+  churn.trials = 2;
+  churn.base_seed = 5;
+  churn.duration = 40 * sim::kSecond;
+  churn.params["churn_rate"] = 0.02;
+  churn.params["churn_reboot_s"] = 8.0;
+  const ExperimentResult churn_result =
+      run_experiment(churn, RunnerOptions{.threads = 1});
+  const std::string churn1 = to_json(churn_result);
+  const std::string churn4 =
+      to_json(run_experiment(churn, RunnerOptions{.threads = 4}));
+  EXPECT_EQ(churn1, churn4);
+  // Churn really fired: crashes were recorded.
+  EXPECT_GT(
+      churn_result.cells.at(0).metrics.at("crashes").summary.total(),
+      0.0);
+}
+
+TEST(Scenario, BuiltInsDeclareTheirKnobs) {
+  const ScenarioInfo* lifetime = find_scenario("network_lifetime");
+  ASSERT_NE(lifetime, nullptr);
+  EXPECT_NE(std::find(lifetime->knobs.begin(), lifetime->knobs.end(),
+                      "duty_cycle"),
+            lifetime->knobs.end());
+  const ScenarioInfo* smove = find_scenario("smove");
+  ASSERT_NE(smove, nullptr);
+  EXPECT_NE(std::find(smove->knobs.begin(), smove->knobs.end(), "hops"),
+            smove->knobs.end());
 }
 
 TEST(Runner, SeedChangesResults) {

@@ -67,6 +67,32 @@ TEST(Summary, AddAfterPercentileStillCorrect) {
   EXPECT_DOUBLE_EQ(s.max(), 3.0);
 }
 
+TEST(Summary, NamedTailAccessors) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) {
+    s.add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.p50(), s.percentile(50.0));
+  EXPECT_DOUBLE_EQ(s.p95(), s.percentile(95.0));
+  EXPECT_DOUBLE_EQ(s.p99(), s.percentile(99.0));
+  // 1..100: rank interpolation over n-1=99 gaps.
+  EXPECT_DOUBLE_EQ(s.p50(), 50.5);
+  EXPECT_DOUBLE_EQ(s.p95(), 95.05);
+  EXPECT_DOUBLE_EQ(s.p99(), 99.01);
+  EXPECT_LE(s.p50(), s.p95());
+  EXPECT_LE(s.p95(), s.p99());
+}
+
+TEST(Summary, TailAccessorsOnEmptyAndSingleton) {
+  Summary empty;
+  EXPECT_DOUBLE_EQ(empty.p99(), 0.0);
+  Summary one;
+  one.add(7.0);
+  EXPECT_DOUBLE_EQ(one.p50(), 7.0);
+  EXPECT_DOUBLE_EQ(one.p95(), 7.0);
+  EXPECT_DOUBLE_EQ(one.p99(), 7.0);
+}
+
 TEST(TrialCounter, RatesAndCounts) {
   TrialCounter c;
   EXPECT_DOUBLE_EQ(c.success_rate(), 0.0);

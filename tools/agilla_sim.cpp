@@ -13,6 +13,7 @@
 //   $ agilla_sim --scenario smove --axis hops=1,2,3,4,5 --trials 20
 //
 //   $ agilla_sim --list
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -59,6 +60,13 @@ void print_scenarios() {
   for (const harness::ScenarioInfo& info : harness::scenarios()) {
     std::printf("  %-18s %s\n", info.name.c_str(),
                 info.description.c_str());
+    if (!info.knobs.empty()) {
+      std::string knobs;
+      for (const std::string& knob : info.knobs) {
+        knobs += (knobs.empty() ? "" : ", ") + knob;
+      }
+      std::printf("  %-18s   knobs: %s\n", "", knobs.c_str());
+    }
   }
 }
 
@@ -237,9 +245,40 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (harness::find_scenario(spec.scenario) == nullptr) {
+  const harness::ScenarioInfo* scenario =
+      harness::find_scenario(spec.scenario);
+  if (scenario == nullptr) {
     print_scenarios();
     return fail("unknown scenario: " + spec.scenario);
+  }
+  // Reject knobs the scenario does not understand instead of silently
+  // sweeping (or fixing) a value nothing reads.
+  if (!scenario->knobs.empty()) {
+    const auto check_knob = [&](const std::string& name,
+                                const char* flag) -> std::string {
+      if (std::find(scenario->knobs.begin(), scenario->knobs.end(),
+                    name) != scenario->knobs.end()) {
+        return "";
+      }
+      std::string valid;
+      for (const std::string& knob : scenario->knobs) {
+        valid += (valid.empty() ? "" : ", ") + knob;
+      }
+      return "unknown " + std::string(flag) + " '" + name +
+             "' for scenario " + spec.scenario + " (valid: " + valid + ")";
+    };
+    for (const harness::Axis& axis : spec.axes) {
+      if (std::string error = check_knob(axis.name, "--axis");
+          !error.empty()) {
+        return fail(error);
+      }
+    }
+    for (const auto& [name, value] : spec.params) {
+      if (std::string error = check_knob(name, "--param");
+          !error.empty()) {
+        return fail(error);
+      }
+    }
   }
   if (spec.grids.empty()) {
     spec.grids.push_back(harness::GridSize{5, 5});
