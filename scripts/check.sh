@@ -15,5 +15,35 @@ fi
 
 cmake -B build -S . "$@"
 cmake --build build -j
-cd build
-ctest --output-on-failure -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo "== docs consistency: MANUAL.md vs agilla_sim listings =="
+# The two generated blocks in docs/MANUAL.md must match the binary's
+# --list-scenarios / --list-knobs output byte for byte.
+extract_block() {  # $1 = marker suffix ("--list-scenarios" | "--list-knobs")
+  awk -v marker="$1" '
+    $0 ~ "BEGIN generated: agilla_sim " marker { grab = 1; next }
+    grab && /^```/ { if (inside) { exit } inside = 1; next }
+    grab && inside { print }
+  ' docs/MANUAL.md
+}
+extract_block "--list-scenarios" > build/manual_scenarios.txt
+extract_block "--list-knobs" > build/manual_knobs.txt
+./build/agilla_sim --list-scenarios > build/actual_scenarios.txt
+./build/agilla_sim --list-knobs > build/actual_knobs.txt
+diff -u build/manual_scenarios.txt build/actual_scenarios.txt \
+  || { echo "docs/MANUAL.md scenario table is stale — paste in the output of: agilla_sim --list-scenarios"; exit 1; }
+diff -u build/manual_knobs.txt build/actual_knobs.txt \
+  || { echo "docs/MANUAL.md knob table is stale — paste in the output of: agilla_sim --list-knobs"; exit 1; }
+
+echo "== routing-sweep determinism (threads 1 vs 8) =="
+routing_sweep() {  # $1 = threads, $2 = out file
+  ./build/agilla_sim --scenario report_collection --grid 4x4 --trials 2 \
+    --duration 60 --param battery_mj=800 --param duty_cycle=0.2 \
+    --param adaptive_lpl=1 --axis route_policy=0,1 \
+    --threads "$1" --out "$2" > /dev/null
+}
+routing_sweep 1 build/routing_t1.json
+routing_sweep 8 build/routing_t8.json
+cmp build/routing_t1.json build/routing_t8.json
+echo "routing sweep byte-identical across thread counts"

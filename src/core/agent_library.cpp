@@ -51,7 +51,7 @@ std::string remote_probe_once(const std::string& mnemonic,
 }
 
 std::string fire_detector(sim::Location alert_to, int threshold,
-                          int sample_ticks) {
+                          int sample_ticks, int alert_every_ticks) {
   std::ostringstream os;
   os <<
       // --- bootstrap: claim this node, flood-clone to neighbours ---------
@@ -64,6 +64,15 @@ std::string fire_detector(sim::Location alert_to, int threshold,
       "        loc\n"
       "        pushc 2\n"
       "        out             // claim it\n"
+      // The claimer re-floods when a NEW neighbour appears: the
+      // middleware drops a fresh <"ctx", loc> tuple on every discovery
+      // (incl. a churn-rebooted node re-entering the acquaintance list),
+      // and the CTXR handler clones the deployment onto it.
+      "        pushn ctx\n"
+      "        pusht LOCATION\n"
+      "        pushc 2\n"
+      "        pushc CTXR\n"
+      "        regrxn\n"
       "        pushc 0\n"
       "        setvar 1        // i = 0\n"
       "SPREAD  getvar 1\n"
@@ -92,11 +101,25 @@ std::string fire_detector(sim::Location alert_to, int threshold,
       "        loc\n"
       "        pushc 2         // fire alert tuple <\"fir\", loc>\n"
       "        " << pushloc(alert_to) << "\n"
-      "        rout            // notify the tracker host\n"
-      "        halt\n"
+      "        rout            // notify the tracker host\n";
+  if (alert_every_ticks > 0) {
+    // Periodic sense-and-report (network_lifetime): keep alerting while
+    // the node burns — the converge-cast toward `alert_to` is what
+    // drains relay corridors and what energy-aware routing spreads.
+    os << "        pushcl " << alert_every_ticks << "\n"
+          "        sleep\n"
+          "        rjump MAIN\n";
+  } else {
+    os << "        halt\n";  // paper Fig. 13: one alert, then done
+  }
+  os <<
       "DIE2    pop\n"
       "        pop\n"
-      "        halt\n";
+      "        halt\n"
+      // reaction entry: stack = [return-pc, location, "ctx"]
+      "CTXR    pop             // drop \"ctx\"; fresh neighbour on top\n"
+      "        wclone          // re-seed the deployment there\n"
+      "        jumps           // resume the interrupted loop\n";
   return os.str();
 }
 
@@ -219,6 +242,13 @@ std::string sentinel(int sample_ticks) {
       "        loc\n"
       "        pushc 2\n"
       "        out\n"
+      // Re-flood on fresh <"ctx", loc> tuples (same recovery path as
+      // FIREDETECTOR: a rebooted neighbour gets re-seeded).
+      "        pushn ctx\n"
+      "        pusht LOCATION\n"
+      "        pushc 2\n"
+      "        pushc CTXR\n"
+      "        regrxn\n"
       "        pushc 0\n"
       "        setvar 1\n"
       "SPREAD  getvar 1\n"
@@ -252,7 +282,11 @@ std::string sentinel(int sample_ticks) {
       "        rjump MAIN\n"
       "DIE2    pop\n"
       "        pop\n"
-      "        halt\n";
+      "        halt\n"
+      // reaction entry: stack = [return-pc, location, "ctx"]
+      "CTXR    pop             // drop \"ctx\"; fresh neighbour on top\n"
+      "        wclone          // re-seed the deployment there\n"
+      "        jumps           // resume the interrupted loop\n";
   return os.str();
 }
 

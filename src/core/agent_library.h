@@ -29,8 +29,14 @@ std::string remote_probe_once(const std::string& mnemonic,
 /// flood-clones over the network claiming nodes with a <"det", loc> marker,
 /// then samples temperature every `sample_ticks`/8 s and routs a
 /// <"fir", loc> alert to `alert_to` when the reading exceeds `threshold`.
+/// The claimer also reacts to fresh <"ctx", loc> tuples (inserted by the
+/// middleware on neighbour discovery) by re-cloning the deployment there,
+/// so churn-rebooted nodes are re-seeded instead of staying agent-less.
+/// With `alert_every_ticks` > 0 the detector keeps re-alerting every that
+/// many ticks while the node stays hot (periodic sense-and-report, the
+/// network_lifetime converge-cast) instead of the paper's alert-and-halt.
 std::string fire_detector(sim::Location alert_to, int threshold = 200,
-                          int sample_ticks = 80);
+                          int sample_ticks = 80, int alert_every_ticks = 0);
 
 /// Fig. 2 FIRETRACKER plus tracking code: waits for a <"fir", location>
 /// alert, strong-clones to the fire, marks the perimeter with <"trk", loc>
@@ -51,8 +57,9 @@ std::string blinker(int period_ticks = 8);
 /// can think of an agent following the intruder by repeatedly migrating to
 /// the node that best detects it").
 ///
-/// SENTINEL flood-deploys like FIREDETECTOR and keeps a fresh
-/// <"sig", magnetometer-reading> tuple in its node's tuple space.
+/// SENTINEL flood-deploys like FIREDETECTOR (including the <"ctx", loc>
+/// re-flood reaction) and keeps a fresh <"sig", magnetometer-reading>
+/// tuple in its node's tuple space.
 std::string sentinel(int sample_ticks = 8);
 
 /// PURSUER compares its own magnetometer reading against its neighbours'

@@ -18,7 +18,8 @@ AgillaMiddleware::AgillaMiddleware(sim::Network& network, sim::NodeId self,
   neighbors_ = std::make_unique<net::NeighborTable>(
       network_, *link_, location_, config_.neighbors, trace);
   router_ = std::make_unique<net::GeoRouter>(network_, *link_, *neighbors_,
-                                             location_, trace);
+                                             location_, config_.routing,
+                                             trace);
   context_ = std::make_unique<ContextManager>(location_, *neighbors_);
   migration_ = std::make_unique<MigrationManager>(
       network_, *link_, *router_, location_, config_.migration, trace);
@@ -44,10 +45,47 @@ AgillaMiddleware::AgillaMiddleware(sim::Network& network, sim::NodeId self,
       [this](AgentImage image, bool reached_dest) {
         engine_->install(std::move(image), reached_dest);
       });
+  // A NEW acquaintance (first discovery, or a rebooted node re-appearing
+  // after eviction) drops a fresh <"ctx", loc> tuple into the local
+  // space. Deployment agents (FIREDETECTOR / SENTINEL) register a
+  // reaction on it and re-flood clones — the self-healing path for nodes
+  // that reboot agent-less after churn.
+  neighbors_->set_discovery_handler(
+      [this](sim::NodeId, sim::Location loc) {
+        // The tuple is an event, not state: out() fires the reactions
+        // (handlers get a copy of the fields), then the tuple is removed
+        // so discoveries never eat into the 600-byte store.
+        tuple_space_.out(ts::Tuple{ts::Value::string("ctx"),
+                                   ts::Value::location(loc)});
+        tuple_space_.inp(ts::CompiledTemplate(
+            ts::Template{ts::Value::string("ctx"),
+                         ts::Value::location(loc)}));
+      });
 }
 
 void AgillaMiddleware::start() {
   link_->attach();
+  // Beacons advertise this node's energy state: residual battery (full
+  // for mains-powered / battery-less nodes) and the current LPL check
+  // period, read fresh at every beacon/piggyback.
+  neighbors_->set_self_state([this] {
+    net::BeaconSelfState state;
+    if (energy::Battery* battery = network_.battery(self_)) {
+      battery->settle(network_.simulator().now());
+      state.residual = net::encode_residual(battery->remaining_mj() /
+                                            battery->capacity_mj());
+    }
+    state.period_units = network_.node_duty(self_).period_units();
+    return state;
+  });
+  if (config_.neighbors.suppression) {
+    // Beacon suppression: data frames double as beacons.
+    link_->set_piggyback(
+        [this] { return neighbors_->make_piggyback(); },
+        [this](sim::NodeId from, std::span<const std::uint8_t> bytes) {
+          neighbors_->on_piggyback(from, bytes);
+        });
+  }
   neighbors_->start();
   context_->seed_context_tuples(tuple_space_, sensors_);
   // Energy wiring: when the network runs the energy subsystem, the VM and
@@ -58,6 +96,15 @@ void AgillaMiddleware::start() {
     engine_->set_energy(network_.battery(self_), energy->cpu);
     migration_->set_energy(network_.battery(self_),
                            energy->cpu.migration_msg_mj);
+    if (energy->duty.adaptive) {
+      // Per-receiver preamble tracking: size each frame's preamble for
+      // the destination's advertised check period instead of a global
+      // constant (the sender's own schedule is the broadcast fallback).
+      link_->set_preamble_oracle(
+          [this, wake = energy->duty.wake_time](sim::NodeId dst) {
+            return neighbors_->preamble_extension_for(dst, wake);
+          });
+    }
   }
 }
 
@@ -84,7 +131,8 @@ MemoryBudget AgillaMiddleware::memory_budget() const {
   // Struct sizes model the nesC structs on the mote (16-bit MCU layouts),
   // not this host's sizeof(); see DESIGN.md.
   constexpr std::size_t kValueBytes = 5;    // type + 2x int16
-  constexpr std::size_t kNeighborBytes = 10;  // id + location + age
+  // id + location + age + residual + LPL period + beacon-interval code
+  constexpr std::size_t kNeighborBytes = 13;
   MemoryBudget budget;
   budget.add("tuple space store",
              config_.tuple_space.store_capacity_bytes);

@@ -28,6 +28,7 @@ struct AgillaConfig {
   ts::TupleSpace::Options tuple_space{};     ///< 600 B store, 400 B registry
   net::LinkLayer::Options link{};            ///< 0.1 s ack timeout, 4 retries
   net::NeighborTable::Options neighbors{};
+  net::GeoRouter::Options routing{};         ///< greedy-geo vs max-min residual
   MigrationManager::Options migration{};     ///< 0.25 s receiver abort
   RemoteTsManager::Options remote_ts{};      ///< 2 s timeout, 2 retries
   RegionOps::Options region{};               ///< Sec. 2.2 region extension

@@ -1,13 +1,27 @@
 #include "energy/duty_cycler.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace agilla::energy {
+
+DutyCycler::DutyCycler(Options options) : options_(options) {
+  fraction_ = options_.listen_fraction;
+  if (options_.adaptive) {
+    fraction_ = std::clamp(fraction_, options_.min_fraction,
+                           options_.max_fraction);
+  }
+}
+
+sim::SimTime DutyCycler::period_for(sim::SimTime wake, double fraction) {
+  return static_cast<sim::SimTime>(static_cast<double>(wake) / fraction);
+}
 
 sim::SimTime DutyCycler::check_period() const {
   if (!enabled()) {
     return options_.wake_time;
   }
-  return static_cast<sim::SimTime>(
-      static_cast<double>(options_.wake_time) / options_.listen_fraction);
+  return period_for(options_.wake_time, fraction_);
 }
 
 sim::SimTime DutyCycler::preamble_extension() const {
@@ -15,6 +29,34 @@ sim::SimTime DutyCycler::preamble_extension() const {
     return 0;
   }
   return check_period() - options_.wake_time;
+}
+
+std::uint8_t DutyCycler::period_units() const {
+  const double units =
+      std::round(static_cast<double>(check_period()) /
+                 static_cast<double>(options_.wake_time));
+  return static_cast<std::uint8_t>(std::clamp(units, 1.0, 255.0));
+}
+
+sim::SimTime DutyCycler::max_preamble_extension() const {
+  if (options_.adaptive) {
+    return period_for(options_.wake_time, options_.min_fraction) -
+           options_.wake_time;
+  }
+  return preamble_extension();
+}
+
+bool DutyCycler::observe(std::uint32_t frames_heard) {
+  if (!options_.adaptive) {
+    return false;
+  }
+  const double before = fraction_;
+  if (frames_heard == 0) {
+    fraction_ = std::max(fraction_ / 2.0, options_.min_fraction);
+  } else if (frames_heard >= options_.busy_frames) {
+    fraction_ = std::min(fraction_ * 2.0, options_.max_fraction);
+  }
+  return fraction_ != before;
 }
 
 }  // namespace agilla::energy

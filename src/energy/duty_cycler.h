@@ -8,6 +8,14 @@
 // a lower fraction means a LONGER check period — less idle draw, but every
 // frame pays a longer preamble (more TX energy and more latency). That is
 // exactly the tradeoff bench_ablation_energy sweeps.
+//
+// Adaptive mode (`adaptive_lpl` axis) turns the fraction into a per-node
+// controller: each settle tick the node feeds observe() the number of
+// frames it heard, and the controller halves the listen fraction (doubles
+// the check period) after a silent tick and doubles it (halves the
+// period) when traffic exceeds `busy_frames`, clamped to
+// [min_fraction, max_fraction]. The control law and its stability bound
+// are documented in DESIGN.md ("Routing & LPL").
 #pragma once
 
 #include "sim/types.h"
@@ -17,23 +25,32 @@ namespace agilla::energy {
 class DutyCycler {
  public:
   struct Options {
-    /// Fraction of time the radio listens; >= 1 disables duty cycling.
+    /// Fraction of time the radio listens; >= 1 disables duty cycling
+    /// (ignored as a disable switch when `adaptive` is set — it is then
+    /// the controller's starting point, clamped into the bounds).
     double listen_fraction = 1.0;
     /// Channel-sample duration per wakeup (B-MAC default scale).
     sim::SimTime wake_time = 8 * sim::kMillisecond;
+    /// Traffic-adaptive control (per node; bounds below).
+    bool adaptive = false;
+    double min_fraction = 0.02;  ///< duty floor when the channel is quiet
+    double max_fraction = 0.5;   ///< duty ceiling under sustained load
+    /// Frames heard per settle tick at or above which the controller
+    /// narrows the check period; a tick with zero frames widens it.
+    std::uint32_t busy_frames = 4;
   };
 
   DutyCycler() = default;
-  explicit DutyCycler(Options options) : options_(options) {}
+  explicit DutyCycler(Options options);
 
   [[nodiscard]] bool enabled() const {
-    return options_.listen_fraction < 1.0 &&
-           options_.listen_fraction > 0.0;
+    return options_.adaptive ||
+           (fraction_ < 1.0 && fraction_ > 0.0);
   }
 
   /// Effective listen fraction in [0,1]; 1 when duty cycling is off.
   [[nodiscard]] double listen_fraction() const {
-    return enabled() ? options_.listen_fraction : 1.0;
+    return enabled() ? fraction_ : 1.0;
   }
 
   /// Interval between channel samples: wake_time / fraction.
@@ -43,10 +60,28 @@ class DutyCycler {
   /// (check_period - wake_time); 0 when duty cycling is off.
   [[nodiscard]] sim::SimTime preamble_extension() const;
 
+  /// The check period quantized to wake-time units for the 1-byte beacon
+  /// field (1 = always on, 255 caps the advertisable period at ~2 s).
+  [[nodiscard]] std::uint8_t period_units() const;
+
+  /// The longest preamble the controller can ever demand (the min_fraction
+  /// bound when adaptive, the static extension otherwise) — what protocol
+  /// timeouts must absorb per frame.
+  [[nodiscard]] sim::SimTime max_preamble_extension() const;
+
+  /// Feeds the controller one settle tick's traffic observation. Returns
+  /// true when the listen fraction changed (the caller re-bases the idle
+  /// draw). No-op unless `adaptive`.
+  bool observe(std::uint32_t frames_heard);
+
   [[nodiscard]] const Options& options() const { return options_; }
 
  private:
+  [[nodiscard]] static sim::SimTime period_for(sim::SimTime wake,
+                                               double fraction);
+
   Options options_;
+  double fraction_ = 1.0;  ///< current listen fraction (moves if adaptive)
 };
 
 }  // namespace agilla::energy

@@ -17,6 +17,13 @@ MeshOptions mesh_options_for(const TrialSpec& trial) {
   options.duty_cycle = trial.param("duty_cycle", 1.0);
   options.churn_rate = trial.param("churn_rate", 0.0);
   options.churn_reboot_s = trial.param("churn_reboot_s", 0.0);
+  options.route_policy = static_cast<int>(trial.param("route_policy", 0.0));
+  options.energy_weight = trial.param("energy_weight", 0.5);
+  options.adaptive_lpl = trial.param("adaptive_lpl", 0.0) != 0.0;
+  options.duty_min = trial.param("duty_min", 0.02);
+  options.duty_max = trial.param("duty_max", 0.5);
+  options.beacon_suppression =
+      static_cast<int>(trial.param("beacon_suppression", -1.0));
   return options;
 }
 
@@ -35,23 +42,40 @@ Mesh::Mesh(MeshOptions options)
   options_.config.tuple_space.store_kind = options_.store;
   topology_ = sim::make_grid(network_, options_.width, options_.height);
 
-  const bool wants_energy =
-      options_.battery_mj > 0.0 || options_.duty_cycle < 1.0;
+  // Routing policy (the route_policy / energy_weight axes).
+  options_.config.routing.policy =
+      options_.route_policy == 1 ? net::RoutePolicy::kMaxMinResidual
+                                 : net::RoutePolicy::kGreedyGeo;
+  options_.config.routing.energy_weight = options_.energy_weight;
+
+  const bool lpl_active =
+      options_.duty_cycle < 1.0 || options_.adaptive_lpl;
+  const bool wants_energy = options_.battery_mj > 0.0 || lpl_active;
   if (wants_energy) {
     energy::EnergyOptions energy;
     energy.battery_mj = options_.battery_mj;
     energy.duty.listen_fraction = options_.duty_cycle;
+    energy.duty.adaptive = options_.adaptive_lpl;
+    energy.duty.min_fraction = options_.duty_min;
+    energy.duty.max_fraction = options_.duty_max;
     network_.attach_energy(energy);
     // LPL stretches every frame by one preamble extension; the per-hop
     // and end-to-end timers must absorb a data frame plus its ack, or
-    // every exchange degenerates into retransmissions.
-    const sim::SimTime ext = network_.duty_cycler().preamble_extension();
+    // every exchange degenerates into retransmissions. Under adaptive
+    // LPL the bound is the controller's duty floor.
+    const sim::SimTime ext =
+        network_.duty_cycler().max_preamble_extension();
     if (ext > 0) {
       options_.config.link.ack_timeout += 2 * ext;
       options_.config.migration.receiver_abort += 4 * ext;
       options_.config.remote_ts.reply_timeout += 4 * ext;
     }
   }
+  // Beacon suppression defaults to on exactly when LPL makes beacons
+  // expensive (each one pays the preamble extension).
+  options_.config.neighbors.suppression =
+      options_.beacon_suppression == 1 ||
+      (options_.beacon_suppression == -1 && lpl_active);
 
   motes_.reserve(topology_.nodes.size());
   for (const sim::NodeId id : topology_.nodes) {

@@ -43,6 +43,16 @@ struct MeshOptions {
   double duty_cycle = 1.0;   ///< LPL listen fraction; >= 1 = always on
   double churn_rate = 0.0;   ///< Poisson crashes per node per second
   double churn_reboot_s = 0.0;  ///< crashed nodes reboot after this; 0 = never
+  // Energy-aware networking (harness axes route_policy / energy_weight /
+  // adaptive_lpl / duty_min / duty_max / beacon_suppression).
+  int route_policy = 0;      ///< 0 = greedy-geo, 1 = max-min residual
+  double energy_weight = 0.5;   ///< distance/energy weight for max-min
+  bool adaptive_lpl = false;    ///< per-node traffic-adaptive LPL
+  double duty_min = 0.02;       ///< adaptive controller duty floor
+  double duty_max = 0.5;        ///< adaptive controller duty ceiling
+  /// Beacon suppression (backoff + piggyback): -1 = auto (on whenever
+  /// LPL is active), 0 = off, 1 = on.
+  int beacon_suppression = -1;
 };
 
 class Mesh {

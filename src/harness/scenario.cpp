@@ -29,6 +29,11 @@ void record_network_stats(const Mesh& mesh, const sim::Network& network,
   const sim::NetworkStats& stats = network.stats();
   metrics.set("frames_sent", static_cast<double>(stats.frames_sent));
   metrics.set("frames_lost", static_cast<double>(stats.frames_lost));
+  const auto beacons = stats.sent_by_type.find(sim::AmType::kBeacon);
+  metrics.set("beacons_sent",
+              beacons == stats.sent_by_type.end()
+                  ? 0.0
+                  : static_cast<double>(beacons->second));
   const double attempts = static_cast<double>(stats.frames_delivered +
                                               stats.frames_lost);
   if (attempts > 0) {
@@ -56,14 +61,78 @@ void record_energy_stats(Mesh& mesh, TrialMetrics& metrics) {
   metrics.set("e_total_mj", total);
 }
 
-/// The energy/lifetime knobs every mesh-backed scenario understands (they
-/// flow from axis/param into MeshOptions via mesh_options_for()).
+/// The energy/lifetime/network knobs every mesh-backed scenario
+/// understands (they flow from axis/param into MeshOptions via
+/// mesh_options_for()).
 std::vector<std::string> with_energy_knobs(
     std::initializer_list<const char*> own) {
   std::vector<std::string> knobs(own.begin(), own.end());
-  knobs.insert(knobs.end(), {"battery_mj", "duty_cycle", "churn_rate",
-                             "churn_reboot_s"});
+  knobs.insert(knobs.end(),
+               {"battery_mj", "duty_cycle", "churn_rate", "churn_reboot_s",
+                "route_policy", "energy_weight", "adaptive_lpl", "duty_min",
+                "duty_max", "beacon_suppression"});
   return knobs;
+}
+
+/// True when the alive battery-powered motes no longer form a single
+/// connected component over the ground-truth radio graph — the multi-hop
+/// mesh (agent migration, remote ops, swarming are all node-to-node) has
+/// torn. The mains-powered gateway is infrastructure: it never depletes,
+/// so counting it would reduce every converge-cast run to "when did the
+/// gateway's own neighbours die" and hide what routing policy does to
+/// the corridor between the regions. (With gateway_powered=false there
+/// is no mains node and every mote participates.)
+bool mesh_partitioned(Mesh& mesh) {
+  const sim::Network& network = mesh.network();
+  const bool skip_gateway = network.energy_options() != nullptr &&
+                            network.energy_options()->gateway_powered;
+  std::vector<char> seen(network.node_count(), 0);
+  std::vector<sim::NodeId> stack;
+  std::size_t population = 0;
+  for (const sim::NodeId id : mesh.topology().nodes) {
+    if (!network.alive(id) || (skip_gateway && id.value == 0)) {
+      continue;
+    }
+    ++population;
+    if (stack.empty()) {
+      stack.push_back(id);  // BFS seed: first alive battery mote
+      seen[id.value] = 1;
+    }
+  }
+  if (population <= 1) {
+    return false;  // nothing left to partition
+  }
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const sim::NodeId at = stack.back();
+    stack.pop_back();
+    for (const sim::NodeId next : network.connected_neighbors(at)) {
+      if (!network.alive(next) || seen[next.value] != 0 ||
+          (skip_gateway && next.value == 0)) {
+        continue;
+      }
+      seen[next.value] = 1;
+      ++reached;
+      stack.push_back(next);
+    }
+  }
+  return reached < population;
+}
+
+/// Residual-energy spread across surviving batteries: how evenly the
+/// routing policy drained the mesh (max-min should lift the minimum).
+void record_residual_stats(Mesh& mesh, TrialMetrics& metrics) {
+  mesh.network().settle_batteries();
+  sim::Summary residuals;
+  for (const sim::NodeId id : mesh.topology().nodes) {
+    if (const energy::Battery* battery = mesh.network().battery(id)) {
+      residuals.add(battery->remaining_mj() / battery->capacity_mj());
+    }
+  }
+  if (!residuals.empty()) {
+    metrics.set("residual_min_frac", residuals.min());
+    metrics.set("residual_mean_frac", residuals.mean());
+  }
 }
 
 // ----------------------------------------------------------- fire_tracking
@@ -427,19 +496,30 @@ TrialMetrics run_network_lifetime(const TrialSpec& trial_in) {
 
   const int threshold =
       static_cast<int>(trial.param("alert_threshold", 180));
+  // Periodic sense-and-report: burning nodes re-alert every
+  // `alert_repeat_s` (converge-cast toward the gateway corner — the
+  // relay-corridor load the route_policy axis redistributes). 0 restores
+  // the paper's alert-once detector.
+  const double alert_repeat_s = trial.param("alert_repeat_s", 4.0);
   core::BaseStation base = mesh.base();
   base.inject(core::agents::fire_tracker(threshold, /*nap_ticks=*/16));
-  base.inject(core::agents::fire_detector(/*alert_to=*/{1, 1},
-                                          /*threshold=*/200,
-                                          /*sample_ticks=*/32));
+  base.inject(core::agents::fire_detector(
+      /*alert_to=*/{1, 1},
+      /*threshold=*/200,
+      /*sample_ticks=*/32,
+      /*alert_every_ticks=*/static_cast<int>(alert_repeat_s * 8.0)));
 
   const ts::Template trk = marker_template("trk");
   const sim::SimTime deadline = inject_time + trial.duration;
   std::optional<sim::SimTime> first_track;
+  std::optional<sim::SimTime> first_partition;
   while (mesh.simulator().now() < deadline) {
     mesh.simulator().run_for(5 * sim::kSecond);
     if (!first_track && mesh.tuples_matching(trk) > 0) {
       first_track = mesh.simulator().now();
+    }
+    if (!first_partition && mesh_partitioned(mesh)) {
+      first_partition = mesh.simulator().now();
     }
   }
 
@@ -450,6 +530,12 @@ TrialMetrics run_network_lifetime(const TrialSpec& trial_in) {
                 static_cast<double>(*first_track -
                                     fire_options.ignition_time) /
                     1e6);
+  }
+  // Time-to-first-partition (absent when the mesh stayed connected):
+  // the headline metric for the route_policy ablation.
+  if (first_partition) {
+    metrics.set("first_partition_s",
+                static_cast<double>(*first_partition - inject_time) / 1e6);
   }
 
   // Lifetime accounting: node lifetimes (virtual seconds from boot to
@@ -479,6 +565,89 @@ TrialMetrics run_network_lifetime(const TrialSpec& trial_in) {
   metrics.set("perimeter_marks",
               static_cast<double>(mesh.tuples_matching(trk)));
   metrics.set("live_agents", static_cast<double>(mesh.agent_count()));
+  record_residual_stats(mesh, metrics);
+  record_energy_stats(mesh, metrics);
+  record_network_stats(mesh, mesh.network(), metrics);
+  return metrics;
+}
+
+// ------------------------------------------------------- report_collection
+
+/// The canonical WSN data-collection workload, isolated from the fire
+/// machinery: every battery mote runs a reporter agent that routs a
+/// <"rpt", loc> tuple to the gateway every `report_s` seconds. The
+/// converge-cast concentrates on the relay corridor toward the gateway
+/// corner, which makes this the cleanest testbed for the route_policy /
+/// adaptive_lpl / beacon_suppression axes: delivery measures whether the
+/// mesh still works, partition and residual spread measure what the
+/// policy did to the corridor.
+TrialMetrics run_report_collection(const TrialSpec& trial) {
+  Mesh mesh(trial);
+  const double report_s = trial.param("report_s", 4.0);
+  const int report_ticks =
+      std::max(1, static_cast<int>(report_s * 8.0));
+  char source[128];
+  std::snprintf(source, sizeof(source),
+                "LOOP pushn rpt\n"
+                "loc\n"
+                "pushc 2\n"
+                "pushloc 1 1\n"
+                "rout\n"
+                "pushcl %d\n"
+                "sleep\n"
+                "jump LOOP\n",
+                report_ticks);
+  const std::vector<std::uint8_t> reporter = core::assemble_or_die(source);
+  for (std::size_t i = 1; i < mesh.mote_count(); ++i) {
+    mesh.mote(i).inject(reporter);
+  }
+
+  const ts::Template rpt = marker_template("rpt");
+  const ts::CompiledTemplate rpt_compiled(rpt);
+  const sim::SimTime start = mesh.simulator().now();
+  const sim::SimTime deadline = start + trial.duration;
+  double delivered = 0;
+  std::optional<sim::SimTime> first_partition;
+  while (mesh.simulator().now() < deadline) {
+    mesh.simulator().run_for(5 * sim::kSecond);
+    // Drain the gateway's store so the 600-byte cap never nacks reports.
+    delivered += static_cast<double>(
+        mesh.mote(0).tuple_space().tcount(rpt_compiled));
+    mesh.mote(0).tuple_space().store().clear();
+    if (!first_partition && mesh_partitioned(mesh)) {
+      first_partition = mesh.simulator().now();
+    }
+  }
+
+  TrialMetrics metrics;
+  const double duration_s = static_cast<double>(trial.duration) / 1e6;
+  const double reporters =
+      static_cast<double>(mesh.mote_count() - 1);
+  metrics.set("reports_delivered", delivered);
+  metrics.set("report_rate_per_node_s",
+              delivered / (reporters * duration_s));
+  // Success: sustained collection — better than one report per node per
+  // four nominal periods over the whole run, dead nodes included.
+  metrics.set("success",
+              delivered >= reporters * duration_s / report_s / 4.0 ? 1.0
+                                                                   : 0.0);
+  if (first_partition) {
+    metrics.set("first_partition_s",
+                static_cast<double>(*first_partition - start) / 1e6);
+  }
+  sim::Summary lifetimes;
+  for (const Mesh::DeathEvent& death : mesh.death_log()) {
+    lifetimes.add(static_cast<double>(death.at) / 1e6);
+  }
+  metrics.set("deaths", static_cast<double>(lifetimes.count()));
+  if (!lifetimes.empty()) {
+    metrics.set("first_death_s", lifetimes.min());
+  }
+  metrics.set("alive_frac",
+              static_cast<double>(mesh.network().alive_count()) /
+                  static_cast<double>(mesh.mote_count()));
+  metrics.set("live_agents", static_cast<double>(mesh.agent_count()));
+  record_residual_stats(mesh, metrics);
   record_energy_stats(mesh, metrics);
   record_network_stats(mesh, mesh.network(), metrics);
   return metrics;
@@ -613,14 +782,23 @@ std::vector<ScenarioInfo>& registry() {
        {"fillers"}},
       {"network_lifetime",
        "fire tracking on battery power: node deaths, lifetime "
-       "percentiles (axes: battery_mj, duty_cycle)",
+       "percentiles, time-to-first-partition (axes: battery_mj, "
+       "duty_cycle, route_policy, adaptive_lpl)",
        run_network_lifetime,
-       with_energy_knobs({"spread_speed", "alert_threshold"})},
+       with_energy_knobs(
+           {"spread_speed", "alert_threshold", "alert_repeat_s"})},
       {"churn_pursuit",
-       "intruder pursuit under Poisson crash/reboot churn (axes: "
-       "churn_rate, churn_reboot_s)",
+       "intruder pursuit under Poisson crash/reboot churn, with "
+       "re-flood recovery (axes: churn_rate, churn_reboot_s, "
+       "route_policy, adaptive_lpl)",
        run_churn_pursuit,
        with_energy_knobs({"intruder_speed"})},
+      {"report_collection",
+       "periodic sense-and-report converge-cast to the gateway: "
+       "delivery, corridor drain, partition (axes: report_s, "
+       "route_policy, duty_cycle)",
+       run_report_collection,
+       with_energy_knobs({"report_s"})},
   };
   return scenarios;
 }

@@ -13,9 +13,18 @@
 //   rout             Fig. 8 remote out              (params: hops)
 //   store_ops        Sec. 3.2 store ablation micro  (params: fillers)
 //   network_lifetime fire tracking on battery power (params: battery_mj,
-//                    duty_cycle, ...): node deaths + lifetime percentiles
+//                    duty_cycle, route_policy, adaptive_lpl, ...): node
+//                    deaths, lifetime percentiles, time-to-first-partition
 //   churn_pursuit    intruder pursuit under Poisson crash/reboot churn
-//                    (params: churn_rate, churn_reboot_s, ...)
+//                    (params: churn_rate, churn_reboot_s, ...), incl. the
+//                    <"ctx"> re-flood recovery of rebooted nodes
+//   report_collection periodic converge-cast to the gateway (params:
+//                    report_s, ...): delivery, corridor drain, partition
+//
+// Every mesh-backed scenario additionally understands the energy-aware
+// networking knobs (route_policy, energy_weight, adaptive_lpl, duty_min,
+// duty_max, beacon_suppression) — see docs/MANUAL.md for units, defaults,
+// and valid ranges (kept in sync by the CI docs-consistency gate).
 #pragma once
 
 #include <functional>

@@ -7,10 +7,16 @@ namespace agilla::net {
 GeoRouter::GeoRouter(sim::Network& network, LinkLayer& link,
                      const NeighborTable& neighbors, sim::Location self,
                      sim::Trace* trace)
+    : GeoRouter(network, link, neighbors, self, Options{}, trace) {}
+
+GeoRouter::GeoRouter(sim::Network& network, LinkLayer& link,
+                     const NeighborTable& neighbors, sim::Location self,
+                     Options options, sim::Trace* trace)
     : network_(network),
       link_(link),
       neighbors_(neighbors),
       self_(self),
+      options_(options),
       trace_(trace) {
   link_.register_handler(
       sim::AmType::kGeo,
@@ -24,12 +30,60 @@ void GeoRouter::register_handler(sim::AmType inner_am, Handler handler) {
   handlers_[inner_am] = std::move(handler);
 }
 
+std::optional<sim::NodeId> GeoRouter::max_min_next_hop(
+    sim::Location dest, double self_distance) const {
+  // Two passes over the (id-sorted) acquaintance list keep the selection
+  // deterministic: first decide whether any progressing neighbour sits
+  // above the residual floor, then score the eligible pool. The score
+  // trades normalized forward progress against residual energy; ties
+  // break toward more progress, then the lower node id.
+  const auto progress_of = [&](const NeighborEntry& e) {
+    return (self_distance - distance(e.location, dest)) / self_distance;
+  };
+  bool any_above_floor = false;
+  for (const auto& e : neighbors_.entries()) {
+    if (progress_of(e) > 0.0 &&
+        e.residual_frac() > options_.residual_floor) {
+      any_above_floor = true;
+      break;
+    }
+  }
+  const double w = options_.energy_weight;
+  std::optional<sim::NodeId> best;
+  double best_score = 0.0;
+  double best_progress = 0.0;
+  for (const auto& e : neighbors_.entries()) {
+    const double progress = progress_of(e);
+    if (progress <= 0.0) {
+      continue;  // never route away from the destination
+    }
+    if (any_above_floor && e.residual_frac() <= options_.residual_floor) {
+      continue;  // spare the nearly-drained relay
+    }
+    const double score =
+        (1.0 - w) * progress + w * e.residual_frac();
+    if (!best || score > best_score ||
+        (score == best_score && progress > best_progress)) {
+      best = e.id;
+      best_score = score;
+      best_progress = progress;
+    }
+  }
+  return best;
+}
+
 GeoRouter::Decision GeoRouter::decide(sim::Location dest,
                                       double epsilon) const {
   if (within(self_, dest, epsilon)) {
     return Decision{Decision::Kind::kDeliverLocal, sim::NodeId{}};
   }
   const double self_distance = distance(self_, dest);
+  if (options_.policy == RoutePolicy::kMaxMinResidual) {
+    if (const auto hop = max_min_next_hop(dest, self_distance)) {
+      return Decision{Decision::Kind::kForward, *hop};
+    }
+    return Decision{Decision::Kind::kNoRoute, sim::NodeId{}};
+  }
   const auto closest = neighbors_.closest_to(dest);
   if (closest.has_value() &&
       distance(closest->location, dest) < self_distance) {

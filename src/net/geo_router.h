@@ -19,8 +19,32 @@
 
 namespace agilla::net {
 
+/// Next-hop selection policy (DESIGN.md "Routing & LPL").
+enum class RoutePolicy : std::uint8_t {
+  /// Paper Sec. 4: forward to the neighbour geographically closest to the
+  /// destination, ignoring energy.
+  kGreedyGeo = 0,
+  /// Energy-aware: among neighbours with forward progress, trade progress
+  /// against the bottleneck neighbour's residual energy (the local
+  /// max-min-residual heuristic), avoiding neighbours below the residual
+  /// floor whenever an above-floor alternative with progress exists.
+  kMaxMinResidual = 1,
+};
+
 class GeoRouter {
  public:
+  struct Options {
+    RoutePolicy policy = RoutePolicy::kGreedyGeo;
+    /// Weight of residual energy vs. forward progress in the max-min
+    /// score: 0 = pure distance (greedy among progressing neighbours),
+    /// 1 = pure energy. score = (1-w)*progress + w*residual.
+    double energy_weight = 0.5;
+    /// Residual fraction below which a neighbour is treated as a relay
+    /// of last resort (only chosen when no above-floor neighbour makes
+    /// forward progress).
+    double residual_floor = 0.25;
+  };
+
   struct Stats {
     std::uint64_t originated = 0;
     std::uint64_t forwarded = 0;
@@ -37,6 +61,9 @@ class GeoRouter {
   GeoRouter(sim::Network& network, LinkLayer& link,
             const NeighborTable& neighbors, sim::Location self,
             sim::Trace* trace = nullptr);
+  GeoRouter(sim::Network& network, LinkLayer& link,
+            const NeighborTable& neighbors, sim::Location self,
+            Options options, sim::Trace* trace = nullptr);
 
   GeoRouter(const GeoRouter&) = delete;
   GeoRouter& operator=(const GeoRouter&) = delete;
@@ -56,22 +83,27 @@ class GeoRouter {
     sim::NodeId next_hop;
   };
 
-  /// The greedy next-hop policy, shared with the migration module.
-  /// Delivers locally when self is within epsilon of dest *and* no
-  /// neighbour is strictly closer; otherwise forwards to the strictly
-  /// closest neighbour; otherwise reports no route.
+  /// The next-hop policy, shared with the migration module. Delivers
+  /// locally when self is within epsilon of dest; otherwise forwards to
+  /// the neighbour the configured RoutePolicy picks among those strictly
+  /// closer to dest; otherwise reports no route. Both policies refuse
+  /// neighbours without forward progress, so loop-freedom is identical.
   [[nodiscard]] Decision decide(sim::Location dest, double epsilon) const;
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Options& options() const { return options_; }
 
  private:
   void on_geo_frame(sim::NodeId from, std::span<const std::uint8_t> payload);
   void forward(const GeoHeader& header, std::span<const std::uint8_t> inner);
+  [[nodiscard]] std::optional<sim::NodeId> max_min_next_hop(
+      sim::Location dest, double self_distance) const;
 
   sim::Network& network_;
   LinkLayer& link_;
   const NeighborTable& neighbors_;
   sim::Location self_;
+  Options options_;
   sim::Trace* trace_;
   std::unordered_map<sim::AmType, Handler> handlers_;
   Stats stats_;

@@ -24,26 +24,46 @@ void LinkLayer::register_handler(sim::AmType am, Handler handler) {
   handlers_[am] = std::move(handler);
 }
 
+std::vector<std::uint8_t> LinkLayer::frame_payload(
+    std::uint8_t seq, bool wants_ack, sim::AmType am,
+    std::span<const std::uint8_t> payload) const {
+  std::vector<std::uint8_t> piggyback;
+  if (piggyback_provider_ && am != sim::AmType::kBeacon &&
+      LinkHeader::kWireSize + payload.size() + BeaconPayload::kWireSize <=
+          kMaxPayloadBytes) {
+    piggyback = piggyback_provider_();
+  }
+  Writer w;
+  LinkHeader{seq, wants_ack, /*has_piggyback=*/!piggyback.empty()}.write(w);
+  w.bytes(payload);
+  w.bytes(piggyback);
+  return w.take();
+}
+
+void LinkLayer::send_frame(sim::NodeId dst, sim::AmType am,
+                           std::vector<std::uint8_t> payload) {
+  sim::Frame frame{self_, dst, am, std::move(payload)};
+  if (preamble_oracle_) {
+    frame.preamble = preamble_oracle_(dst);
+  }
+  network_.send(std::move(frame));
+}
+
 void LinkLayer::send_unacked(sim::NodeId dst, sim::AmType am,
                              std::vector<std::uint8_t> payload) {
-  Writer w;
-  LinkHeader{next_seq_++, /*wants_ack=*/false}.write(w);
-  w.bytes(payload);
   stats_.data_sent++;
-  network_.send(sim::Frame{self_, dst, am, w.take()});
+  send_frame(dst, am,
+             frame_payload(next_seq_++, /*wants_ack=*/false, am, payload));
 }
 
 void LinkLayer::send_acked(sim::NodeId dst, sim::AmType am,
                            std::vector<std::uint8_t> payload,
                            SendCallback done) {
   const std::uint8_t seq = next_seq_++;
-  Writer w;
-  LinkHeader{seq, /*wants_ack=*/true}.write(w);
-  w.bytes(payload);
   Pending pending;
   pending.dst = dst;
   pending.am = am;
-  pending.payload = w.take();
+  pending.payload = frame_payload(seq, /*wants_ack=*/true, am, payload);
   pending.done = std::move(done);
   pending_[seq] = std::move(pending);
   transmit(seq);
@@ -58,7 +78,7 @@ void LinkLayer::transmit(std::uint8_t seq) {
   if (p.attempts > 1) {
     stats_.retransmissions++;
   }
-  network_.send(sim::Frame{self_, p.dst, p.am, p.payload});
+  send_frame(p.dst, p.am, p.payload);
   p.timer = network_.simulator().schedule_in(
       options_.ack_timeout, [this, seq] { on_timeout(seq); });
 }
@@ -93,7 +113,7 @@ void LinkLayer::send_ack(sim::NodeId to, std::uint8_t seq) {
   Writer w;
   AckPayload{seq}.write(w);
   stats_.acks_sent++;
-  network_.send(sim::Frame{self_, to, sim::AmType::kAck, w.take()});
+  send_frame(to, sim::AmType::kAck, w.take());
 }
 
 bool* LinkLayer::find_duplicate(sim::NodeId from, std::uint8_t seq,
@@ -150,9 +170,21 @@ void LinkLayer::on_frame(const sim::Frame& frame) {
   if (!r.ok()) {
     return;
   }
-  const std::span<const std::uint8_t> inner(
+  std::span<const std::uint8_t> inner(
       frame.payload.data() + LinkHeader::kWireSize,
       frame.payload.size() - LinkHeader::kWireSize);
+  if (header.has_piggyback) {
+    if (inner.size() < BeaconPayload::kWireSize) {
+      return;  // malformed: flagged but truncated
+    }
+    // Split off the trailing beacon and feed it to the neighbour table
+    // first, so the frame's own handler sees the refreshed entry.
+    const auto piggyback = inner.last(BeaconPayload::kWireSize);
+    inner = inner.first(inner.size() - BeaconPayload::kWireSize);
+    if (piggyback_sink_) {
+      piggyback_sink_(frame.src, piggyback);
+    }
+  }
   const auto it = handlers_.find(frame.am);
 
   if (!header.wants_ack) {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -50,6 +51,19 @@ class LinkLayer {
       std::function<bool(sim::NodeId from, std::span<const std::uint8_t>)>;
   using SendCallback = std::function<void(bool delivered)>;
 
+  /// Per-destination LPL preamble extension (adaptive LPL: size the
+  /// preamble for the receiver's advertised check period, not a global
+  /// constant). nullopt = fall back to the sender's own schedule.
+  using PreambleOracle =
+      std::function<std::optional<sim::SimTime>(sim::NodeId dst)>;
+
+  /// Beacon suppression: the provider supplies the node's current
+  /// BeaconPayload bytes to append to outgoing data frames (empty = skip),
+  /// the sink consumes one arriving piggybacked on a neighbour's frame.
+  using PiggybackProvider = std::function<std::vector<std::uint8_t>()>;
+  using PiggybackSink =
+      std::function<void(sim::NodeId from, std::span<const std::uint8_t>)>;
+
   LinkLayer(sim::Network& network, sim::NodeId self);
   LinkLayer(sim::Network& network, sim::NodeId self, Options options,
             sim::Trace* trace = nullptr);
@@ -72,6 +86,14 @@ class LinkLayer {
   /// Must be called once after construction (wires the radio upcall).
   void attach();
 
+  void set_preamble_oracle(PreambleOracle oracle) {
+    preamble_oracle_ = std::move(oracle);
+  }
+  void set_piggyback(PiggybackProvider provider, PiggybackSink sink) {
+    piggyback_provider_ = std::move(provider);
+    piggyback_sink_ = std::move(sink);
+  }
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] sim::NodeId self() const { return self_; }
 
@@ -88,6 +110,13 @@ class LinkLayer {
   void on_frame(const sim::Frame& frame);
   void on_ack(const sim::Frame& frame);
   void transmit(std::uint8_t seq);
+  /// Builds the frame payload: link header (+ piggybacked beacon when the
+  /// provider is set, the frame is not a beacon, and the budget allows).
+  [[nodiscard]] std::vector<std::uint8_t> frame_payload(
+      std::uint8_t seq, bool wants_ack, sim::AmType am,
+      std::span<const std::uint8_t> payload) const;
+  void send_frame(sim::NodeId dst, sim::AmType am,
+                  std::vector<std::uint8_t> payload);
   void on_timeout(std::uint8_t seq);
   void send_ack(sim::NodeId to, std::uint8_t seq);
   /// Returns the acked-flag slot for a remembered (src, seq), or nullptr
@@ -105,6 +134,9 @@ class LinkLayer {
   };
 
   std::unordered_map<sim::AmType, Handler> handlers_;
+  PreambleOracle preamble_oracle_;
+  PiggybackProvider piggyback_provider_;
+  PiggybackSink piggyback_sink_;
   std::unordered_map<std::uint8_t, Pending> pending_;
   std::vector<DedupEntry> dedup_;  // ring buffer
   std::size_t dedup_next_ = 0;

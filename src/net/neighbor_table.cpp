@@ -1,6 +1,7 @@
 #include "net/neighbor_table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace agilla::net {
@@ -30,27 +31,98 @@ void NeighborTable::start() {
     return;
   }
   running_ = true;
+  backoff_exp_ = 0;
   const sim::SimTime offset =
       network_.simulator().rng().uniform(options_.beacon_period);
   beacon_timer_ = network_.simulator().schedule_in(
       offset, [this] { send_beacon(); });
+  if (options_.suppression) {
+    // Backed-off beacons check for expiry too rarely: sweep on the base
+    // cadence so a silenced-then-dead neighbour is still evicted after
+    // `expiry_periods` of ITS advertised interval.
+    schedule_expiry_sweep();
+  }
 }
 
 void NeighborTable::stop() {
   running_ = false;
   beacon_timer_.cancel();
+  expiry_timer_.cancel();
+}
+
+void NeighborTable::schedule_expiry_sweep() {
+  expiry_timer_ = network_.simulator().schedule_in(
+      options_.beacon_period, [this] {
+        if (!running_) {
+          return;
+        }
+        expire();
+        schedule_expiry_sweep();
+      });
+}
+
+BeaconSelfState NeighborTable::advertised_state() const {
+  return self_state_ ? self_state_() : BeaconSelfState{};
+}
+
+sim::SimTime NeighborTable::interval_for_exp(std::uint32_t exp) const {
+  // The exponent can arrive off the wire (0-255): clamp before shifting
+  // (a shift >= 64 is UB, and anything past ~32 is already beyond every
+  // plausible max_beacon_period).
+  const sim::SimTime interval = options_.beacon_period
+                                << std::min<std::uint32_t>(exp, 32);
+  return std::min(interval, options_.max_beacon_period);
+}
+
+sim::SimTime NeighborTable::current_beacon_interval() const {
+  return interval_for_exp(backoff_exp_);
 }
 
 void NeighborTable::send_beacon() {
   if (!running_) {
     return;
   }
-  Writer w;
-  BeaconPayload{self_}.write(w);
-  link_.send_unacked(sim::kBroadcastNode, sim::AmType::kBeacon, w.take());
+  const BeaconSelfState state = advertised_state();
+  if (options_.suppression) {
+    // Stability check: any membership change, or a material self-state
+    // change (period moved, or the residual dropped a rebeacon step),
+    // snaps the period back to the base; otherwise keep backing off.
+    const bool material =
+        state.period_units != last_advertised_.period_units ||
+        std::abs(static_cast<int>(state.residual) -
+                 static_cast<int>(last_advertised_.residual)) >=
+            static_cast<int>(options_.residual_restep);
+    if (table_changed_ || material) {
+      backoff_exp_ = 0;
+    } else if (interval_for_exp(backoff_exp_ + 1) >
+               interval_for_exp(backoff_exp_)) {
+      backoff_exp_++;
+    }
+    table_changed_ = false;
+  }
+  last_advertised_ = state;
+  link_.send_unacked(sim::kBroadcastNode, sim::AmType::kBeacon,
+                     payload_for(state));
   expire();
   beacon_timer_ = network_.simulator().schedule_in(
-      options_.beacon_period, [this] { send_beacon(); });
+      current_beacon_interval(), [this] { send_beacon(); });
+}
+
+std::vector<std::uint8_t> NeighborTable::payload_for(
+    const BeaconSelfState& state) const {
+  BeaconPayload beacon;
+  beacon.location = self_;
+  beacon.residual = state.residual;
+  beacon.period_units = state.period_units;
+  beacon.backoff_exp = static_cast<std::uint8_t>(
+      std::min<std::uint32_t>(backoff_exp_, 255));
+  Writer w;
+  beacon.write(w);
+  return w.take();
+}
+
+std::vector<std::uint8_t> NeighborTable::make_piggyback() const {
+  return payload_for(advertised_state());
 }
 
 void NeighborTable::on_beacon(sim::NodeId from,
@@ -60,19 +132,44 @@ void NeighborTable::on_beacon(sim::NodeId from,
   if (!r.ok()) {
     return;
   }
-  insert(from, beacon.location);
+  upsert(from, beacon);
+}
+
+void NeighborTable::on_piggyback(sim::NodeId from,
+                                 std::span<const std::uint8_t> bytes) {
+  on_beacon(from, bytes);
 }
 
 void NeighborTable::insert(sim::NodeId id, sim::Location location) {
+  insert(id, location, BeaconPayload::kResidualFull, 1);
+}
+
+void NeighborTable::insert(sim::NodeId id, sim::Location location,
+                           std::uint8_t residual,
+                           std::uint8_t period_units) {
+  upsert(id, BeaconPayload{location, residual, period_units, 0});
+}
+
+void NeighborTable::upsert(sim::NodeId id, const BeaconPayload& beacon) {
   const sim::SimTime now = network_.simulator().now();
+  NeighborEntry entry;
+  entry.id = id;
+  entry.location = beacon.location;
+  entry.last_heard = now;
+  entry.residual = beacon.residual;
+  // A period of 0 units is not representable (the sender's own cycler
+  // never advertises it); clamp so a malformed frame cannot underflow
+  // the preamble math in preamble_extension_for().
+  entry.period_units = std::max<std::uint8_t>(beacon.period_units, 1);
+  entry.beacon_interval = interval_for_exp(beacon.backoff_exp);
   const auto it = std::find_if(
       entries_.begin(), entries_.end(),
       [id](const NeighborEntry& e) { return e.id == id; });
   if (it != entries_.end()) {
-    it->location = location;
-    it->last_heard = now;
+    *it = entry;
     return;
   }
+  table_changed_ = true;
   if (entries_.size() >= options_.capacity) {
     // Evict the stalest entry (mote memory is fixed; paper Sec. 3.2).
     auto stalest = std::min_element(
@@ -80,9 +177,9 @@ void NeighborTable::insert(sim::NodeId id, sim::Location location) {
         [](const NeighborEntry& a, const NeighborEntry& b) {
           return a.last_heard < b.last_heard;
         });
-    *stalest = NeighborEntry{id, location, now};
+    *stalest = entry;
   } else {
-    entries_.push_back(NeighborEntry{id, location, now});
+    entries_.push_back(entry);
   }
   std::sort(entries_.begin(), entries_.end(),
             [](const NeighborEntry& a, const NeighborEntry& b) {
@@ -92,16 +189,28 @@ void NeighborTable::insert(sim::NodeId id, sim::Location location) {
     trace_->emit(now, sim::TraceCategory::kNeighbor, link_.self(),
                  "discovered n" + std::to_string(id.value));
   }
+  if (discovery_) {
+    discovery_(id, beacon.location);
+  }
 }
 
 void NeighborTable::expire() {
   const sim::SimTime now = network_.simulator().now();
-  const sim::SimTime horizon =
-      static_cast<sim::SimTime>(options_.expiry_periods) *
-      options_.beacon_period;
+  const std::size_t before = entries_.size();
   std::erase_if(entries_, [&](const NeighborEntry& e) {
+    // Expiry clock: the sender's ADVERTISED beacon interval (a backed-off
+    // neighbour beacons rarely but is not dead). upsert() always sets it
+    // to at least the base period; the max() only defends entries built
+    // outside that path.
+    const sim::SimTime interval =
+        std::max(e.beacon_interval, options_.beacon_period);
+    const sim::SimTime horizon =
+        static_cast<sim::SimTime>(options_.expiry_periods) * interval;
     return now > e.last_heard && now - e.last_heard > horizon;
   });
+  if (entries_.size() != before) {
+    table_changed_ = true;
+  }
 }
 
 std::optional<NeighborEntry> NeighborTable::by_index(std::size_t i) const {
@@ -143,6 +252,29 @@ std::optional<NeighborEntry> NeighborTable::closest_to(
     return std::nullopt;
   }
   return *best;
+}
+
+std::optional<sim::SimTime> NeighborTable::preamble_extension_for(
+    sim::NodeId dst, sim::SimTime wake_time) const {
+  const auto extension_of = [wake_time](const NeighborEntry& e) {
+    return static_cast<sim::SimTime>(e.period_units - 1) * wake_time;
+  };
+  if (dst.is_broadcast()) {
+    // A broadcast must outlast the slowest sampler in range.
+    std::optional<sim::SimTime> max;
+    for (const auto& e : entries_) {
+      const sim::SimTime ext = extension_of(e);
+      if (!max || ext > *max) {
+        max = ext;
+      }
+    }
+    return max;
+  }
+  const auto entry = by_id(dst);
+  if (!entry) {
+    return std::nullopt;
+  }
+  return extension_of(*entry);
 }
 
 }  // namespace agilla::net

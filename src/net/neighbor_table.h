@@ -2,9 +2,25 @@
 // (Sec. 2.2: "Agilla provides one-hop neighbor discovery using beacons. The
 // one-hop neighbor information is stored in an acquaintance list and is
 // continuously updated").
+//
+// Beyond the paper, beacons carry the energy state the routing and LPL
+// layers need (residual battery, LPL check period — see BeaconPayload),
+// and under `Options::suppression` the table implements the two
+// beacon-budget optimisations DESIGN.md's "Routing & LPL" chapter
+// documents:
+//  * exponential beacon backoff (base period -> max_beacon_period) while
+//    the acquaintance list and the advertised self-state are stable; any
+//    membership change or a material residual/period change resets the
+//    period to the base. The current backoff exponent is advertised in
+//    the beacon so listeners scale their expiry horizon to the sender's
+//    actual interval.
+//  * piggybacking: outgoing data frames carry the same 7-byte payload
+//    (wired through LinkLayer::set_piggyback by the middleware), so
+//    active neighbours stay fresh without any beacon at all.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -18,16 +34,49 @@ struct NeighborEntry {
   sim::NodeId id;
   sim::Location location;
   sim::SimTime last_heard = 0;
+  /// Advertised residual energy (encode_residual; 255 = full/mains).
+  std::uint8_t residual = BeaconPayload::kResidualFull;
+  /// Advertised LPL check period in wake-time units (1 = always on).
+  std::uint8_t period_units = 1;
+  /// The sender's beacon interval implied by its advertised backoff
+  /// exponent — the expiry clock for this entry.
+  sim::SimTime beacon_interval = 0;
+
+  [[nodiscard]] double residual_frac() const {
+    return decode_residual(residual);
+  }
+};
+
+/// What this node advertises about itself in beacons and piggybacks
+/// (location is added by the table; freshness comes from the provider).
+struct BeaconSelfState {
+  std::uint8_t residual = BeaconPayload::kResidualFull;
+  std::uint8_t period_units = 1;
 };
 
 class NeighborTable {
  public:
   struct Options {
     sim::SimTime beacon_period = 1 * sim::kSecond;
-    /// Entries older than `expiry_periods * beacon_period` are evicted.
+    /// Entries older than `expiry_periods * (sender's advertised beacon
+    /// interval)` are evicted.
     std::uint32_t expiry_periods = 3;
     std::size_t capacity = 16;  ///< acquaintance-list slots on the mote
+    /// Beacon suppression: exponential backoff while stable + piggyback.
+    bool suppression = false;
+    sim::SimTime max_beacon_period = 8 * sim::kSecond;
+    /// A residual drop of at least this many quantization steps (13/255
+    /// ~ 5 %) is "material": it resets the beacon backoff so routers
+    /// learn about draining relays promptly.
+    std::uint8_t residual_restep = 13;
   };
+
+  using SelfStateFn = std::function<BeaconSelfState()>;
+  /// Fired when a NEW neighbour enters the table (not on refresh) — the
+  /// middleware turns this into a fresh <"ctx", loc> tuple so deployment
+  /// agents can re-flood onto rebooted nodes.
+  using DiscoveryHandler =
+      std::function<void(sim::NodeId, sim::Location)>;
 
   NeighborTable(sim::Network& network, LinkLayer& link, sim::Location self);
   NeighborTable(sim::Network& network, LinkLayer& link, sim::Location self,
@@ -37,6 +86,11 @@ class NeighborTable {
   /// offset so co-located nodes do not synchronize).
   void start();
   void stop();
+
+  void set_self_state(SelfStateFn fn) { self_state_ = std::move(fn); }
+  void set_discovery_handler(DiscoveryHandler handler) {
+    discovery_ = std::move(handler);
+  }
 
   /// Entries sorted by node id (stable order for the getnbr instruction).
   [[nodiscard]] const std::vector<NeighborEntry>& entries() const {
@@ -52,28 +106,62 @@ class NeighborTable {
   [[nodiscard]] std::optional<NeighborEntry> closest_to(
       sim::Location dest) const;
 
+  /// The LPL preamble a frame to `dst` must pay, from the destination's
+  /// advertised check period (max over all entries for broadcast).
+  /// nullopt when nothing is known — the sender falls back to its own
+  /// schedule.
+  [[nodiscard]] std::optional<sim::SimTime> preamble_extension_for(
+      sim::NodeId dst, sim::SimTime wake_time) const;
+
+  /// The node's current beacon payload bytes (piggyback provider).
+  [[nodiscard]] std::vector<std::uint8_t> make_piggyback() const;
+  /// Consumes a piggybacked beacon from a data frame (piggyback sink).
+  void on_piggyback(sim::NodeId from, std::span<const std::uint8_t> bytes);
+
   /// Force-insert an entry (tests / warm start).
   void insert(sim::NodeId id, sim::Location location);
+  void insert(sim::NodeId id, sim::Location location, std::uint8_t residual,
+              std::uint8_t period_units);
 
   /// Forgets every acquaintance (node death wipes the mote's RAM; a
   /// rebooted node relearns its neighbourhood from beacons).
-  void clear() { entries_.clear(); }
+  void clear() {
+    entries_.clear();
+    backoff_exp_ = 0;
+  }
+
+  /// The interval until this node's next beacon (base << backoff).
+  [[nodiscard]] sim::SimTime current_beacon_interval() const;
 
   [[nodiscard]] const Options& options() const { return options_; }
 
  private:
   void send_beacon();
   void on_beacon(sim::NodeId from, std::span<const std::uint8_t> payload);
+  void upsert(sim::NodeId from, const BeaconPayload& beacon);
+  [[nodiscard]] std::vector<std::uint8_t> payload_for(
+      const BeaconSelfState& state) const;
   void expire();
+  void schedule_expiry_sweep();
+  [[nodiscard]] BeaconSelfState advertised_state() const;
+  [[nodiscard]] sim::SimTime interval_for_exp(std::uint32_t exp) const;
 
   sim::Network& network_;
   LinkLayer& link_;
   sim::Location self_;
   Options options_;
   sim::Trace* trace_;
+  SelfStateFn self_state_;
+  DiscoveryHandler discovery_;
   std::vector<NeighborEntry> entries_;
   sim::EventHandle beacon_timer_;
+  sim::EventHandle expiry_timer_;
   bool running_ = false;
+  // Suppression state: exponent of the current backoff, whether the
+  // table changed since the last beacon, and what that beacon advertised.
+  std::uint32_t backoff_exp_ = 0;
+  bool table_changed_ = false;
+  BeaconSelfState last_advertised_;
 };
 
 }  // namespace agilla::net

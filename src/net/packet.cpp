@@ -33,16 +33,44 @@ std::uint8_t encode_epsilon(double eps) {
 
 double decode_epsilon(std::uint8_t e) { return static_cast<double>(e) / 16.0; }
 
+std::uint8_t encode_residual(double fraction) {
+  const double scaled = std::round(std::clamp(fraction, 0.0, 1.0) * 255.0);
+  return static_cast<std::uint8_t>(scaled);
+}
+
+double decode_residual(std::uint8_t v) {
+  return static_cast<double>(v) / 255.0;
+}
+
 void LinkHeader::write(Writer& w) const {
   w.u8(seq);
-  w.u8(wants_ack ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>((wants_ack ? 1 : 0) |
+                                 (has_piggyback ? 2 : 0)));
 }
 
 LinkHeader LinkHeader::read(Reader& r) {
   LinkHeader h;
   h.seq = r.u8();
-  h.wants_ack = (r.u8() & 1) != 0;
+  const std::uint8_t flags = r.u8();
+  h.wants_ack = (flags & 1) != 0;
+  h.has_piggyback = (flags & 2) != 0;
   return h;
+}
+
+void BeaconPayload::write(Writer& w) const {
+  write_location(w, location);
+  w.u8(residual);
+  w.u8(period_units);
+  w.u8(backoff_exp);
+}
+
+BeaconPayload BeaconPayload::read(Reader& r) {
+  BeaconPayload b;
+  b.location = read_location(r);
+  b.residual = r.u8();
+  b.period_units = r.u8();
+  b.backoff_exp = r.u8();
+  return b;
 }
 
 void GeoHeader::write(Writer& w) const {

@@ -37,10 +37,20 @@ sim::Location read_location(Reader& r);
 std::uint8_t encode_epsilon(double eps);
 double decode_epsilon(std::uint8_t e);
 
+/// Residual battery energy travels as u8 = round(fraction * 255): a 1-byte
+/// quantization with <= 1/510 (~0.2 %) error (calibration in DESIGN.md).
+/// 255 doubles as "mains-powered / no battery" — indistinguishable from a
+/// full battery on the wire, which is exactly how a router should treat it.
+std::uint8_t encode_residual(double fraction);
+double decode_residual(std::uint8_t v);
+
 /// Link-layer header prepended to every non-ack frame payload (2 bytes).
+/// Flag bit 1 marks a piggybacked BeaconPayload appended after the inner
+/// payload (beacon suppression: data frames double as beacons).
 struct LinkHeader {
   std::uint8_t seq = 0;
   bool wants_ack = false;
+  bool has_piggyback = false;
 
   static constexpr std::size_t kWireSize = 2;
 
@@ -56,12 +66,27 @@ struct AckPayload {
   static AckPayload read(Reader& r) { return AckPayload{r.u8()}; }
 };
 
-/// Beacon payload (AmType::kBeacon, 4 bytes): the sender's location.
+/// Beacon payload (AmType::kBeacon, 7 bytes): the sender's location plus
+/// the energy state the routing and LPL layers need from a neighbour —
+/// residual battery energy (1 byte, see encode_residual), the current LPL
+/// check period in wake-time units (1 = always on, so a sender can size
+/// its preamble for THIS receiver), and the sender's beacon-backoff
+/// exponent (so listeners scale their expiry horizon to the actual
+/// beacon interval instead of evicting a suppressed-but-alive node).
+/// The same 7 bytes ride piggybacked on data frames under beacon
+/// suppression (LinkHeader flag bit 1).
 struct BeaconPayload {
   sim::Location location;
+  std::uint8_t residual = kResidualFull;  ///< encode_residual(remaining)
+  std::uint8_t period_units = 1;          ///< check period / wake_time
+  std::uint8_t backoff_exp = 0;           ///< beacon period = base << exp
 
-  void write(Writer& w) const { write_location(w, location); }
-  static BeaconPayload read(Reader& r) { return BeaconPayload{read_location(r)}; }
+  /// Mains-powered or battery-less senders advertise a full battery.
+  static constexpr std::uint8_t kResidualFull = 255;
+  static constexpr std::size_t kWireSize = 7;
+
+  void write(Writer& w) const;
+  static BeaconPayload read(Reader& r);
 };
 
 /// Geographic routing envelope (AmType::kGeo): 11-byte header + inner

@@ -36,8 +36,9 @@ Network::Network(Simulator& sim, std::unique_ptr<RadioModel> radio,
 
 NodeId Network::add_node(Location loc) {
   const NodeId id{static_cast<std::uint16_t>(nodes_.size())};
-  nodes_.push_back(NodeState{NodeInfo{id, loc, true}, nullptr, {}, false,
-                             true, false, nullptr});
+  NodeState node;
+  node.info = NodeInfo{id, loc, true};
+  nodes_.push_back(std::move(node));
   return id;
 }
 
@@ -53,7 +54,7 @@ void Network::set_radio_enabled(NodeId id, bool enabled) {
     node.battery->settle(sim_.now());
     node.battery->set_idle_draw_mw(
         enabled ? energy_->options.radio.listen_mw(
-                      energy_->duty.listen_fraction())
+                      node.duty.listen_fraction())
                 : 0.0);
   }
   node.info.radio_enabled = enabled;
@@ -69,21 +70,37 @@ const energy::DutyCycler& Network::duty_cycler() const {
   return energy_ ? energy_->duty : kDisabled;
 }
 
+const energy::DutyCycler& Network::node_duty(NodeId id) const {
+  if (!energy_ || id.value >= nodes_.size()) {
+    return duty_cycler();
+  }
+  return nodes_[id.value].duty;
+}
+
 void Network::attach_energy(const energy::EnergyOptions& options) {
   assert(!energy_.has_value());
   energy_ = EnergyState{options, energy::DutyCycler(options.duty)};
-  if (options.battery_mj <= 0.0) {
-    return;  // duty-cycle latency only; nodes stay immortal
+  for (NodeState& node : nodes_) {
+    node.duty = energy::DutyCycler(options.duty);
   }
-  const double idle_mw =
-      options.radio.listen_mw(energy_->duty.listen_fraction());
+  if (options.battery_mj <= 0.0) {
+    // Duty-cycle latency only; nodes stay immortal — but the adaptive
+    // controller still needs its traffic tick.
+    if (options.duty.adaptive) {
+      schedule_settle_tick();
+    }
+    return;
+  }
   for (NodeState& node : nodes_) {
     if (options.gateway_powered && node.info.id.value == 0) {
       continue;
     }
     node.battery =
         std::make_unique<energy::Battery>(options.battery_mj, sim_.now());
-    node.battery->set_idle_draw_mw(node.info.radio_enabled ? idle_mw : 0.0);
+    node.battery->set_idle_draw_mw(
+        node.info.radio_enabled
+            ? options.radio.listen_mw(node.duty.listen_fraction())
+            : 0.0);
   }
   schedule_settle_tick();
 }
@@ -113,10 +130,20 @@ void Network::settle_batteries() {
 void Network::schedule_settle_tick() {
   sim_.schedule_in(energy_->options.settle_period, [this] {
     for (NodeState& node : nodes_) {
+      // Adaptive LPL: fold this tick's traffic into the node's schedule
+      // and re-base the idle draw when the listen fraction moved.
+      const std::uint32_t heard =
+          std::exchange(node.frames_heard, std::uint32_t{0});
+      const bool fraction_changed =
+          node.alive && node.duty.observe(heard);
       if (node.battery == nullptr) {
         continue;
       }
       node.battery->settle(sim_.now());
+      if (fraction_changed && node.info.radio_enabled) {
+        node.battery->set_idle_draw_mw(energy_->options.radio.listen_mw(
+            node.duty.listen_fraction()));
+      }
       if (node.alive && node.battery->depleted()) {
         kill_node(node.info.id, NodeDownReason::kBatteryDepleted);
       }
@@ -206,6 +233,12 @@ void Network::revive_node(NodeId id) {
   if (!node.transmitting) {
     node.tx_queue.clear();  // a fresh boot forgets queued frames
   }
+  if (energy_) {
+    // The adaptive LPL controller's state lived in the wiped RAM: the
+    // rebooted MAC restarts from the configured schedule.
+    node.duty = energy::DutyCycler(energy_->options.duty);
+    node.frames_heard = 0;
+  }
   stats_.node_reboots++;
   set_radio_enabled(id, true);  // resumes the idle draw
   if (node_up_) {
@@ -250,6 +283,11 @@ void Network::send(Frame frame) {
   try_start_tx(node);
 }
 
+SimTime Network::preamble_for(const NodeState& sender,
+                              const Frame& frame) const {
+  return frame.preamble.value_or(sender.duty.preamble_extension());
+}
+
 void Network::try_start_tx(NodeState& node) {
   if (node.transmitting || node.tx_queue.empty() ||
       !node.info.radio_enabled) {
@@ -258,7 +296,7 @@ void Network::try_start_tx(NodeState& node) {
   node.transmitting = true;
   const Frame& frame = node.tx_queue.front();
   SimTime duration = timing_.air_time(frame.payload.size()) +
-                     duty_cycler().preamble_extension();
+                     preamble_for(node, frame);
   if (timing_.max_jitter > 0) {
     duration += sim_.rng().uniform(timing_.max_jitter + 1);
   }
@@ -293,7 +331,7 @@ void Network::finish_tx(NodeId id) {
     charge(node, energy::EnergyComponent::kRadioTx,
            energy_->options.radio.tx_mj(
                timing_.serialization_time(frame.payload.size()) +
-               energy_->duty.preamble_extension()));
+               preamble_for(node, frame)));
   }
 
   deliver(frame, node.info);
@@ -305,6 +343,7 @@ void Network::deliver(const Frame& frame, const NodeInfo& sender) {
   const SimTime decode_time =
       timing_.serialization_time(frame.payload.size());
   const auto charge_rx = [&](NodeState& receiver) {
+    receiver.frames_heard++;  // traffic signal for the adaptive controller
     if (energy_) {
       charge(receiver, energy::EnergyComponent::kRadioRx,
              energy_->options.radio.rx_mj(decode_time));

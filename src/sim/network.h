@@ -40,6 +40,10 @@ struct Frame {
   NodeId dst;  ///< kBroadcastNode for beacons
   AmType am = AmType::kAck;
   std::vector<std::uint8_t> payload;
+  /// LPL preamble extension for THIS frame, set by the sender's net layer
+  /// when it knows the receiver's advertised check period (adaptive LPL).
+  /// nullopt = use the node's own duty-cycler extension (static LPL).
+  std::optional<SimTime> preamble;
 };
 
 struct RadioTiming {
@@ -131,6 +135,10 @@ class Network {
   }
   [[nodiscard]] const energy::DutyCycler& duty_cycler() const;
 
+  /// The node's own duty cycler. Identical to duty_cycler() under static
+  /// LPL; diverges per node once the adaptive controller runs.
+  [[nodiscard]] const energy::DutyCycler& node_duty(NodeId id) const;
+
   // ------------------------------------------------- node death & churn
   /// Starts Poisson per-node crash (and optional reboot) events. Requires
   /// nodes to exist; the gateway is spared when energy options say so (or
@@ -180,6 +188,12 @@ class Network {
     /// fires, even if the node was revived in the meantime.
     bool tx_doomed = false;
     std::unique_ptr<energy::Battery> battery;
+    /// Per-node LPL schedule (meaningful only when energy is attached;
+    /// moves per node under the adaptive controller).
+    energy::DutyCycler duty;
+    /// Frames this node's radio decoded since the last settle tick — the
+    /// local traffic rate the adaptive controller observes.
+    std::uint32_t frames_heard = 0;
   };
 
   struct EnergyState {
@@ -189,6 +203,11 @@ class Network {
 
   void try_start_tx(NodeState& node);
   void finish_tx(NodeId id);
+  /// The LPL preamble extension this frame pays: its per-receiver
+  /// override when the net layer set one, the sender's own schedule
+  /// otherwise.
+  [[nodiscard]] SimTime preamble_for(const NodeState& sender,
+                                     const Frame& frame) const;
   void deliver(const Frame& frame, const NodeInfo& sender);
   /// Clamped drain + deferred depletion kill (safe mid-delivery).
   void charge(NodeState& node, energy::EnergyComponent component, double mj);

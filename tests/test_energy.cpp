@@ -4,6 +4,9 @@
 // determinism, and reboot semantics.
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "core/agent_library.h"
 #include "core/assembler.h"
 #include "energy/battery.h"
 #include "energy/duty_cycler.h"
@@ -83,6 +86,74 @@ TEST(DutyCycler, PeriodScalesInverselyWithFraction) {
   const DutyCycler lpl2{DutyCycler::Options{
       .listen_fraction = 0.05, .wake_time = 8 * sim::kMillisecond}};
   EXPECT_EQ(lpl2.check_period(), 160 * sim::kMillisecond);
+}
+
+TEST(DutyCycler, AdaptiveObserveWidensWhenQuietNarrowsUnderLoad) {
+  DutyCycler lpl{DutyCycler::Options{.listen_fraction = 0.1,
+                                     .adaptive = true,
+                                     .min_fraction = 0.02,
+                                     .max_fraction = 0.4,
+                                     .busy_frames = 4}};
+  const sim::SimTime initial = lpl.check_period();
+  // A silent tick halves the listen fraction (doubles the period)...
+  EXPECT_TRUE(lpl.observe(0));
+  EXPECT_EQ(lpl.check_period(), 2 * initial);
+  // ...moderate traffic holds steady...
+  EXPECT_FALSE(lpl.observe(2));
+  EXPECT_EQ(lpl.check_period(), 2 * initial);
+  // ...and load at busy_frames snaps it back.
+  EXPECT_TRUE(lpl.observe(4));
+  EXPECT_EQ(lpl.check_period(), initial);
+}
+
+TEST(DutyCycler, AdaptiveStaysWithinConfiguredBounds) {
+  DutyCycler lpl{DutyCycler::Options{.listen_fraction = 0.1,
+                                     .adaptive = true,
+                                     .min_fraction = 0.02,
+                                     .max_fraction = 0.4}};
+  for (int i = 0; i < 20; ++i) {
+    lpl.observe(0);
+  }
+  EXPECT_DOUBLE_EQ(lpl.listen_fraction(), 0.02);  // clamped at the floor
+  for (int i = 0; i < 20; ++i) {
+    lpl.observe(100);
+  }
+  EXPECT_DOUBLE_EQ(lpl.listen_fraction(), 0.4);  // clamped at the ceiling
+  // The timeout budget must cover the widest schedule the controller can
+  // reach, not the starting point.
+  EXPECT_EQ(lpl.max_preamble_extension(),
+            DutyCycler{DutyCycler::Options{.listen_fraction = 0.02}}
+                .preamble_extension());
+}
+
+/// Property (satellite contract): the converged check period is monotone
+/// non-increasing in offered load — more traffic never yields a LONGER
+/// period, so the controller cannot oscillate against the workload.
+TEST(DutyCycler, PropertyConvergedPeriodMonotoneInOfferedLoad) {
+  const auto converged_period = [](std::uint32_t frames_per_tick) {
+    DutyCycler lpl{DutyCycler::Options{.listen_fraction = 0.1,
+                                       .adaptive = true,
+                                       .min_fraction = 0.02,
+                                       .max_fraction = 0.5,
+                                       .busy_frames = 4}};
+    for (int tick = 0; tick < 64; ++tick) {
+      lpl.observe(frames_per_tick);
+    }
+    return lpl.check_period();
+  };
+  sim::SimTime previous = std::numeric_limits<sim::SimTime>::max();
+  for (std::uint32_t load = 0; load <= 12; ++load) {
+    const sim::SimTime period = converged_period(load);
+    EXPECT_LE(period, previous) << "load " << load;
+    previous = period;
+  }
+  // And the extremes really reach the bounds.
+  EXPECT_EQ(converged_period(0),
+            DutyCycler{DutyCycler::Options{.listen_fraction = 0.02}}
+                .check_period());
+  EXPECT_EQ(converged_period(50),
+            DutyCycler{DutyCycler::Options{.listen_fraction = 0.5}}
+                .check_period());
 }
 
 TEST(RadioEnergyModel, DutyCycledListenDrawInterpolates) {
@@ -361,6 +432,107 @@ TEST(DutyCycle, LplStretchesDeliveryLatency) {
   const sim::SimTime lpl = one_hop_latency(0.1);
   // The LPL preamble (72 ms at 10 %) dominates a one-hop delivery.
   EXPECT_GT(lpl, always_on + 50 * sim::kMillisecond);
+}
+
+// ------------------------------------------- adaptive LPL on a live mesh
+
+TEST(AdaptiveLpl, QuietMeshWidensTowardTheFloorBusyMeshDoesNot) {
+  const auto fraction_at = [](bool busy) {
+    harness::MeshOptions options;
+    options.width = 2;
+    options.height = 1;
+    options.packet_loss = 0.0;
+    options.duty_cycle = 0.1;
+    options.adaptive_lpl = true;
+    options.duty_min = 0.02;
+    options.duty_max = 0.5;
+    harness::Mesh mesh(options);
+    if (busy) {
+      // A chatty agent on mote 0: one remote out per VM tick keeps the
+      // receiving mote's channel-sample busy every settle tick.
+      mesh.mote(0).inject(core::assemble_or_die(R"(
+          LOOP pushc 7
+          pushc 1
+          pushloc 2 1
+          rout
+          pushc 2
+          sleep
+          jump LOOP
+      )"));
+    }
+    mesh.simulator().run_for(60 * sim::kSecond);
+    return mesh.network()
+        .node_duty(mesh.topology().nodes[1])
+        .listen_fraction();
+  };
+  const double quiet = fraction_at(false);
+  const double busy = fraction_at(true);
+  // Quiet: suppressed beacons leave most settle ticks silent, so the
+  // controller walks to the duty floor. Busy: sustained traffic holds
+  // the fraction strictly above it (period monotone in offered load).
+  EXPECT_DOUBLE_EQ(quiet, 0.02);
+  EXPECT_GT(busy, quiet);
+}
+
+TEST(AdaptiveLpl, SendersTrackTheReceiversAdvertisedPeriod) {
+  // Under per-receiver preamble tracking, a frame to a widened receiver
+  // pays that receiver's long preamble even though the SENDER's own
+  // schedule may be narrow — visible as delivery latency.
+  harness::MeshOptions options;
+  options.width = 2;
+  options.height = 1;
+  options.packet_loss = 0.0;
+  options.duty_cycle = 0.5;  // start narrow
+  options.adaptive_lpl = true;
+  options.duty_min = 0.02;
+  options.duty_max = 0.5;
+  harness::Mesh mesh(options);
+  // Let the idle mesh converge: both nodes widen to the 0.02 floor
+  // (400 ms check period) and advertise it in their beacons.
+  mesh.simulator().run_for(60 * sim::kSecond);
+  const auto& receiver_duty =
+      mesh.network().node_duty(mesh.topology().nodes[1]);
+  EXPECT_DOUBLE_EQ(receiver_duty.listen_fraction(), 0.02);
+  const auto advertised = mesh.mote(0).neighbors().preamble_extension_for(
+      mesh.topology().nodes[1], receiver_duty.options().wake_time);
+  ASSERT_TRUE(advertised.has_value());
+  EXPECT_EQ(*advertised, receiver_duty.preamble_extension());
+}
+
+// ------------------------------------------------- re-flood after reboot
+
+/// ROADMAP satellite: a churn-rebooted node must not stay agent-less.
+/// The surviving claimer reacts to the fresh <"ctx", loc> tuple its
+/// middleware inserts when the rebooted node re-enters the acquaintance
+/// list, and re-clones the deployment onto it.
+TEST(Reflood, RebootedNodeGetsTheDeploymentAgentBack) {
+  harness::MeshOptions options;
+  options.width = 3;
+  options.height = 1;
+  options.packet_loss = 0.0;
+  harness::Mesh mesh(options);
+  mesh.mote(0).inject(
+      core::assemble_or_die(core::agents::sentinel(/*sample_ticks=*/8)));
+  mesh.simulator().run_for(15 * sim::kSecond);
+  const ts::Template claimed{
+      ts::Value::string("stl"),
+      ts::Value::type_wildcard(ts::ValueType::kLocation)};
+  ASSERT_EQ(mesh.motes_matching(claimed), 3u);  // flood claimed the row
+
+  const sim::NodeId victim = mesh.topology().nodes[2];
+  mesh.network().kill_node(victim, sim::NodeDownReason::kChurnCrash);
+  EXPECT_EQ(mesh.mote(2).agents().count(), 0u);
+  // Long enough for the survivors to evict the corpse (3 beacon periods).
+  mesh.simulator().run_for(8 * sim::kSecond);
+  EXPECT_FALSE(mesh.mote(1).neighbors().by_id(victim).has_value());
+
+  mesh.network().revive_node(victim);
+  mesh.simulator().run_for(15 * sim::kSecond);
+  // Rediscovery fired the <"ctx"> reaction on a surviving claimer, which
+  // re-cloned the sentinel onto the empty node.
+  EXPECT_GE(mesh.mote(2).agents().count(), 1u);
+  EXPECT_TRUE(mesh.mote(2).tuple_space().rdp(claimed).has_value());
+  EXPECT_EQ(mesh.motes_matching(claimed), 3u);
 }
 
 }  // namespace

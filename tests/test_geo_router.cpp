@@ -181,5 +181,137 @@ TEST(GeoRouter, DefaultTtlSufficesForGridDiameters) {
   EXPECT_GE(GeoHeader::kDefaultTtl, 2 * (5 + 5));
 }
 
+// ------------------------------------------------- max-min residual policy
+
+/// One node with a hand-seeded acquaintance list and a configurable
+/// routing policy — decide() is a pure function of the table, so no
+/// simulation time needs to pass.
+struct PolicyFixture {
+  sim::Simulator sim{7};
+  sim::Network net;
+  sim::NodeId self;
+  LinkLayer link;
+  NeighborTable table;
+  GeoRouter router;
+
+  explicit PolicyFixture(GeoRouter::Options options,
+                         sim::Location at = {5, 5})
+      : net(sim, std::make_unique<sim::PerfectRadio>()),
+        self(net.add_node(at)),
+        link(net, self),
+        table(net, link, at),
+        router(net, link, table, at, options) {}
+};
+
+TEST(MaxMinRouting, PrefersChargedNeighborAmongEqualProgress) {
+  PolicyFixture f({.policy = RoutePolicy::kMaxMinResidual,
+                   .energy_weight = 0.5});
+  // Both neighbours offer identical progress toward (1,1); the west one
+  // is nearly drained, the south one full.
+  f.table.insert(sim::NodeId{1}, {4, 5}, /*residual=*/40,
+                 /*period_units=*/1);
+  f.table.insert(sim::NodeId{2}, {5, 4}, /*residual=*/255,
+                 /*period_units=*/1);
+  const auto d = f.router.decide({1, 1}, 0.3);
+  ASSERT_EQ(d.kind, GeoRouter::Decision::Kind::kForward);
+  EXPECT_EQ(d.next_hop, sim::NodeId{2});
+}
+
+TEST(MaxMinRouting, UsesDrainedRelayWhenItIsTheOnlyProgress) {
+  PolicyFixture f({.policy = RoutePolicy::kMaxMinResidual,
+                   .residual_floor = 0.25});
+  // The only neighbour with forward progress sits below the floor; a
+  // full battery behind us must not lure the packet backwards.
+  f.table.insert(sim::NodeId{1}, {4, 5}, /*residual=*/10,
+                 /*period_units=*/1);
+  f.table.insert(sim::NodeId{2}, {6, 5}, /*residual=*/255,
+                 /*period_units=*/1);
+  const auto d = f.router.decide({1, 5}, 0.3);
+  ASSERT_EQ(d.kind, GeoRouter::Decision::Kind::kForward);
+  EXPECT_EQ(d.next_hop, sim::NodeId{1});
+}
+
+TEST(MaxMinRouting, NoProgressIsNoRouteEvenWithFullBatteries) {
+  PolicyFixture f({.policy = RoutePolicy::kMaxMinResidual});
+  f.table.insert(sim::NodeId{1}, {6, 5}, 255, 1);
+  f.table.insert(sim::NodeId{2}, {5, 6}, 255, 1);
+  EXPECT_EQ(f.router.decide({1, 5}, 0.3).kind,
+            GeoRouter::Decision::Kind::kNoRoute);
+}
+
+/// Property: whenever some neighbour with forward progress sits above
+/// the residual floor, max-min never selects one at or below it.
+TEST(MaxMinRouting, PropertyNeverPicksBelowFloorWhenAlternativeExists) {
+  sim::Rng rng(2024);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    const double floor = 0.1 + 0.05 * static_cast<double>(rng.uniform(8));
+    PolicyFixture f({.policy = RoutePolicy::kMaxMinResidual,
+                     .energy_weight =
+                         0.1 * static_cast<double>(rng.uniform(11)),
+                     .residual_floor = floor});
+    const std::size_t count = 1 + rng.uniform(6);
+    for (std::size_t i = 0; i < count; ++i) {
+      f.table.insert(
+          sim::NodeId{static_cast<std::uint16_t>(i + 1)},
+          {1.0 + static_cast<double>(rng.uniform(9)),
+           1.0 + static_cast<double>(rng.uniform(9))},
+          static_cast<std::uint8_t>(rng.uniform(256)), 1);
+    }
+    const sim::Location dest{
+        1.0 + static_cast<double>(rng.uniform(9)),
+        1.0 + static_cast<double>(rng.uniform(9))};
+    const auto d = f.router.decide(dest, 0.0);
+    if (d.kind != GeoRouter::Decision::Kind::kForward) {
+      continue;
+    }
+    const auto chosen = f.table.by_id(d.next_hop);
+    ASSERT_TRUE(chosen.has_value());
+    if (chosen->residual_frac() > floor) {
+      continue;  // above the floor: nothing to check
+    }
+    // The policy picked a below-floor relay: that is only legal when no
+    // above-floor neighbour makes forward progress.
+    const double self_d = distance({5, 5}, dest);
+    for (const auto& e : f.table.entries()) {
+      EXPECT_FALSE(distance(e.location, dest) < self_d &&
+                   e.residual_frac() > floor)
+          << "iteration " << iteration << ": below-floor relay chosen "
+          << "despite above-floor neighbour n" << e.id.value;
+    }
+  }
+}
+
+/// Property: with the energy term switched off and uniform residuals,
+/// max-min degenerates to exactly the greedy choice (same forwarding
+/// graph, so enabling the policy cannot change paper-faithful routes
+/// until batteries actually diverge).
+TEST(MaxMinRouting, PropertyZeroWeightUniformResidualMatchesGreedy) {
+  sim::Rng rng(99);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    PolicyFixture greedy({.policy = RoutePolicy::kGreedyGeo});
+    PolicyFixture maxmin({.policy = RoutePolicy::kMaxMinResidual,
+                          .energy_weight = 0.0});
+    const std::size_t count = 1 + rng.uniform(6);
+    for (std::size_t i = 0; i < count; ++i) {
+      const sim::Location loc{
+          1.0 + static_cast<double>(rng.uniform(9)),
+          1.0 + static_cast<double>(rng.uniform(9))};
+      greedy.table.insert(sim::NodeId{static_cast<std::uint16_t>(i + 1)},
+                          loc, 200, 1);
+      maxmin.table.insert(sim::NodeId{static_cast<std::uint16_t>(i + 1)},
+                          loc, 200, 1);
+    }
+    const sim::Location dest{
+        1.0 + static_cast<double>(rng.uniform(9)),
+        1.0 + static_cast<double>(rng.uniform(9))};
+    const auto dg = greedy.router.decide(dest, 0.0);
+    const auto dm = maxmin.router.decide(dest, 0.0);
+    EXPECT_EQ(dg.kind, dm.kind) << "iteration " << iteration;
+    if (dg.kind == GeoRouter::Decision::Kind::kForward) {
+      EXPECT_EQ(dg.next_hop, dm.next_hop) << "iteration " << iteration;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace agilla::net

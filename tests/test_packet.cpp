@@ -46,6 +46,17 @@ TEST(LinkHeader, RoundTrip) {
   const LinkHeader h = LinkHeader::read(r);
   EXPECT_EQ(h.seq, 42);
   EXPECT_TRUE(h.wants_ack);
+  EXPECT_FALSE(h.has_piggyback);
+}
+
+TEST(LinkHeader, PiggybackFlagRoundTrips) {
+  Writer w;
+  LinkHeader{7, false, /*has_piggyback=*/true}.write(w);
+  Reader r(w.data());
+  const LinkHeader h = LinkHeader::read(r);
+  EXPECT_EQ(h.seq, 7);
+  EXPECT_FALSE(h.wants_ack);
+  EXPECT_TRUE(h.has_piggyback);
 }
 
 TEST(AckPayload, RoundTrip) {
@@ -55,13 +66,31 @@ TEST(AckPayload, RoundTrip) {
   EXPECT_EQ(AckPayload::read(r).acked_seq, 99);
 }
 
-TEST(BeaconPayload, RoundTrip) {
+TEST(BeaconPayload, RoundTripAndWireSize) {
   Writer w;
-  BeaconPayload{{2.0, 3.0}}.write(w);
+  BeaconPayload{{2.0, 3.0}, 128, 10, 3}.write(w);
+  EXPECT_EQ(w.size(), BeaconPayload::kWireSize);
   Reader r(w.data());
   const BeaconPayload b = BeaconPayload::read(r);
   EXPECT_DOUBLE_EQ(b.location.x, 2.0);
   EXPECT_DOUBLE_EQ(b.location.y, 3.0);
+  EXPECT_EQ(b.residual, 128);
+  EXPECT_EQ(b.period_units, 10);
+  EXPECT_EQ(b.backoff_exp, 3);
+}
+
+TEST(Residual, QuantizationErrorIsBounded) {
+  // The 1-byte encoding must stay within half a step (1/510) everywhere
+  // and be exact at the endpoints (calibration note in DESIGN.md).
+  EXPECT_EQ(encode_residual(1.0), 255);
+  EXPECT_EQ(encode_residual(0.0), 0);
+  EXPECT_EQ(encode_residual(-0.5), 0);   // clamped
+  EXPECT_EQ(encode_residual(2.0), 255);  // clamped
+  for (int i = 0; i <= 1000; ++i) {
+    const double f = static_cast<double>(i) / 1000.0;
+    const double back = decode_residual(encode_residual(f));
+    EXPECT_NEAR(back, f, 0.5 / 255.0) << "f=" << f;
+  }
 }
 
 TEST(GeoHeader, RoundTripAndWireSize) {

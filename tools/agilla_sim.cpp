@@ -35,6 +35,8 @@ void print_usage() {
       "usage: agilla_sim [options]\n"
       "  --scenario NAME      scenario to run (default: fire_tracking)\n"
       "  --list               list registered scenarios and exit\n"
+      "  --list-scenarios     machine-readable scenario list (docs gate)\n"
+      "  --list-knobs         machine-readable knob list (docs gate)\n"
       "  --grid WxH           mesh size, repeatable (default: 5x5, max "
       "%zux%zu)\n"
       "  --trials N           trials per parameter cell (default: 8)\n"
@@ -67,6 +69,26 @@ void print_scenarios() {
       }
       std::printf("  %-18s   knobs: %s\n", "", knobs.c_str());
     }
+  }
+}
+
+// Machine-readable listings, consumed by the docs-consistency gate in
+// scripts/check.sh: the committed tables in docs/MANUAL.md must match
+// this output byte for byte, so MANUAL.md cannot drift from the binary.
+void print_scenario_lines() {
+  for (const harness::ScenarioInfo& info : harness::scenarios()) {
+    std::printf("%s | %s\n", info.name.c_str(), info.description.c_str());
+  }
+}
+
+void print_knob_lines() {
+  for (const harness::ScenarioInfo& info : harness::scenarios()) {
+    std::string knobs;
+    for (const std::string& knob : info.knobs) {
+      knobs += (knobs.empty() ? "" : " ") + knob;
+    }
+    std::printf("%s: %s\n", info.name.c_str(),
+                info.knobs.empty() ? "(any)" : knobs.c_str());
   }
 }
 
@@ -144,6 +166,8 @@ int main(int argc, char** argv) {
     return 2;
   };
 
+  bool list_scenarios = false;
+  bool list_knobs = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -153,6 +177,14 @@ int main(int argc, char** argv) {
     if (arg == "--list") {
       print_scenarios();
       return 0;
+    }
+    if (arg == "--list-scenarios") {
+      list_scenarios = true;
+      continue;
+    }
+    if (arg == "--list-knobs") {
+      list_knobs = true;
+      continue;
     }
     if (i + 1 >= argc) {
       return fail("missing value for " + std::string(arg));
@@ -243,6 +275,16 @@ int main(int argc, char** argv) {
       print_usage();
       return fail("unknown option: " + std::string(arg));
     }
+  }
+
+  if (list_scenarios || list_knobs) {
+    if (list_scenarios) {
+      print_scenario_lines();
+    }
+    if (list_knobs) {
+      print_knob_lines();
+    }
+    return 0;
   }
 
   const harness::ScenarioInfo* scenario =
