@@ -1,17 +1,14 @@
-// The paper's Sec. 5 case study, end to end: FIREDETECTOR agents flood a
-// 5x5 grid; a fire ignites and spreads; detectors alert the FIRETRACKER at
-// the base station; trackers swarm to the fire and maintain a perimeter of
-// <"trk", loc> tuples, which this program renders as an ASCII map over
-// time.
+// The paper's Sec. 5 case study, end to end, on the public embedding
+// API: FIREDETECTOR agents flood a 5x5 grid; a fire ignites and spreads;
+// detectors alert the FIRETRACKER at the base station; trackers swarm to
+// the fire and maintain a perimeter of <"trk", loc> tuples, which this
+// program renders as an ASCII map over time.
 //
 //   $ ./examples/fire_tracking
 #include <cstdio>
 #include <string>
 
-#include "core/agent_library.h"
-#include "core/injector.h"
-#include "core/middleware.h"
-#include "sim/topology.h"
+#include "api/agilla.h"
 
 using namespace agilla;
 
@@ -50,12 +47,11 @@ char glyph_for(core::AgillaMiddleware& mote, const sim::FireField& fire,
 }  // namespace
 
 int main() {
-  sim::Simulator simulator(/*seed=*/7);
-  sim::Network network(
-      simulator, std::make_unique<sim::GridNeighborRadio>(
-                     sim::GridNeighborRadio::Options{.spacing = 1.0,
-                                                     .packet_loss = 0.03}));
-  const sim::Topology grid = sim::make_grid(network, kGrid, kGrid);
+  auto net = api::SimulationBuilder()
+                 .grid(kGrid, kGrid)
+                 .seed(7)
+                 .packet_loss(0.03)
+                 .build();
 
   // A fire ignites at (4,4) after 60 s; the burning front is a ring ~1.6
   // units wide that sweeps outward, leaving burned-out ground behind.
@@ -69,20 +65,11 @@ int main() {
       .edge_decay = 0.45,
       .ring_width = 1.6,
       .burned_over = 40.0};
-  sim::SensorEnvironment environment;
-  environment.set_field(sim::SensorType::kTemperature,
-                        std::make_unique<sim::FireField>(fire_options));
+  net->environment().set_field(sim::SensorType::kTemperature,
+                               std::make_unique<sim::FireField>(fire_options));
   const sim::FireField fire(fire_options);  // a copy for rendering
 
-  std::vector<std::unique_ptr<core::AgillaMiddleware>> motes;
-  for (const sim::NodeId id : grid.nodes) {
-    motes.push_back(
-        std::make_unique<core::AgillaMiddleware>(network, id, &environment));
-    motes.back()->start();
-  }
-  simulator.run_for(5 * sim::kSecond);
-
-  core::BaseStation base(*motes.front());
+  core::BaseStation base = net->base();
   std::puts("t=5s    injecting FIRETRACKER (waits at base for alerts)");
   base.inject(core::agents::fire_tracker(/*threshold=*/180,
                                          /*nap_ticks=*/16));
@@ -91,30 +78,25 @@ int main() {
                                           /*threshold=*/200,
                                           /*sample_ticks=*/32));
 
+  const ts::Template trk{ts::Value::string("trk"),
+                         ts::Value::type_wildcard(ts::ValueType::kLocation)};
   for (int frame = 0; frame < 7; ++frame) {
-    simulator.run_for(40 * sim::kSecond);
-    const double t = static_cast<double>(simulator.now()) / 1e6;
+    net->run_for(40 * sim::kSecond);
+    const sim::SimTime now = net->simulator().now();
+    const double t = static_cast<double>(now) / 1e6;
     std::printf("\n--- t = %.0f s   (fire front radius %.2f) ---\n", t,
-                fire.front_radius(simulator.now()));
+                fire.front_radius(now));
     for (std::size_t row = kGrid; row-- > 0;) {
       std::string line = "  ";
       for (std::size_t col = 0; col < kGrid; ++col) {
-        line += glyph_for(*motes[row * kGrid + col], fire, simulator.now());
+        line += glyph_for(net->mote(row * kGrid + col), fire, now);
         line += ' ';
       }
       std::puts(line.c_str());
     }
-    std::size_t trackers = 0;
-    std::size_t agents = 0;
-    for (const auto& mote : motes) {
-      agents += mote->agents().count();
-      trackers += mote->tuple_space().tcount(ts::Template{
-          ts::Value::string("trk"),
-          ts::Value::type_wildcard(ts::ValueType::kLocation)});
-    }
     std::printf("  legend: d detector, * burning, T tracker, X both | "
                 "%zu live agents, %zu perimeter marks\n",
-                agents, trackers);
+                net->agent_count(), net->tuples_matching(trk));
   }
 
   std::puts("\nThe perimeter marks follow the fire front: the tracker");

@@ -1,30 +1,26 @@
-// Multiple applications sharing one deployed network (paper Secs. 1/2.2):
-// a habitat-monitoring application logs temperature readings while a fire
-// application runs beside it. When fire is detected the two coordinate
-// WITHOUT knowing each other — purely through the <"fir", loc> tuple: the
-// habitat monitor reacts and voluntarily dies, freeing its resources.
+// Multiple applications sharing one deployed network (paper Secs. 1/2.2),
+// on the public embedding API: a habitat-monitoring application logs
+// temperature readings while a fire application runs beside it. When fire
+// is detected the two coordinate WITHOUT knowing each other — purely
+// through the <"fir", loc> tuple: the habitat monitor reacts and
+// voluntarily dies, freeing its resources.
 //
 //   $ ./examples/habitat_multiapp
 #include <cstdio>
 
-#include "core/agent_library.h"
-#include "core/injector.h"
-#include "core/middleware.h"
-#include "sim/topology.h"
+#include "api/agilla.h"
 
 using namespace agilla;
 
 int main() {
-  sim::Simulator simulator(/*seed=*/3);
-  sim::Network network(
-      simulator, std::make_unique<sim::GridNeighborRadio>(
-                     sim::GridNeighborRadio::Options{.spacing = 1.0,
-                                                     .packet_loss = 0.02}));
-  const sim::Topology grid = sim::make_grid(network, 3, 1);
+  auto net = api::SimulationBuilder()
+                 .grid(3, 1)
+                 .seed(3)
+                 .packet_loss(0.02)
+                 .build();
 
   // Ambient 20 C; a fire ignites near node (3,1) at t = 120 s.
-  sim::SensorEnvironment environment;
-  environment.set_field(
+  net->environment().set_field(
       sim::SensorType::kTemperature,
       std::make_unique<sim::FireField>(sim::FireField::Options{
           .ignition_point = {3, 1},
@@ -34,25 +30,17 @@ int main() {
           .ambient = 20.0,
           .edge_decay = 0.4}));
 
-  std::vector<std::unique_ptr<core::AgillaMiddleware>> motes;
-  for (const sim::NodeId id : grid.nodes) {
-    motes.push_back(
-        std::make_unique<core::AgillaMiddleware>(network, id, &environment));
-    motes.back()->start();
-  }
-  simulator.run_for(5 * sim::kSecond);
-
-  core::BaseStation base(*motes.front());
+  core::BaseStation base = net->base();
 
   // Application 1: habitat monitoring on every node (a biologist's app).
   std::puts("injecting habitat monitors on all three motes...");
-  for (std::size_t i = 0; i < motes.size(); ++i) {
+  for (std::size_t i = 0; i < net->mote_count(); ++i) {
     if (i == 0) {
       base.inject(core::agents::habitat_monitor(/*sample_ticks=*/64));
     } else {
       base.inject_at(
           core::assemble_or_die(core::agents::habitat_monitor(64)),
-          motes[i]->location());
+          net->mote(i).location());
     }
   }
   // Application 2: fire detection, sharing the same motes.
@@ -69,18 +57,13 @@ int main() {
       ts::Value::type_wildcard(ts::ValueType::kLocation)};
   bool alert_relayed = false;
   for (int tick = 0; tick < 8; ++tick) {
-    simulator.run_for(30 * sim::kSecond);
-    std::size_t logs = 0;
-    std::size_t agents = 0;
-    for (const auto& mote : motes) {
-      agents += mote->agents().count();
-      logs += mote->tuple_space().tcount(hab_log);
-    }
-    const auto alert = motes.front()->tuple_space().rdp(fire_alert);
+    net->run_for(30 * sim::kSecond);
+    const auto alert = net->mote(0).tuple_space().rdp(fire_alert);
     std::printf(
         "t=%3.0fs  live agents: %zu   habitat log tuples: %zu   fire "
         "alert at base: %s\n",
-        static_cast<double>(simulator.now()) / 1e6, agents, logs,
+        static_cast<double>(net->simulator().now()) / 1e6,
+        net->agent_count(), net->tuples_matching(hab_log),
         alert.has_value() ? "YES" : "no");
     if (alert.has_value() && !alert_relayed) {
       // The base-station operator relays the evacuation order by dropping
@@ -88,8 +71,8 @@ int main() {
       // to it with zero knowledge of who produced it.
       alert_relayed = true;
       std::puts("        -> base relays the alert tuple to every mote");
-      for (std::size_t i = 1; i < motes.size(); ++i) {
-        base.rout(motes[i]->location(),
+      for (std::size_t i = 1; i < net->mote_count(); ++i) {
+        base.rout(net->mote(i).location(),
                   ts::Tuple{ts::Value::string("fir"),
                             alert->field(1)});
       }
@@ -104,11 +87,12 @@ int main() {
 
   // Show that the monitors near the fire are gone while their logged data
   // remains available in the tuple spaces.
-  for (const auto& mote : motes) {
+  for (std::size_t i = 0; i < net->mote_count(); ++i) {
+    core::AgillaMiddleware& mote = net->mote(i);
     std::printf("  mote (%.0f,%.0f): %zu agents, %zu habitat readings kept\n",
-                mote->location().x, mote->location().y,
-                mote->agents().count(),
-                mote->tuple_space().tcount(hab_log));
+                mote.location().x, mote.location().y,
+                mote.agents().count(),
+                mote.tuple_space().tcount(hab_log));
   }
   return 0;
 }

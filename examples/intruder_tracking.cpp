@@ -1,23 +1,23 @@
-// The paper's Sec. 1 programming-model claim, running: "instead of
-// worrying about how nodes must coordinate to track an intruder, a mobile
-// agent programmer can think of an agent following the intruder by
-// repeatedly migrating to the node that best detects it."
+// The paper's Sec. 1 programming-model claim, running on the public
+// embedding API: "instead of worrying about how nodes must coordinate to
+// track an intruder, a mobile agent programmer can think of an agent
+// following the intruder by repeatedly migrating to the node that best
+// detects it."
 //
 // An intruder (a moving magnetometer source) patrols the field; SENTINEL
 // agents on every node publish their current reading as a tuple; a single
 // PURSUER agent polls its neighbours' tuples with rrdp and strong-moves to
-// whichever node hears the intruder loudest.
+// whichever node hears the intruder loudest. An observer on the event bus
+// counts the pursuer's migrations — the coordination the programmer never
+// had to write.
 //
 //   $ ./examples/intruder_tracking
 #include <cmath>
 #include <cstdio>
 #include <string>
 
-#include "core/agent_library.h"
+#include "api/agilla.h"
 #include "sim/stats.h"
-#include "core/injector.h"
-#include "core/middleware.h"
-#include "sim/topology.h"
 
 using namespace agilla;
 
@@ -25,11 +25,10 @@ namespace {
 
 constexpr std::size_t kGrid = 5;
 
-/// The pursuer is wherever its breadcrumb tuple is freshest: find the node
-/// currently hosting 2 agents (sentinel + pursuer).
-int pursuer_index(std::vector<std::unique_ptr<core::AgillaMiddleware>>& motes) {
-  for (std::size_t i = 0; i < motes.size(); ++i) {
-    if (motes[i]->agents().count() >= 2) {
+/// The pursuer is wherever two agents share a node (sentinel + pursuer).
+int pursuer_index(api::Deployment& net) {
+  for (std::size_t i = 0; i < net.mote_count(); ++i) {
+    if (net.mote(i).agents().count() >= 2) {
       return static_cast<int>(i);
     }
   }
@@ -39,12 +38,13 @@ int pursuer_index(std::vector<std::unique_ptr<core::AgillaMiddleware>>& motes) {
 }  // namespace
 
 int main() {
-  sim::Simulator simulator(/*seed=*/17);
-  sim::Network network(
-      simulator, std::make_unique<sim::GridNeighborRadio>(
-                     sim::GridNeighborRadio::Options{.spacing = 1.0,
-                                                     .packet_loss = 0.02}));
-  const sim::Topology grid = sim::make_grid(network, kGrid, kGrid);
+  api::EventCounter counter;
+  auto net = api::SimulationBuilder()
+                 .grid(kGrid, kGrid)
+                 .seed(17)
+                 .packet_loss(0.02)
+                 .observe(counter)
+                 .build();
 
   // The intruder walks the perimeter of the field, slowly.
   const sim::MovingBumpField::Options intruder_options{
@@ -54,47 +54,38 @@ int main() {
       .sigma = 1.0,
       .ambient = 5.0,
       .loop = true};
-  sim::SensorEnvironment environment;
-  environment.set_field(
+  net->environment().set_field(
       sim::SensorType::kMagnetometer,
       std::make_unique<sim::MovingBumpField>(intruder_options));
   const sim::MovingBumpField intruder(intruder_options);  // for rendering
 
-  std::vector<std::unique_ptr<core::AgillaMiddleware>> motes;
-  for (const sim::NodeId id : grid.nodes) {
-    motes.push_back(
-        std::make_unique<core::AgillaMiddleware>(network, id, &environment));
-    motes.back()->start();
-  }
-  simulator.run_for(5 * sim::kSecond);
-
-  core::BaseStation base(*motes.front());
+  core::BaseStation base = net->base();
   std::puts("injecting SENTINEL (flood-deploys, publishes <sig, reading>)");
   base.inject(core::agents::sentinel(/*sample_ticks=*/8));
-  simulator.run_for(30 * sim::kSecond);  // let sentinels claim the grid
+  net->run_for(30 * sim::kSecond);  // let sentinels claim the grid
+  const std::uint64_t deploy_migrations = counter.agent_migrations;
   std::puts("injecting PURSUER (follows the loudest magnetometer signal)\n");
   base.inject(core::agents::pursuer(/*nap_ticks=*/8));
 
   sim::Summary distance_track;
   for (int frame = 0; frame < 10; ++frame) {
-    simulator.run_for(20 * sim::kSecond);
-    const sim::Location truth = intruder.center(simulator.now());
-    const int pursuer = pursuer_index(motes);
-    const sim::Location at =
-        pursuer >= 0 ? motes[static_cast<std::size_t>(pursuer)]->location()
-                     : sim::Location{0, 0};
+    net->run_for(20 * sim::kSecond);
+    const sim::Location truth = intruder.center(net->simulator().now());
+    const int pursuer = pursuer_index(*net);
     if (pursuer >= 0) {
+      const sim::Location at =
+          net->mote(static_cast<std::size_t>(pursuer)).location();
       distance_track.add(distance(truth, at));
     }
 
     std::printf("t = %3.0f s   intruder at (%.1f,%.1f)\n",
-                static_cast<double>(simulator.now()) / 1e6, truth.x,
+                static_cast<double>(net->simulator().now()) / 1e6, truth.x,
                 truth.y);
     for (std::size_t row = kGrid; row-- > 0;) {
       std::string line = "  ";
       for (std::size_t col = 0; col < kGrid; ++col) {
         const std::size_t index = row * kGrid + col;
-        const sim::Location cell = motes[index]->location();
+        const sim::Location cell = net->mote(index).location();
         const bool is_intruder = distance(cell, truth) < 0.71;
         const bool is_pursuer = static_cast<int>(index) == pursuer;
         char glyph = '.';
@@ -116,6 +107,9 @@ int main() {
   std::printf("mean pursuer-to-intruder distance: %.2f grid units "
               "(grid diagonal: %.1f)\n",
               distance_track.mean(), std::sqrt(2.0) * (kGrid - 1));
+  std::printf("migrations during the chase (event bus): %llu\n",
+              static_cast<unsigned long long>(counter.agent_migrations -
+                                              deploy_migrations));
   std::puts("The pursuer's entire \"coordination protocol\" is 60 lines of");
   std::puts("agent assembly: sense, rrdp the neighbours, smove to the max.");
   return 0;

@@ -1,45 +1,38 @@
-// Quickstart: build a simulated 3x3 mote grid, inject an agent written in
-// the paper's assembly language from a base station, move it around, and
-// read results back through remote tuple-space operations.
+// Quickstart, written against the public embedding API (api/agilla.h):
+// build a simulated 3x3 mote grid with SimulationBuilder, inject an
+// agent written in the paper's assembly language from the base station,
+// move it around, and read results back through remote tuple-space
+// operations — while an EventCounter observes the run from the bus.
 //
 //   $ ./examples/quickstart
 #include <cstdio>
 
-#include "core/agent_library.h"
-#include "core/injector.h"
-#include "core/middleware.h"
-#include "sim/topology.h"
+#include "api/agilla.h"
 
 using namespace agilla;
 
 int main() {
-  // 1. A simulator, a lossy grid radio, and a 3x3 grid of motes.
-  sim::Simulator simulator(/*seed=*/42);
-  sim::Network network(
-      simulator, std::make_unique<sim::GridNeighborRadio>(
-                     sim::GridNeighborRadio::Options{.spacing = 1.0,
-                                                     .packet_loss = 0.02}));
-  const sim::Topology grid = sim::make_grid(network, 3, 3);
+  // 1. One builder call composes the whole mesh: simulator, lossy grid
+  //    radio, sensor environment, and an Agilla middleware stack on
+  //    every mote. The network starts EMPTY: no application is
+  //    installed anywhere (paper Sec. 2.2). The builder's warm-up runs
+  //    neighbour discovery before build() returns.
+  api::EventCounter counter;  // a thin metrics subscriber on the bus
+  auto net = api::SimulationBuilder()
+                 .grid(3, 3)
+                 .seed(42)
+                 .packet_loss(0.02)
+                 .observe(counter)
+                 .build();
 
   // 2. The environment the motes sense: a constant 22 C everywhere.
-  sim::SensorEnvironment environment;
-  environment.set_field(sim::SensorType::kTemperature,
-                        std::make_unique<sim::ConstantField>(22.0));
+  net->environment().set_field(sim::SensorType::kTemperature,
+                               std::make_unique<sim::ConstantField>(22.0));
 
-  // 3. An Agilla middleware stack on every mote. The network starts EMPTY:
-  //    no application is installed anywhere (paper Sec. 2.2).
-  std::vector<std::unique_ptr<core::AgillaMiddleware>> motes;
-  for (const sim::NodeId id : grid.nodes) {
-    motes.push_back(
-        std::make_unique<core::AgillaMiddleware>(network, id, &environment));
-    motes.back()->start();
-  }
-  simulator.run_for(5 * sim::kSecond);  // let neighbour discovery settle
+  // 3. A base station wired to the corner mote at (1,1).
+  core::BaseStation base = net->base();
 
-  // 4. A base station wired to the corner mote at (1,1).
-  core::BaseStation base(*motes.front());
-
-  // 5. Inject an agent, in the paper's assembly language: it strong-moves
+  // 4. Inject an agent, in the paper's assembly language: it strong-moves
   //    to the far corner, senses the temperature, publishes the reading in
   //    the local tuple space, and dies.
   const auto agent = base.inject(R"(
@@ -58,36 +51,41 @@ int main() {
   }
   std::printf("injected agent #%u at (1,1)\n", agent->value);
 
-  simulator.run_for(10 * sim::kSecond);
+  net->run_for(10 * sim::kSecond);
 
-  // 6. From the base station, read the result back with a remote rdp.
+  // 5. From the base station, read the result back with a remote rdp.
   std::printf("querying the tuple space at (3,3) from the base station...\n");
   base.rrdp({3, 3},
             ts::Template{ts::Value::string("dat"),
                          ts::Value::type_wildcard(ts::ValueType::kReading)},
             [&](bool success, std::optional<ts::Tuple> tuple) {
               if (success && tuple.has_value()) {
-                std::printf("  remote rdp -> %s  (at t=%.2f s)\n",
-                            tuple->to_string().c_str(),
-                            static_cast<double>(simulator.now()) / 1e6);
+                std::printf(
+                    "  remote rdp -> %s  (at t=%.2f s)\n",
+                    tuple->to_string().c_str(),
+                    static_cast<double>(net->simulator().now()) / 1e6);
               } else {
                 std::puts("  remote rdp found nothing");
               }
             });
-  simulator.run_for(5 * sim::kSecond);
+  net->run_for(5 * sim::kSecond);
 
-  // 7. A peek at what the radio did.
-  const auto& stats = network.stats();
+  // 6. What the observer saw, without touching a single internal field.
+  std::printf(
+      "bus: %llu frames tx, %llu beacons, %llu agent spawns, %llu tuple "
+      "ops, %llu migrations\n",
+      static_cast<unsigned long long>(counter.frames_tx),
+      static_cast<unsigned long long>(counter.beacons),
+      static_cast<unsigned long long>(counter.agent_spawns),
+      static_cast<unsigned long long>(counter.tuple_ops),
+      static_cast<unsigned long long>(counter.agent_migrations));
+  const auto& stats = net->network().stats();
   std::printf(
       "radio: %llu frames sent, %llu delivered, %llu lost on the channel\n",
       static_cast<unsigned long long>(stats.frames_sent),
       static_cast<unsigned long long>(stats.frames_delivered),
       static_cast<unsigned long long>(stats.frames_lost));
-  std::printf("agents alive anywhere: ");
-  std::size_t alive = 0;
-  for (const auto& mote : motes) {
-    alive += mote->agents().count();
-  }
-  std::printf("%zu (the visitor completed and died)\n", alive);
+  std::printf("agents alive anywhere: %zu (the visitor completed and died)\n",
+              net->agent_count());
   return 0;
 }

@@ -1,16 +1,14 @@
-// The second half of the paper's Sec. 2.1 scenario: fire fighters inject
-// SEARCHRESCUE agents that spread and repeatedly clone themselves,
-// "scouring the region looking for lost hikers". Hikers are modelled as
-// <"hkr", id> tuples pre-planted on a few motes (a stand-in for a detector
-// of human presence); every find is reported back to the base station as a
-// <"fnd", location, id> tuple.
+// The second half of the paper's Sec. 2.1 scenario, on the public
+// embedding API: fire fighters inject SEARCHRESCUE agents that spread and
+// repeatedly clone themselves, "scouring the region looking for lost
+// hikers". Hikers are modelled as <"hkr", id> tuples pre-planted on a few
+// motes (a stand-in for a detector of human presence); every find is
+// reported back to the base station as a <"fnd", location, id> tuple.
 //
 //   $ ./examples/search_rescue
 #include <cstdio>
 
-#include "core/injector.h"
-#include "core/middleware.h"
-#include "sim/topology.h"
+#include "api/agilla.h"
 
 using namespace agilla;
 
@@ -67,21 +65,11 @@ std::string search_rescue_agent() {
 }  // namespace
 
 int main() {
-  sim::Simulator simulator(/*seed=*/11);
-  sim::Network network(
-      simulator, std::make_unique<sim::GridNeighborRadio>(
-                     sim::GridNeighborRadio::Options{.spacing = 1.0,
-                                                     .packet_loss = 0.03}));
-  const sim::Topology grid = sim::make_grid(network, 5, 5);
-
-  sim::SensorEnvironment environment;  // no sensors needed for this app
-  std::vector<std::unique_ptr<core::AgillaMiddleware>> motes;
-  for (const sim::NodeId id : grid.nodes) {
-    motes.push_back(
-        std::make_unique<core::AgillaMiddleware>(network, id, &environment));
-    motes.back()->start();
-  }
-  simulator.run_for(5 * sim::kSecond);
+  auto net = api::SimulationBuilder()
+                 .grid(5, 5)
+                 .seed(11)
+                 .packet_loss(0.03)
+                 .build();  // no sensors needed for this app
 
   // Three lost hikers, scattered over the burned region.
   struct Hiker {
@@ -90,47 +78,37 @@ int main() {
   };
   const Hiker hikers[] = {{{4, 2}, 17}, {{2, 5}, 23}, {{5, 5}, 31}};
   for (const Hiker& hiker : hikers) {
-    motes[sim::nearest_node(network, grid, hiker.at).value]
-        ->tuple_space()
+    net->mote_at(hiker.at.x, hiker.at.y)
+        .tuple_space()
         .out(ts::Tuple{ts::Value::string("hkr"), ts::Value::number(hiker.id)});
     std::printf("hiker #%d lost near (%.0f,%.0f)\n", hiker.id, hiker.at.x,
                 hiker.at.y);
   }
 
-  core::BaseStation base(*motes.front());
+  core::BaseStation base = net->base();
   std::puts("\ninjecting SEARCHRESCUE at the base station (1,1)...");
   if (!base.inject(search_rescue_agent()).has_value()) {
     std::puts("injection failed");
     return 1;
   }
 
-  for (int tick = 0; tick < 6; ++tick) {
-    simulator.run_for(20 * sim::kSecond);
-    std::size_t searched = 0;
-    for (const auto& mote : motes) {
-      if (mote->tuple_space()
-              .rdp(ts::Template{ts::Value::string("sar"),
-                                ts::Value::type_wildcard(
-                                    ts::ValueType::kLocation)})
-              .has_value()) {
-        ++searched;
-      }
-    }
-    const auto reports = motes.front()->tuple_space().tcount(ts::Template{
-        ts::Value::string("fnd"),
-        ts::Value::type_wildcard(ts::ValueType::kLocation),
-        ts::Value::type_wildcard(ts::ValueType::kNumber)});
-    std::printf("t=%3.0fs  nodes searched: %2zu/25   hikers reported: %zu/3\n",
-                static_cast<double>(simulator.now()) / 1e6, searched,
-                reports);
-  }
-
-  std::puts("\nreports received at the base station:");
-  auto& base_space = motes.front()->tuple_space();
+  const ts::Template claimed{
+      ts::Value::string("sar"),
+      ts::Value::type_wildcard(ts::ValueType::kLocation)};
   const ts::Template report{
       ts::Value::string("fnd"),
       ts::Value::type_wildcard(ts::ValueType::kLocation),
       ts::Value::type_wildcard(ts::ValueType::kNumber)};
+  for (int tick = 0; tick < 6; ++tick) {
+    net->run_for(20 * sim::kSecond);
+    std::printf("t=%3.0fs  nodes searched: %2zu/25   hikers reported: %zu/3\n",
+                static_cast<double>(net->simulator().now()) / 1e6,
+                net->motes_matching(claimed),
+                net->mote(0).tuple_space().tcount(report));
+  }
+
+  std::puts("\nreports received at the base station:");
+  auto& base_space = net->mote(0).tuple_space();
   while (const auto t = base_space.inp(report)) {
     std::printf("  %s\n", t->to_string().c_str());
   }

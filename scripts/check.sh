@@ -36,6 +36,15 @@ diff -u build/manual_scenarios.txt build/actual_scenarios.txt \
 diff -u build/manual_knobs.txt build/actual_knobs.txt \
   || { echo "docs/MANUAL.md knob table is stale — paste in the output of: agilla_sim --list-knobs"; exit 1; }
 
+echo "== examples build-and-run gate =="
+# Every examples/ binary must run to completion against the embedding
+# API (they are the API's reference users; compiling is not enough).
+for example in quickstart fire_tracking intruder_tracking \
+               habitat_multiapp search_rescue; do
+  ./build/"$example" > /dev/null
+  echo "example $example ran clean"
+done
+
 echo "== routing-sweep determinism (threads 1 vs 8) =="
 routing_sweep() {  # $1 = threads, $2 = out file
   ./build/agilla_sim --scenario report_collection --grid 4x4 --trials 2 \

@@ -1,0 +1,29 @@
+// Umbrella header for embedding the Agilla reproduction: one include
+// gives an application everything it needs to compose a deployment,
+// write/inject agents, and observe the run.
+//
+//   #include "api/agilla.h"
+//
+//   agilla::api::EventCounter counter;
+//   auto net = agilla::api::SimulationBuilder()
+//                  .grid(5, 5)
+//                  .seed(42)
+//                  .set("duty_cycle", 0.2)
+//                  .observe(counter)
+//                  .build();
+//   net->base().inject("pushloc 3 3\nsmove\nhalt\n");
+//   net->run_for(30 * agilla::sim::kSecond);
+//
+// See DESIGN.md "Embedding API" for the layering contract and
+// docs/MANUAL.md for every knob `set()` accepts.
+#pragma once
+
+// Deployment + SimulationBuilder, Observer/EventBus/EventCounter, the
+// typed knob table, the paper's stock agents (FIREDETECTOR, SENTINEL,
+// ...), assemble()/assemble_or_die(), and BaseStation.
+#include "api/deployment.h"
+#include "api/events.h"
+#include "api/knob_registry.h"
+#include "core/agent_library.h"
+#include "core/assembler.h"
+#include "core/injector.h"

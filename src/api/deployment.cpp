@@ -1,0 +1,285 @@
+#include "api/deployment.h"
+
+#include <stdexcept>
+
+#include "api/knob_registry.h"
+#include "sim/radio_model.h"
+
+namespace agilla::api {
+
+Deployment::Deployment(DeploymentOptions options,
+                       std::vector<Observer*> observers)
+    : options_(options),
+      simulator_(options.seed),
+      network_(simulator_,
+               std::make_unique<sim::GridNeighborRadio>(
+                   sim::GridNeighborRadio::Options{
+                       .spacing = 1.0,
+                       .eight_connected = false,
+                       .packet_loss = options.packet_loss,
+                       .per_byte_loss = options.per_byte_loss})) {
+  for (Observer* observer : observers) {
+    bus_.subscribe(*observer);
+  }
+  options_.config.tuple_space.store_kind = options_.store;
+  topology_ = sim::make_grid(network_, options_.width, options_.height);
+
+  // Routing policy (the route_policy / energy_weight knobs).
+  options_.config.routing.policy =
+      options_.route_policy == 1 ? net::RoutePolicy::kMaxMinResidual
+                                 : net::RoutePolicy::kGreedyGeo;
+  options_.config.routing.energy_weight = options_.energy_weight;
+
+  const bool lpl_active =
+      options_.duty_cycle < 1.0 || options_.adaptive_lpl;
+  const bool wants_energy = options_.battery_mj > 0.0 || lpl_active;
+  if (wants_energy) {
+    energy::EnergyOptions energy;
+    energy.battery_mj = options_.battery_mj;
+    energy.duty.listen_fraction = options_.duty_cycle;
+    energy.duty.adaptive = options_.adaptive_lpl;
+    energy.duty.min_fraction = options_.duty_min;
+    energy.duty.max_fraction = options_.duty_max;
+    energy.gateway_powered = options_.gateway_powered;
+    energy.overhearing = options_.overhearing;
+    network_.attach_energy(energy);
+    // LPL stretches every frame by one preamble extension; the per-hop
+    // and end-to-end timers must absorb a data frame plus its ack, or
+    // every exchange degenerates into retransmissions. Under adaptive
+    // LPL the bound is the controller's duty floor.
+    const sim::SimTime ext =
+        network_.duty_cycler().max_preamble_extension();
+    if (ext > 0) {
+      options_.config.link.ack_timeout += 2 * ext;
+      options_.config.migration.receiver_abort += 4 * ext;
+      options_.config.remote_ts.reply_timeout += 4 * ext;
+    }
+  }
+  // Beacon suppression defaults to on exactly when LPL makes beacons
+  // expensive (each one pays the preamble extension).
+  options_.config.neighbors.suppression =
+      options_.beacon_suppression == 1 ||
+      (options_.beacon_suppression == -1 && lpl_active);
+
+  motes_.reserve(topology_.nodes.size());
+  for (const sim::NodeId id : topology_.nodes) {
+    motes_.push_back(std::make_unique<core::AgillaMiddleware>(
+        network_, id, &environment_, options_.config));
+    wire_instrumentation();
+    motes_.back()->start();
+  }
+
+  // Node lifecycle: deaths tear the mote's middleware down through the
+  // same path the failure-injection tests use; reboots bring it back
+  // with empty RAM. The death log stays a facade responsibility; the
+  // bus re-publishes both transitions to subscribers.
+  network_.set_node_down_handler(
+      [this](sim::NodeId id, sim::NodeDownReason reason) {
+        death_log_.push_back(DeathEvent{id, simulator_.now(), reason});
+        motes_.at(id.value)->power_down();
+        bus_.publish_node_down(
+            NodeLifecycleEvent{simulator_.now(), id, reason});
+      });
+  network_.set_node_up_handler([this](sim::NodeId id) {
+    ++reboots_;
+    motes_.at(id.value)->power_up();
+    bus_.publish_node_up(NodeLifecycleEvent{simulator_.now(), id, {}});
+  });
+  network_.set_frame_tx_tap([this](const sim::Frame& frame) {
+    bus_.publish_frame_tx(
+        FrameEvent{simulator_.now(), &frame, sim::NodeId{}, false});
+  });
+  network_.set_frame_rx_tap(
+      [this](const sim::Frame& frame, sim::NodeId receiver, bool lost) {
+        bus_.publish_frame_rx(
+            FrameEvent{simulator_.now(), &frame, receiver, lost});
+      });
+  network_.set_settle_tap([this] {
+    bus_.publish_battery_settle(BatterySettleEvent{simulator_.now()});
+  });
+  if (options_.churn_rate > 0.0) {
+    network_.enable_churn(sim::ChurnOptions{
+        .crash_rate_per_node_s = options_.churn_rate,
+        .reboot_after = static_cast<sim::SimTime>(
+            options_.churn_reboot_s * 1e6),
+        .spare_gateway = options_.gateway_powered});
+  }
+
+  if (options_.warmup > 0) {
+    simulator_.run_for(options_.warmup);
+  }
+}
+
+/// Wires the just-created mote's lifecycle and tuple taps onto the bus
+/// (called before start(), so context-seeding tuple ops are observed).
+void Deployment::wire_instrumentation() {
+  core::AgillaMiddleware& mote = *motes_.back();
+  const sim::NodeId id = mote.node_id();
+  mote.engine().set_hooks(core::EngineHooks{
+      .on_spawn =
+          [this, id](core::AgentId agent, bool via_migration) {
+            bus_.publish_agent_spawn(AgentSpawnEvent{
+                simulator_.now(), id, agent.value, via_migration});
+          },
+      .on_kill =
+          [this, id](core::AgentId agent, std::string_view reason) {
+            bus_.publish_agent_kill(AgentKillEvent{
+                simulator_.now(), id, agent.value, reason});
+          },
+      .on_migrate =
+          [this, id](core::AgentId agent, sim::Location dest) {
+            bus_.publish_agent_migrate(AgentMigrateEvent{
+                simulator_.now(), id, agent.value, dest});
+          }});
+  mote.tuple_space().set_op_tap(
+      [this, id](ts::TupleSpaceOp op, const ts::Tuple& tuple) {
+        bus_.publish_tuple_op(
+            TupleOpEvent{simulator_.now(), id, op, &tuple});
+      });
+}
+
+core::AgillaMiddleware& Deployment::mote_at(double x, double y) {
+  return *motes_.at(
+      sim::nearest_node(network_, topology_, sim::Location{x, y}).value);
+}
+
+void Deployment::clear_all_stores() {
+  for (const auto& mote : motes_) {
+    mote->tuple_space().store().clear();
+  }
+}
+
+std::optional<sim::SimTime> Deployment::await_tuple(
+    core::AgillaMiddleware& mote, const ts::Template& templ,
+    sim::SimTime timeout, sim::SimTime poll_step) {
+  const ts::CompiledTemplate compiled(templ);  // one compile, many polls
+  const sim::SimTime deadline = simulator_.now() + timeout;
+  while (simulator_.now() < deadline) {
+    if (mote.tuple_space().rdp(compiled).has_value()) {
+      return simulator_.now();
+    }
+    simulator_.run_for(poll_step);
+  }
+  return std::nullopt;
+}
+
+std::size_t Deployment::motes_matching(const ts::Template& templ) const {
+  const ts::CompiledTemplate compiled(templ);  // one compile, every mote
+  std::size_t count = 0;
+  for (const auto& mote : motes_) {
+    if (mote->tuple_space().rdp(compiled).has_value()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t Deployment::tuples_matching(const ts::Template& templ) const {
+  const ts::CompiledTemplate compiled(templ);  // one compile, every mote
+  std::size_t count = 0;
+  for (const auto& mote : motes_) {
+    count += mote->tuple_space().tcount(compiled);
+  }
+  return count;
+}
+
+std::size_t Deployment::agent_count() const {
+  std::size_t count = 0;
+  for (const auto& mote : motes_) {
+    count += mote->agents().count();
+  }
+  return count;
+}
+
+double Deployment::total_drained_mj(energy::EnergyComponent component) {
+  network_.settle_batteries();
+  double total = 0.0;
+  for (const sim::NodeId id : topology_.nodes) {
+    if (const energy::Battery* battery = network_.battery(id);
+        battery != nullptr) {
+      total += battery->drained_mj(component);
+    }
+  }
+  return total;
+}
+
+// ----------------------------------------------------- SimulationBuilder
+
+SimulationBuilder& SimulationBuilder::grid(std::size_t width,
+                                           std::size_t height) {
+  options_.width = width;
+  options_.height = height;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::packet_loss(double loss) {
+  options_.packet_loss = loss;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::per_byte_loss(double loss) {
+  options_.per_byte_loss = loss;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::seed(std::uint64_t seed) {
+  options_.seed = seed;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::store(ts::StoreKind kind) {
+  options_.store = kind;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::warmup(sim::SimTime duration) {
+  options_.warmup = duration;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::config(
+    const core::AgillaConfig& config) {
+  options_.config = config;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::set(std::string_view name,
+                                          double value) {
+  const KnobInfo* knob = find_knob(name);
+  if (knob == nullptr) {
+    throw std::invalid_argument("unknown knob: " + std::string(name));
+  }
+  if (const std::string error = validate_knob(*knob, value);
+      !error.empty()) {
+    throw std::invalid_argument(error);
+  }
+  if (knob->apply != nullptr) {
+    knob->apply(options_, value);
+  } else {
+    params_[std::string(name)] = value;
+  }
+  return *this;
+}
+
+double SimulationBuilder::knob(std::string_view name) const {
+  const KnobInfo* knob = find_knob(name);
+  if (knob == nullptr) {
+    throw std::invalid_argument("unknown knob: " + std::string(name));
+  }
+  if (knob->read != nullptr) {
+    return knob->read(options_);
+  }
+  const auto it = params_.find(std::string(name));
+  return it == params_.end() ? knob->def : it->second;
+}
+
+SimulationBuilder& SimulationBuilder::observe(Observer& observer) {
+  observers_.push_back(&observer);
+  return *this;
+}
+
+std::unique_ptr<Deployment> SimulationBuilder::build() const {
+  return std::make_unique<Deployment>(options_, observers_);
+}
+
+}  // namespace agilla::api

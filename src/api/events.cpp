@@ -1,0 +1,94 @@
+#include "api/events.h"
+
+#include <algorithm>
+
+namespace agilla::api {
+
+Observer::~Observer() = default;
+
+void EventBus::subscribe(Observer& observer) {
+  if (std::find(observers_.begin(), observers_.end(), &observer) ==
+      observers_.end()) {
+    observers_.push_back(&observer);
+  }
+}
+
+void EventBus::unsubscribe(Observer& observer) {
+  if (dispatch_depth_ > 0) {
+    // Mid-dispatch: erasing would shift the vector under the index loop.
+    // Null the slot (ending delivery to this observer immediately) and
+    // compact when the outermost dispatch unwinds.
+    for (Observer*& slot : observers_) {
+      if (slot == &observer) {
+        slot = nullptr;
+        pending_compact_ = true;
+      }
+    }
+    return;
+  }
+  std::erase(observers_, &observer);
+}
+
+std::size_t EventBus::observer_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(observers_.begin(), observers_.end(),
+                    [](const Observer* o) { return o != nullptr; }));
+}
+
+template <typename Fn>
+void EventBus::dispatch(Fn&& deliver) {
+  ++dispatch_depth_;
+  for (std::size_t i = 0; i < observers_.size(); ++i) {
+    if (Observer* observer = observers_[i]) {
+      deliver(*observer);
+    }
+  }
+  --dispatch_depth_;
+  if (dispatch_depth_ == 0 && pending_compact_) {
+    std::erase(observers_, static_cast<Observer*>(nullptr));
+    pending_compact_ = false;
+  }
+}
+
+void EventBus::publish_agent_spawn(const AgentSpawnEvent& event) {
+  dispatch([&](Observer& o) { o.on_agent_spawn(event); });
+}
+
+void EventBus::publish_agent_kill(const AgentKillEvent& event) {
+  dispatch([&](Observer& o) { o.on_agent_kill(event); });
+}
+
+void EventBus::publish_agent_migrate(const AgentMigrateEvent& event) {
+  dispatch([&](Observer& o) { o.on_agent_migrate(event); });
+}
+
+void EventBus::publish_tuple_op(const TupleOpEvent& event) {
+  dispatch([&](Observer& o) { o.on_tuple_op(event); });
+}
+
+void EventBus::publish_frame_tx(const FrameEvent& event) {
+  dispatch([&](Observer& o) {
+    o.on_frame_tx(event);
+    if (event.frame->am == sim::AmType::kBeacon) {
+      o.on_beacon(event);
+    }
+  });
+}
+
+void EventBus::publish_frame_rx(const FrameEvent& event) {
+  dispatch([&](Observer& o) { o.on_frame_rx(event); });
+}
+
+void EventBus::publish_node_down(const NodeLifecycleEvent& event) {
+  dispatch([&](Observer& o) { o.on_node_down(event); });
+}
+
+void EventBus::publish_node_up(const NodeLifecycleEvent& event) {
+  dispatch([&](Observer& o) { o.on_node_up(event); });
+}
+
+void EventBus::publish_battery_settle(const BatterySettleEvent& event) {
+  dispatch([&](Observer& o) { o.on_battery_settle(event); });
+}
+
+}  // namespace agilla::api

@@ -67,6 +67,9 @@ std::optional<AgentId> AgillaEngine::launch(
   }
   stats_.agents_launched++;
   trace_agent(*agent, "launched");
+  if (hooks_.on_spawn) {
+    hooks_.on_spawn(agent->id(), /*via_migration=*/false);
+  }
   make_ready(*agent);
   return agent->id();
 }
@@ -100,6 +103,9 @@ bool AgillaEngine::install(AgentImage image, bool reached_dest) {
   stats_.agents_installed++;
   trace_agent(*agent, reached_dest ? "installed at destination"
                                    : "installed (custody resume)");
+  if (hooks_.on_spawn) {
+    hooks_.on_spawn(agent->id(), /*via_migration=*/true);
+  }
   make_ready(*agent);
   return true;
 }
@@ -137,6 +143,9 @@ void AgillaEngine::kill_all_agents() {
   }
   for (const AgentId id : ids) {
     stats_.agents_power_lost++;
+    if (hooks_.on_kill) {
+      hooks_.on_kill(id, "power");
+    }
     destroy(id, /*drop_reactions=*/true);
   }
 }
@@ -269,6 +278,9 @@ void AgillaEngine::destroy(AgentId id, bool drop_reactions) {
 void AgillaEngine::die(Agent& agent, const std::string& reason) {
   stats_.vm_errors++;
   trace_agent(agent, "vm error: " + reason);
+  if (hooks_.on_kill) {
+    hooks_.on_kill(agent.id(), reason);
+  }
   destroy(agent.id(), true);
 }
 
@@ -562,6 +574,9 @@ AgillaEngine::StepResult AgillaEngine::exec_migration(Agent& agent,
   }
 
   stats_.migrations_started++;
+  if (hooks_.on_migrate) {
+    hooks_.on_migrate(agent.id(), dest);
+  }
   AgentImage image = make_image(agent, mop, dest);
   if (is_clone(mop)) {
     image.agent_id = agents_.next_id().value;
@@ -586,6 +601,9 @@ AgillaEngine::StepResult AgillaEngine::exec_migration(Agent& agent,
     }
     // Moves: on success the agent now lives on the next hop.
     if (success) {
+      if (hooks_.on_kill) {
+        hooks_.on_kill(id, "migrated");
+      }
       destroy(id, /*drop_reactions=*/true);
       return;
     }
@@ -716,6 +734,9 @@ AgillaEngine::StepResult AgillaEngine::step(Agent& agent,
     case Opcode::kHalt:
       stats_.agents_halted++;
       trace_agent(agent, "halt");
+      if (hooks_.on_kill) {
+        hooks_.on_kill(agent.id(), "halt");
+      }
       destroy(agent.id(), true);
       return StepResult::kGone;
 

@@ -7,7 +7,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "core/agent_manager.h"
@@ -52,6 +54,20 @@ struct EngineStats {
   std::uint64_t reactions_fired = 0;
 };
 
+/// Pure-observation taps on the agent lifecycle, wired by the embedding
+/// facade (api::Deployment). All optional; never affect VM behaviour.
+struct EngineHooks {
+  /// Agent created: injection (`via_migration` false) or migration
+  /// arrival — clone installs and custody resumes included (true).
+  std::function<void(AgentId, bool via_migration)> on_spawn;
+  /// Agent destroyed on this node. `reason` is "halt", "power",
+  /// "migrated", or a VM error message; valid only during the call.
+  std::function<void(AgentId, std::string_view reason)> on_kill;
+  /// A migration protocol run started (moves and clones), before the
+  /// outcome is known.
+  std::function<void(AgentId, sim::Location dest)> on_migrate;
+};
+
 class AgillaEngine {
  public:
   struct Options {
@@ -89,6 +105,9 @@ class AgillaEngine {
   /// Kills every agent on this node (node death / reboot): reactions are
   /// dropped, code blocks released, pending wakeups cancelled.
   void kill_all_agents();
+
+  /// Installs the lifecycle instrumentation taps (api::EventBus seam).
+  void set_hooks(EngineHooks hooks) { hooks_ = std::move(hooks); }
 
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
 
@@ -146,6 +165,7 @@ class AgillaEngine {
   sim::Trace* trace_;
   energy::Battery* battery_ = nullptr;
   energy::CpuEnergyModel cpu_energy_{};
+  EngineHooks hooks_;
 
   std::deque<AgentId> ready_;
   bool tick_scheduled_ = false;

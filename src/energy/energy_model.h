@@ -61,8 +61,13 @@ struct EnergyOptions {
   CpuEnergyModel cpu{};
   DutyCycler::Options duty{};
   /// Node 0 (the paper's base-station / gateway mote) is mains-powered:
-  /// no battery, never churned.
+  /// no battery, never churned. False puts the gateway on battery like
+  /// everyone else (the `gateway_powered` harness knob).
   bool gateway_powered = true;
+  /// Charge RX to awake in-range nodes that decode a unicast frame only
+  /// to filter it out by address — real radios pay for overheard traffic.
+  /// Off by default (the paper model charges only connected receivers).
+  bool overhearing = false;
   /// Idle-draw settling + depletion-check cadence.
   sim::SimTime settle_period = 1 * sim::kSecond;
 };

@@ -1,6 +1,6 @@
 #include "harness/mesh.h"
 
-#include "sim/radio_model.h"
+#include "api/knob_registry.h"
 
 namespace agilla::harness {
 
@@ -13,165 +13,11 @@ MeshOptions mesh_options_for(const TrialSpec& trial) {
   options.seed = trial.seed;
   options.store = trial.store;
   options.config.tuple_space.store_kind = trial.store;
-  options.battery_mj = trial.param("battery_mj", 0.0);
-  options.duty_cycle = trial.param("duty_cycle", 1.0);
-  options.churn_rate = trial.param("churn_rate", 0.0);
-  options.churn_reboot_s = trial.param("churn_reboot_s", 0.0);
-  options.route_policy = static_cast<int>(trial.param("route_policy", 0.0));
-  options.energy_weight = trial.param("energy_weight", 0.5);
-  options.adaptive_lpl = trial.param("adaptive_lpl", 0.0) != 0.0;
-  options.duty_min = trial.param("duty_min", 0.02);
-  options.duty_max = trial.param("duty_max", 0.5);
-  options.beacon_suppression =
-      static_cast<int>(trial.param("beacon_suppression", -1.0));
+  api::apply_knobs(options, trial.params);
   return options;
 }
 
-Mesh::Mesh(const TrialSpec& trial) : Mesh(mesh_options_for(trial)) {}
-
-Mesh::Mesh(MeshOptions options)
-    : options_(options),
-      simulator_(options.seed),
-      network_(simulator_,
-               std::make_unique<sim::GridNeighborRadio>(
-                   sim::GridNeighborRadio::Options{
-                       .spacing = 1.0,
-                       .eight_connected = false,
-                       .packet_loss = options.packet_loss,
-                       .per_byte_loss = options.per_byte_loss})) {
-  options_.config.tuple_space.store_kind = options_.store;
-  topology_ = sim::make_grid(network_, options_.width, options_.height);
-
-  // Routing policy (the route_policy / energy_weight axes).
-  options_.config.routing.policy =
-      options_.route_policy == 1 ? net::RoutePolicy::kMaxMinResidual
-                                 : net::RoutePolicy::kGreedyGeo;
-  options_.config.routing.energy_weight = options_.energy_weight;
-
-  const bool lpl_active =
-      options_.duty_cycle < 1.0 || options_.adaptive_lpl;
-  const bool wants_energy = options_.battery_mj > 0.0 || lpl_active;
-  if (wants_energy) {
-    energy::EnergyOptions energy;
-    energy.battery_mj = options_.battery_mj;
-    energy.duty.listen_fraction = options_.duty_cycle;
-    energy.duty.adaptive = options_.adaptive_lpl;
-    energy.duty.min_fraction = options_.duty_min;
-    energy.duty.max_fraction = options_.duty_max;
-    network_.attach_energy(energy);
-    // LPL stretches every frame by one preamble extension; the per-hop
-    // and end-to-end timers must absorb a data frame plus its ack, or
-    // every exchange degenerates into retransmissions. Under adaptive
-    // LPL the bound is the controller's duty floor.
-    const sim::SimTime ext =
-        network_.duty_cycler().max_preamble_extension();
-    if (ext > 0) {
-      options_.config.link.ack_timeout += 2 * ext;
-      options_.config.migration.receiver_abort += 4 * ext;
-      options_.config.remote_ts.reply_timeout += 4 * ext;
-    }
-  }
-  // Beacon suppression defaults to on exactly when LPL makes beacons
-  // expensive (each one pays the preamble extension).
-  options_.config.neighbors.suppression =
-      options_.beacon_suppression == 1 ||
-      (options_.beacon_suppression == -1 && lpl_active);
-
-  motes_.reserve(topology_.nodes.size());
-  for (const sim::NodeId id : topology_.nodes) {
-    motes_.push_back(std::make_unique<core::AgillaMiddleware>(
-        network_, id, &environment_, options_.config));
-    motes_.back()->start();
-  }
-
-  // Node lifecycle: deaths tear the mote's middleware down through the
-  // same path the failure-injection tests use; reboots bring it back
-  // with empty RAM.
-  network_.set_node_down_handler(
-      [this](sim::NodeId id, sim::NodeDownReason reason) {
-        death_log_.push_back(DeathEvent{id, simulator_.now(), reason});
-        motes_.at(id.value)->power_down();
-      });
-  network_.set_node_up_handler([this](sim::NodeId id) {
-    ++reboots_;
-    motes_.at(id.value)->power_up();
-  });
-  if (options_.churn_rate > 0.0) {
-    network_.enable_churn(sim::ChurnOptions{
-        .crash_rate_per_node_s = options_.churn_rate,
-        .reboot_after = static_cast<sim::SimTime>(
-            options_.churn_reboot_s * 1e6)});
-  }
-
-  if (options_.warmup > 0) {
-    simulator_.run_for(options_.warmup);
-  }
-}
-
-core::AgillaMiddleware& Mesh::mote_at(double x, double y) {
-  return *motes_.at(
-      sim::nearest_node(network_, topology_, sim::Location{x, y}).value);
-}
-
-void Mesh::clear_all_stores() {
-  for (const auto& mote : motes_) {
-    mote->tuple_space().store().clear();
-  }
-}
-
-std::optional<sim::SimTime> Mesh::await_tuple(core::AgillaMiddleware& mote,
-                                              const ts::Template& templ,
-                                              sim::SimTime timeout,
-                                              sim::SimTime poll_step) {
-  const ts::CompiledTemplate compiled(templ);  // one compile, many polls
-  const sim::SimTime deadline = simulator_.now() + timeout;
-  while (simulator_.now() < deadline) {
-    if (mote.tuple_space().rdp(compiled).has_value()) {
-      return simulator_.now();
-    }
-    simulator_.run_for(poll_step);
-  }
-  return std::nullopt;
-}
-
-std::size_t Mesh::motes_matching(const ts::Template& templ) const {
-  const ts::CompiledTemplate compiled(templ);  // one compile, every mote
-  std::size_t count = 0;
-  for (const auto& mote : motes_) {
-    if (mote->tuple_space().rdp(compiled).has_value()) {
-      ++count;
-    }
-  }
-  return count;
-}
-
-std::size_t Mesh::tuples_matching(const ts::Template& templ) const {
-  const ts::CompiledTemplate compiled(templ);  // one compile, every mote
-  std::size_t count = 0;
-  for (const auto& mote : motes_) {
-    count += mote->tuple_space().tcount(compiled);
-  }
-  return count;
-}
-
-std::size_t Mesh::agent_count() const {
-  std::size_t count = 0;
-  for (const auto& mote : motes_) {
-    count += mote->agents().count();
-  }
-  return count;
-}
-
-double Mesh::total_drained_mj(energy::EnergyComponent component) {
-  network_.settle_batteries();
-  double total = 0.0;
-  for (const sim::NodeId id : topology_.nodes) {
-    if (const energy::Battery* battery = network_.battery(id);
-        battery != nullptr) {
-      total += battery->drained_mj(component);
-    }
-  }
-  return total;
-}
+Mesh::Mesh(const TrialSpec& trial)
+    : api::Deployment(mesh_options_for(trial)) {}
 
 }  // namespace agilla::harness

@@ -1,139 +1,33 @@
-// Mesh: a self-contained AgillaMesh simulation — simulator, lossy grid
-// radio, sensor environment, and one AgillaMiddleware per node — built
-// from a TrialSpec (or explicit options). This generalizes the benches'
-// old 5x5 Testbed to arbitrary grid sizes and tuple-store backends, and
-// is the unit the harness thread pool runs: one Mesh per trial, no state
-// shared between trials.
+// Mesh: the harness' name for one api::Deployment per trial — the public
+// embedding facade (src/api/deployment.h) composed from a TrialSpec. The
+// composition itself (simulator, lossy grid radio, sensor environment,
+// one AgillaMiddleware per node, energy, churn, event bus) lives in
+// agilla::api; this shim only adds the TrialSpec -> DeploymentOptions
+// translation, which routes every named knob through the KnobRegistry.
 #pragma once
 
-#include <cstdint>
-#include <memory>
-#include <optional>
-#include <vector>
-
-#include "core/injector.h"
-#include "core/middleware.h"
+#include "api/deployment.h"
 #include "harness/experiment.h"
-#include "sim/environment.h"
-#include "sim/network.h"
-#include "sim/simulator.h"
-#include "sim/topology.h"
 
 namespace agilla::harness {
 
-/// Loss calibration shared with the paper experiments (see bench_common.h
-/// for the derivation): per-packet floor + per-byte fade.
-inline constexpr double kDefaultLoss = 0.02;
-inline constexpr double kDefaultPerByteLoss = 0.0016;
+/// Loss calibration shared with the paper experiments (re-exported from
+/// the api facade for the benches' historical spelling).
+inline constexpr double kDefaultLoss = api::kDefaultLoss;
+inline constexpr double kDefaultPerByteLoss = api::kDefaultPerByteLoss;
 
-struct MeshOptions {
-  std::size_t width = 5;
-  std::size_t height = 5;
-  double packet_loss = kDefaultLoss;
-  double per_byte_loss = 0.0;
-  std::uint64_t seed = 1;
-  ts::StoreKind store = ts::StoreKind::kLinear;
-  core::AgillaConfig config{};
-  /// Neighbour-discovery warm-up run before the constructor returns.
-  sim::SimTime warmup = 5 * sim::kSecond;
-  // Energy & lifetime (src/energy/): 0 / 1.0 / 0 keeps the classic
-  // immortal, always-on mesh. The harness axes battery_mj / duty_cycle /
-  // churn_rate land here via mesh_options_for().
-  double battery_mj = 0.0;   ///< per-node battery; <= 0 = immortal
-  double duty_cycle = 1.0;   ///< LPL listen fraction; >= 1 = always on
-  double churn_rate = 0.0;   ///< Poisson crashes per node per second
-  double churn_reboot_s = 0.0;  ///< crashed nodes reboot after this; 0 = never
-  // Energy-aware networking (harness axes route_policy / energy_weight /
-  // adaptive_lpl / duty_min / duty_max / beacon_suppression).
-  int route_policy = 0;      ///< 0 = greedy-geo, 1 = max-min residual
-  double energy_weight = 0.5;   ///< distance/energy weight for max-min
-  bool adaptive_lpl = false;    ///< per-node traffic-adaptive LPL
-  double duty_min = 0.02;       ///< adaptive controller duty floor
-  double duty_max = 0.5;        ///< adaptive controller duty ceiling
-  /// Beacon suppression (backoff + piggyback): -1 = auto (on whenever
-  /// LPL is active), 0 = off, 1 = on.
-  int beacon_suppression = -1;
-};
+using MeshOptions = api::DeploymentOptions;
 
-class Mesh {
+class Mesh : public api::Deployment {
  public:
-  explicit Mesh(MeshOptions options);
-  /// Mesh for one harness trial: grid/loss/store/seed from the spec.
+  using api::Deployment::Deployment;
+  /// Mesh for one harness trial: grid/loss/store/seed from the spec,
+  /// knobs applied through the registry.
   explicit Mesh(const TrialSpec& trial);
-
-  Mesh(const Mesh&) = delete;
-  Mesh& operator=(const Mesh&) = delete;
-
-  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
-  [[nodiscard]] sim::Network& network() { return network_; }
-  [[nodiscard]] sim::SensorEnvironment& environment() {
-    return environment_;
-  }
-  [[nodiscard]] const sim::Topology& topology() const { return topology_; }
-  [[nodiscard]] const MeshOptions& options() const { return options_; }
-
-  [[nodiscard]] std::size_t mote_count() const { return motes_.size(); }
-  [[nodiscard]] core::AgillaMiddleware& mote(std::size_t index) {
-    return *motes_.at(index);
-  }
-  [[nodiscard]] core::AgillaMiddleware& mote_at(double x, double y);
-
-  /// Base station wired to mote 0 (the grid origin corner). BaseStation
-  /// is a value-semantic handle onto the gateway mote.
-  [[nodiscard]] core::BaseStation base() {
-    return core::BaseStation(*motes_.front());
-  }
-
-  /// Empties every mote's tuple store (between dependent sub-runs, so
-  /// result markers cannot fill the 600-byte stores).
-  void clear_all_stores();
-
-  /// Runs the simulation until `mote`'s space holds a tuple matching
-  /// `templ` or `timeout` elapses; returns the virtual observation time.
-  std::optional<sim::SimTime> await_tuple(
-      core::AgillaMiddleware& mote, const ts::Template& templ,
-      sim::SimTime timeout,
-      sim::SimTime poll_step = 2 * sim::kMillisecond);
-
-  /// Number of motes whose space currently matches `templ`.
-  [[nodiscard]] std::size_t motes_matching(const ts::Template& templ) const;
-
-  /// Total matching tuples across all motes.
-  [[nodiscard]] std::size_t tuples_matching(const ts::Template& templ) const;
-
-  /// Total live agents across all motes.
-  [[nodiscard]] std::size_t agent_count() const;
-
-  // ------------------------------------------------------------- energy
-  struct DeathEvent {
-    sim::NodeId node;
-    sim::SimTime at = 0;
-    sim::NodeDownReason reason = sim::NodeDownReason::kBatteryDepleted;
-  };
-
-  /// Node deaths in event order (battery + churn), across the whole run.
-  [[nodiscard]] const std::vector<DeathEvent>& death_log() const {
-    return death_log_;
-  }
-  [[nodiscard]] std::size_t reboot_count() const { return reboots_; }
-
-  /// Network-wide drain for one ledger component, batteries settled to
-  /// now() first. 0 when energy is disabled.
-  [[nodiscard]] double total_drained_mj(energy::EnergyComponent component);
-
- private:
-  MeshOptions options_;
-  sim::Simulator simulator_;
-  sim::Network network_;
-  sim::SensorEnvironment environment_;
-  sim::Topology topology_;
-  std::vector<std::unique_ptr<core::AgillaMiddleware>> motes_;
-  std::vector<DeathEvent> death_log_;
-  std::size_t reboots_ = 0;
 };
 
-/// Translates a TrialSpec into MeshOptions (store kind lands in
-/// config.tuple_space.store_kind — the store_interface.h seam).
+/// Translates a TrialSpec into DeploymentOptions: structural parameters
+/// by hand, every named knob via api::apply_knobs (the registry seam).
 [[nodiscard]] MeshOptions mesh_options_for(const TrialSpec& trial);
 
 }  // namespace agilla::harness

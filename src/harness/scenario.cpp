@@ -6,6 +6,7 @@
 #include <initializer_list>
 #include <utility>
 
+#include "api/knob_registry.h"
 #include "core/agent_library.h"
 #include "core/assembler.h"
 #include "core/isa.h"
@@ -59,19 +60,6 @@ void record_energy_stats(Mesh& mesh, TrialMetrics& metrics) {
     total += mj;
   }
   metrics.set("e_total_mj", total);
-}
-
-/// The energy/lifetime/network knobs every mesh-backed scenario
-/// understands (they flow from axis/param into MeshOptions via
-/// mesh_options_for()).
-std::vector<std::string> with_energy_knobs(
-    std::initializer_list<const char*> own) {
-  std::vector<std::string> knobs(own.begin(), own.end());
-  knobs.insert(knobs.end(),
-               {"battery_mj", "duty_cycle", "churn_rate", "churn_reboot_s",
-                "route_policy", "energy_weight", "adaptive_lpl", "duty_min",
-                "duty_max", "beacon_suppression"});
-  return knobs;
 }
 
 /// True when the alive battery-powered motes no longer form a single
@@ -756,49 +744,44 @@ TrialMetrics run_churn_pursuit(const TrialSpec& trial_in) {
   return metrics;
 }
 
+// Knob lists come from the KnobRegistry (api/knob_registry.h): each
+// scenario's own knobs first, then the shared mesh set. store_ops runs
+// no radio, so it takes only its own.
 std::vector<ScenarioInfo>& registry() {
   static std::vector<ScenarioInfo> scenarios = {
       {"fire_tracking",
        "Sec. 5 case study: detector flood + tracker swarm on a burning "
        "mesh",
-       run_fire_tracking,
-       with_energy_knobs({"spread_speed", "alert_threshold"})},
+       run_fire_tracking, api::scenario_knob_names("fire_tracking")},
       {"intruder_pursuit",
        "Sec. 1 scenario: sentinels publish readings, a pursuer shadows "
        "the intruder",
-       run_intruder_pursuit,
-       with_energy_knobs({"intruder_speed"})},
+       run_intruder_pursuit, api::scenario_knob_names("intruder_pursuit")},
       {"smove",
        "Fig. 8 strong-move round trip (axis: hops)",
-       run_smove,
-       with_energy_knobs({"hops", "timeout_s"})},
+       run_smove, api::scenario_knob_names("smove")},
       {"rout",
        "Fig. 8 remote out with acknowledgement (axis: hops)",
-       run_rout,
-       with_energy_knobs({"hops", "timeout_s"})},
+       run_rout, api::scenario_knob_names("rout")},
       {"store_ops",
        "Sec. 3.2 ablation: tuple-store probe/remove cost (axis: fillers)",
        run_store_ops,
-       {"fillers"}},
+       api::scenario_knob_names("store_ops", /*include_shared=*/false)},
       {"network_lifetime",
        "fire tracking on battery power: node deaths, lifetime "
        "percentiles, time-to-first-partition (axes: battery_mj, "
        "duty_cycle, route_policy, adaptive_lpl)",
-       run_network_lifetime,
-       with_energy_knobs(
-           {"spread_speed", "alert_threshold", "alert_repeat_s"})},
+       run_network_lifetime, api::scenario_knob_names("network_lifetime")},
       {"churn_pursuit",
        "intruder pursuit under Poisson crash/reboot churn, with "
        "re-flood recovery (axes: churn_rate, churn_reboot_s, "
        "route_policy, adaptive_lpl)",
-       run_churn_pursuit,
-       with_energy_knobs({"intruder_speed"})},
+       run_churn_pursuit, api::scenario_knob_names("churn_pursuit")},
       {"report_collection",
        "periodic sense-and-report converge-cast to the gateway: "
        "delivery, corridor drain, partition (axes: report_s, "
        "route_policy, duty_cycle)",
-       run_report_collection,
-       with_energy_knobs({"report_s"})},
+       run_report_collection, api::scenario_knob_names("report_collection")},
   };
   return scenarios;
 }

@@ -148,6 +148,9 @@ void Network::schedule_settle_tick() {
         kill_node(node.info.id, NodeDownReason::kBatteryDepleted);
       }
     }
+    if (settle_tap_) {
+      settle_tap_();
+    }
     schedule_settle_tick();
   });
 }
@@ -178,7 +181,8 @@ void Network::enable_churn(ChurnOptions options) {
   if (churn_.crash_rate_per_node_s <= 0.0) {
     return;
   }
-  const bool spare_gateway = !energy_ || energy_->options.gateway_powered;
+  const bool spare_gateway = churn_.spare_gateway.value_or(
+      !energy_ || energy_->options.gateway_powered);
   for (const NodeState& node : nodes_) {
     if (spare_gateway && node.info.id.value == 0) {
       continue;
@@ -333,6 +337,9 @@ void Network::finish_tx(NodeId id) {
                timing_.serialization_time(frame.payload.size()) +
                preamble_for(node, frame)));
   }
+  if (tx_tap_) {
+    tx_tap_(frame);
+  }
 
   deliver(frame, node.info);
   try_start_tx(node);
@@ -359,9 +366,15 @@ void Network::deliver(const Frame& frame, const NodeInfo& sender) {
       if (sim_.rng().chance(
               radio_->loss_probability(sender, other.info, on_air))) {
         stats_.frames_lost++;
+        if (rx_tap_) {
+          rx_tap_(frame, other.info.id, /*lost=*/true);
+        }
         continue;
       }
       stats_.frames_delivered++;
+      if (rx_tap_) {
+        rx_tap_(frame, other.info.id, /*lost=*/false);
+      }
       if (other.receiver) {
         other.receiver(frame);
       }
@@ -373,6 +386,24 @@ void Network::deliver(const Frame& frame, const NodeInfo& sender) {
     stats_.frames_unreachable++;
     return;
   }
+  // Overhearing (energy option, off in the paper model): every awake
+  // in-range radio decodes the unicast frame before its address filter
+  // drops it, and pays RX for the decode. Pure energy accounting —
+  // charged before the addressed target in node-index order, no
+  // randomness consumed, and deliberately NOT counted in frames_heard
+  // (filtered frames are not traffic the adaptive-LPL controller acts
+  // on), so delivery outcomes and LPL schedules are untouched.
+  if (energy_ && energy_->options.overhearing) {
+    const double overheard_mj = energy_->options.radio.rx_mj(decode_time);
+    for (auto& other : nodes_) {
+      if (other.info.id == sender.id || other.info.id == frame.dst ||
+          !other.info.radio_enabled ||
+          !radio_->connected(sender, other.info)) {
+        continue;
+      }
+      charge(other, energy::EnergyComponent::kRadioRx, overheard_mj);
+    }
+  }
   auto& target = nodes_.at(frame.dst.value);
   if (!target.info.radio_enabled ||
       !radio_->connected(sender, target.info)) {
@@ -383,9 +414,15 @@ void Network::deliver(const Frame& frame, const NodeInfo& sender) {
   if (sim_.rng().chance(
           radio_->loss_probability(sender, target.info, on_air))) {
     stats_.frames_lost++;
+    if (rx_tap_) {
+      rx_tap_(frame, target.info.id, /*lost=*/true);
+    }
     return;
   }
   stats_.frames_delivered++;
+  if (rx_tap_) {
+    rx_tap_(frame, target.info.id, /*lost=*/false);
+  }
   if (target.receiver) {
     target.receiver(frame);
   }

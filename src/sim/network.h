@@ -87,6 +87,10 @@ struct ChurnOptions {
   double crash_rate_per_node_s = 0.0;
   /// Crashed nodes reboot after this long; 0 means they stay down.
   SimTime reboot_after = 0;
+  /// Whether node 0 is exempt from churn. nullopt derives the answer
+  /// from the energy options (mains-powered gateway is spared; that is
+  /// also the default when energy is not attached).
+  std::optional<bool> spare_gateway;
 };
 
 class Network {
@@ -94,6 +98,15 @@ class Network {
   using ReceiveHandler = std::function<void(const Frame&)>;
   using NodeDownHandler = std::function<void(NodeId, NodeDownReason)>;
   using NodeUpHandler = std::function<void(NodeId)>;
+  /// Pure-observation taps for the api::EventBus instrumentation seam.
+  /// Tx fires once per frame that actually left a radio; rx fires per
+  /// decoding receiver (with `lost` telling whether the channel then
+  /// corrupted the frame); the settle tap fires after each battery
+  /// settle tick. None of them consume randomness or affect delivery.
+  using FrameTxTap = std::function<void(const Frame&)>;
+  using FrameRxTap = std::function<void(const Frame&, NodeId receiver,
+                                        bool lost)>;
+  using SettleTap = std::function<void()>;
 
   Network(Simulator& sim, std::unique_ptr<RadioModel> radio,
           RadioTiming timing = {});
@@ -162,6 +175,9 @@ class Network {
   void set_node_up_handler(NodeUpHandler handler) {
     node_up_ = std::move(handler);
   }
+  void set_frame_tx_tap(FrameTxTap tap) { tx_tap_ = std::move(tap); }
+  void set_frame_rx_tap(FrameRxTap tap) { rx_tap_ = std::move(tap); }
+  void set_settle_tap(SettleTap tap) { settle_tap_ = std::move(tap); }
 
   [[nodiscard]] const NodeInfo& info(NodeId id) const;
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
@@ -222,6 +238,9 @@ class Network {
   ChurnOptions churn_;
   NodeDownHandler node_down_;
   NodeUpHandler node_up_;
+  FrameTxTap tx_tap_;
+  FrameRxTap rx_tap_;
+  SettleTap settle_tap_;
   NetworkStats stats_;
 };
 

@@ -53,11 +53,18 @@ bool TupleSpace::out(const Tuple& tuple) {
   if (on_insertion_) {
     on_insertion_(tuple);
   }
+  if (op_tap_) {
+    op_tap_(TupleSpaceOp::kOut, tuple);
+  }
   return true;
 }
 
 std::optional<Tuple> TupleSpace::inp(const CompiledTemplate& templ) {
-  return store_->take(templ);
+  std::optional<Tuple> taken = store_->take(templ);
+  if (taken.has_value() && op_tap_) {
+    op_tap_(TupleSpaceOp::kInp, *taken);
+  }
+  return taken;
 }
 
 std::optional<Tuple> TupleSpace::rdp(const CompiledTemplate& templ) const {

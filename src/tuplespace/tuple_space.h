@@ -21,6 +21,12 @@ namespace agilla::ts {
 // StoreKind (which TupleStore implementation backs the space) lives in
 // store_interface.h next to the make_store() seam.
 
+/// The state-changing Linda operations, for instrumentation taps.
+enum class TupleSpaceOp : std::uint8_t {
+  kOut,  ///< tuple inserted
+  kInp,  ///< tuple removed
+};
+
 class TupleSpace {
  public:
   struct Options {
@@ -36,6 +42,11 @@ class TupleSpace {
   /// Called after every successful insertion; the engine uses it to wake
   /// agents blocked in `in`/`rd` so they can re-probe.
   using InsertionCallback = std::function<void(const Tuple&)>;
+  /// Pure-observation tap, fired after every successful state-changing
+  /// operation (out/inp) — the api::EventBus instrumentation seam. Kept
+  /// separate from the engine's insertion callback so embedders cannot
+  /// displace the VM's wake-up path.
+  using OpTap = std::function<void(TupleSpaceOp, const Tuple&)>;
 
   TupleSpace();
   explicit TupleSpace(Options options);
@@ -71,6 +82,7 @@ class TupleSpace {
   void set_insertion_callback(InsertionCallback cb) {
     on_insertion_ = std::move(cb);
   }
+  void set_op_tap(OpTap tap) { op_tap_ = std::move(tap); }
 
   [[nodiscard]] const TupleStore& store() const { return *store_; }
   [[nodiscard]] TupleStore& store() { return *store_; }
@@ -80,6 +92,7 @@ class TupleSpace {
   ReactionRegistry registry_;
   ReactionCallback on_reaction_;
   InsertionCallback on_insertion_;
+  OpTap op_tap_;
 };
 
 }  // namespace agilla::ts

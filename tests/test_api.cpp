@@ -1,0 +1,382 @@
+// The embedding API's contracts: the KnobRegistry is the single source
+// of truth (defaults match DeploymentOptions, every knob is settable,
+// readable, and listed; ranges reject bad values), SimulationBuilder
+// composes working deployments, the EventBus observes every advertised
+// event kind with deterministic dispatch order, and observer-derived
+// metrics survive the harness determinism gate (threads 1 vs 8
+// byte-identical JSON).
+#include "api/agilla.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/json_writer.h"
+#include "harness/mesh.h"
+#include "harness/runner.h"
+#include "harness/scenario.h"
+
+namespace agilla::api {
+namespace {
+
+/// An in-range probe value distinct from the knob's default.
+double probe_value(const KnobInfo& knob) {
+  switch (knob.type) {
+    case KnobType::kBool:
+      return knob.def == 0.0 ? 1.0 : 0.0;
+    case KnobType::kInt: {
+      double candidate = knob.min == knob.def ? knob.min + 1 : knob.min;
+      if (candidate > knob.max) {
+        candidate = knob.max;
+      }
+      return candidate;
+    }
+    case KnobType::kDouble:
+      break;
+  }
+  if (std::isinf(knob.max)) {
+    return knob.min + 1.5;
+  }
+  const double candidate = (knob.min + knob.max) / 2.0;
+  return candidate == knob.def ? (candidate + knob.max) / 2.0 : candidate;
+}
+
+TEST(KnobRegistry, DefaultsMatchDeploymentOptionsInitializers) {
+  const DeploymentOptions defaults;
+  for (const KnobInfo& knob : knob_registry()) {
+    if (knob.read == nullptr) {
+      continue;  // scenario-read knob; its default lives in the scenario
+    }
+    EXPECT_EQ(knob.read(defaults), knob.def)
+        << knob.name << " field initializer disagrees with the registry";
+  }
+}
+
+TEST(KnobRegistry, EveryKnobSettableReadableListed) {
+  for (const KnobInfo& knob : knob_registry()) {
+    const double value = probe_value(knob);
+    ASSERT_TRUE(validate_knob(knob, value).empty())
+        << knob.name << ": probe value " << value << " not in "
+        << range_to_string(knob);
+    SimulationBuilder builder;
+    builder.set(knob.name, value);
+    EXPECT_EQ(builder.knob(knob.name), value) << knob.name;
+    // Listed: findable by name, with printable metadata.
+    const KnobInfo* found = find_knob(knob.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_FALSE(range_to_string(*found).empty());
+    EXPECT_FALSE(default_to_string(*found).empty());
+    EXPECT_NE(found->doc[0], '\0') << knob.name << " has no doc string";
+    EXPECT_NE(found->unit[0], '\0') << knob.name << " has no unit";
+  }
+}
+
+TEST(KnobRegistry, SharedKnobsReachDeploymentOptions) {
+  // Every shared knob must map onto DeploymentOptions — a shared knob
+  // nothing applies would silently do nothing in every scenario.
+  for (const KnobInfo& knob : knob_registry()) {
+    if (knob.shared()) {
+      EXPECT_NE(knob.apply, nullptr) << knob.name;
+      EXPECT_NE(knob.read, nullptr) << knob.name;
+    } else {
+      EXPECT_EQ(knob.apply, nullptr)
+          << knob.name << ": scenario-read knobs must not alias options";
+    }
+  }
+}
+
+TEST(KnobRegistry, RangeValidation) {
+  EXPECT_TRUE(validate_knob("duty_cycle", 0.2).empty());
+  EXPECT_TRUE(validate_knob("duty_cycle", 1.0).empty());
+  // Open lower bound: 0 is out.
+  EXPECT_FALSE(validate_knob("duty_cycle", 0.0).empty());
+  EXPECT_FALSE(validate_knob("duty_cycle", 1.5).empty());
+  // Int knobs reject fractional values, bools anything but 0/1.
+  EXPECT_FALSE(validate_knob("route_policy", 0.5).empty());
+  EXPECT_FALSE(validate_knob("route_policy", 2.0).empty());
+  EXPECT_TRUE(validate_knob("beacon_suppression", -1.0).empty());
+  EXPECT_FALSE(validate_knob("beacon_suppression", -2.0).empty());
+  EXPECT_FALSE(validate_knob("adaptive_lpl", 0.5).empty());
+  EXPECT_FALSE(validate_knob("gateway_powered", 2.0).empty());
+  // The error names the range and the unit (the CLI relays it verbatim).
+  const std::string error = validate_knob("duty_cycle", 0.0);
+  EXPECT_NE(error.find("(0, 1]"), std::string::npos) << error;
+  EXPECT_NE(error.find("fraction"), std::string::npos) << error;
+  EXPECT_FALSE(validate_knob("no_such_knob", 1.0).empty());
+}
+
+TEST(KnobRegistry, BuilderRejectsBadKnobs) {
+  SimulationBuilder builder;
+  EXPECT_THROW(builder.set("no_such_knob", 1.0), std::invalid_argument);
+  EXPECT_THROW(builder.set("duty_cycle", 2.0), std::invalid_argument);
+  EXPECT_THROW(builder.knob("no_such_knob"), std::invalid_argument);
+}
+
+TEST(KnobRegistry, ScenarioKnobListsDeriveFromRegistry) {
+  const harness::ScenarioInfo* fire =
+      harness::find_scenario("fire_tracking");
+  ASSERT_NE(fire, nullptr);
+  EXPECT_EQ(fire->knobs, scenario_knob_names("fire_tracking"));
+  const auto has = [&](const char* name) {
+    return std::find(fire->knobs.begin(), fire->knobs.end(), name) !=
+           fire->knobs.end();
+  };
+  EXPECT_TRUE(has("spread_speed"));
+  EXPECT_TRUE(has("gateway_powered"));
+  EXPECT_TRUE(has("overhearing"));
+  EXPECT_FALSE(has("hops"));
+  // store_ops runs no radio: only its own knob.
+  const harness::ScenarioInfo* store = harness::find_scenario("store_ops");
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->knobs, std::vector<std::string>{"fillers"});
+}
+
+TEST(KnobRegistry, ApplyKnobsMatchesBuilderSet) {
+  const std::map<std::string, double> params = {
+      {"battery_mj", 1500.0}, {"duty_cycle", 0.25},
+      {"route_policy", 1.0},  {"gateway_powered", 0.0},
+      {"overhearing", 1.0},   {"spread_speed", 0.5}};
+  DeploymentOptions via_apply;
+  apply_knobs(via_apply, params);
+  SimulationBuilder builder;
+  for (const auto& [name, value] : params) {
+    builder.set(name, value);
+  }
+  for (const KnobInfo& knob : knob_registry()) {
+    if (knob.read != nullptr) {
+      EXPECT_EQ(knob.read(via_apply), knob.read(builder.options()))
+          << knob.name;
+    }
+  }
+  // The scenario-read knob landed in the builder's param map instead.
+  EXPECT_EQ(builder.params().at("spread_speed"), 0.5);
+}
+
+// ---------------------------------------------------------- event bus
+
+TEST(EventBus, ObservesAgentTupleFrameAndMigrationEvents) {
+  EventCounter counter;
+  auto net = SimulationBuilder()
+                 .grid(2, 1)
+                 .seed(5)
+                 .packet_loss(0.0)
+                 .observe(counter)
+                 .build();
+  EXPECT_GT(counter.beacons, 0u) << "warm-up beacons reach observers";
+  EXPECT_GT(counter.frames_tx, 0u);
+  EXPECT_GT(counter.frames_rx, 0u);
+  EXPECT_GT(counter.tuple_ops, 0u) << "context seeding is observable";
+
+  const std::uint64_t spawns_before = counter.agent_spawns;
+  net->mote(0).inject(core::assemble_or_die(
+      "pushloc 2 1\nsmove\nhalt\n"));
+  net->run_for(5 * sim::kSecond);
+  // Injection spawn + arrival install on the far node.
+  EXPECT_GE(counter.agent_spawns, spawns_before + 2);
+  EXPECT_EQ(counter.agent_migrations, 1u);
+  // Departure ("migrated") + the arrival's eventual halt.
+  EXPECT_EQ(counter.agent_kills, 2u);
+  EXPECT_EQ(net->agent_count(), 0u);
+}
+
+TEST(EventBus, DispatchFollowsSubscriptionOrder) {
+  struct Tagger : Observer {
+    std::vector<int>* log;
+    int tag;
+    Tagger(std::vector<int>* l, int t) : log(l), tag(t) {}
+    void on_frame_tx(const FrameEvent&) override { log->push_back(tag); }
+  };
+  std::vector<int> log;
+  Tagger first(&log, 1);
+  Tagger second(&log, 2);
+  auto net = SimulationBuilder()
+                 .grid(2, 1)
+                 .seed(5)
+                 .observe(first)
+                 .observe(second)
+                 .build();
+  ASSERT_GE(log.size(), 4u);
+  for (std::size_t i = 0; i + 1 < log.size(); i += 2) {
+    EXPECT_EQ(log[i], 1);
+    EXPECT_EQ(log[i + 1], 2);
+  }
+  // Late subscription works too, and unsubscribe stops delivery.
+  net->bus().unsubscribe(first);
+  const std::size_t frozen = log.size();
+  net->run_for(2 * sim::kSecond);
+  EXPECT_GT(log.size(), frozen);
+  EXPECT_TRUE(std::all_of(log.begin() + static_cast<long>(frozen),
+                          log.end(), [](int t) { return t == 2; }));
+}
+
+TEST(EventBus, UnsubscribeFromInsideACallbackIsSafe) {
+  struct StopAfterOne : Observer {
+    EventBus* bus = nullptr;
+    std::uint64_t seen = 0;
+    void on_frame_tx(const FrameEvent&) override {
+      ++seen;
+      bus->unsubscribe(*this);  // re-entrant: must not break dispatch
+    }
+  };
+  auto net = SimulationBuilder().grid(2, 1).seed(5).build();
+  StopAfterOne quitter;
+  quitter.bus = &net->bus();
+  EventCounter counter;
+  net->bus().subscribe(quitter);  // dispatches before counter
+  net->bus().subscribe(counter);
+  net->run_for(5 * sim::kSecond);
+  EXPECT_EQ(quitter.seen, 1u);
+  EXPECT_GT(counter.frames_tx, 1u)
+      << "later subscribers keep receiving after a mid-dispatch erase";
+  EXPECT_EQ(net->bus().observer_count(), 1u);
+}
+
+TEST(Deployment, OverhearingIsPureEnergyAccounting) {
+  // With adaptive LPL active but NO batteries, the energy subsystem is
+  // attached yet overhearing must change nothing: it only charges
+  // ledgers (absent here) and never feeds the controller's traffic
+  // signal, so schedules, deliveries, and stats stay identical.
+  const auto frames_sent = [](bool overhearing) {
+    SimulationBuilder builder;
+    builder.grid(3, 1).seed(31).set("adaptive_lpl", 1.0);
+    builder.set("overhearing", overhearing ? 1.0 : 0.0);
+    auto net = builder.build();
+    net->mote(1).inject(core::assemble_or_die(
+        "LOOP pushn rpt\nloc\npushc 2\npushloc 3 1\nrout\n"
+        "pushcl 8\nsleep\njump LOOP\n"));
+    net->run_for(20 * sim::kSecond);
+    return net->network().stats().frames_sent;
+  };
+  EXPECT_EQ(frames_sent(false), frames_sent(true));
+}
+
+TEST(EventBus, NodeLifecycleAndBatterySettleEvents) {
+  EventCounter counter;
+  auto net = SimulationBuilder()
+                 .grid(3, 1)
+                 .seed(9)
+                 .set("battery_mj", 40.0)  // dies in seconds always-on
+                 .observe(counter)
+                 .build();
+  net->run_for(10 * sim::kSecond);
+  EXPECT_GT(counter.battery_settles, 0u);
+  EXPECT_GT(counter.nodes_down, 0u);
+  EXPECT_EQ(counter.nodes_down, net->death_log().size())
+      << "bus and death log agree";
+}
+
+// --------------------------------------------- gateway & overhearing
+
+TEST(Deployment, GatewayPoweredKnobPutsTheSinkOnBattery) {
+  {
+    auto net = SimulationBuilder()
+                   .grid(2, 1)
+                   .set("battery_mj", 1000.0)
+                   .warmup(0)
+                   .build();
+    EXPECT_EQ(net->network().battery(sim::NodeId{0}), nullptr)
+        << "default: mains-powered gateway";
+    EXPECT_NE(net->network().battery(sim::NodeId{1}), nullptr);
+  }
+  auto net = SimulationBuilder()
+                 .grid(2, 1)
+                 .set("battery_mj", 1000.0)
+                 .set("gateway_powered", 0.0)
+                 .warmup(0)
+                 .build();
+  EXPECT_NE(net->network().battery(sim::NodeId{0}), nullptr)
+      << "gateway_powered=0: the sink pays like everyone else";
+}
+
+TEST(Deployment, UnpoweredGatewayIsChurnedToo) {
+  auto net = SimulationBuilder()
+                 .grid(2, 1)
+                 .seed(3)
+                 .set("churn_rate", 0.5)
+                 .set("gateway_powered", 0.0)
+                 .build();
+  net->run_for(60 * sim::kSecond);
+  const auto& deaths = net->death_log();
+  EXPECT_TRUE(std::any_of(deaths.begin(), deaths.end(),
+                          [](const Deployment::DeathEvent& d) {
+                            return d.node.value == 0;
+                          }))
+      << "node 0 must crash under churn when not mains-powered";
+}
+
+TEST(Deployment, OverhearingChargesFilteringReceivers) {
+  // 3x1 line: node 1 (middle) acks and relays unicast; node 0 and node 2
+  // overhear each other's unicast traffic only when the model is on.
+  const auto rx_drain = [](bool overhearing) {
+    SimulationBuilder builder;
+    builder.grid(3, 1).seed(21).packet_loss(0.0).set("battery_mj", 5000.0);
+    builder.set("gateway_powered", 0.0);  // node 0 needs a ledger to read
+    if (overhearing) {
+      builder.set("overhearing", 1.0);
+    }
+    auto net = builder.build();
+    // Unicast stream: remote out from the middle node to the right end;
+    // its acks are unicast back — node 0 overhears all of it.
+    net->mote(1).inject(core::assemble_or_die(
+        "LOOP pushn rpt\nloc\npushc 2\npushloc 3 1\nrout\n"
+        "pushcl 8\nsleep\njump LOOP\n"));
+    net->run_for(20 * sim::kSecond);
+    net->network().settle_batteries();
+    return net->network().battery(sim::NodeId{0})->drained_mj(
+        energy::EnergyComponent::kRadioRx);
+  };
+  const double off = rx_drain(false);
+  const double on = rx_drain(true);
+  EXPECT_GT(on, off)
+      << "overhearing must charge RX to in-range filtering nodes";
+}
+
+// ----------------------------------------------- harness determinism
+
+/// A scenario whose metrics come ONLY from an event-bus observer: if
+/// observer dispatch were racy or order-dependent, this JSON would
+/// differ between thread counts.
+harness::TrialMetrics run_observer_probe(const harness::TrialSpec& trial) {
+  EventCounter counter;
+  harness::Mesh mesh(trial);
+  mesh.bus().subscribe(counter);
+  mesh.base().inject(core::agents::sentinel(/*sample_ticks=*/8));
+  mesh.simulator().run_for(trial.duration);
+  harness::TrialMetrics metrics;
+  metrics.set("obs_spawns", static_cast<double>(counter.agent_spawns));
+  metrics.set("obs_migrations",
+              static_cast<double>(counter.agent_migrations));
+  metrics.set("obs_frames_tx", static_cast<double>(counter.frames_tx));
+  metrics.set("obs_frames_rx", static_cast<double>(counter.frames_rx));
+  metrics.set("obs_beacons", static_cast<double>(counter.beacons));
+  metrics.set("obs_tuple_ops", static_cast<double>(counter.tuple_ops));
+  metrics.set("success", counter.agent_spawns > 0 ? 1.0 : 0.0);
+  return metrics;
+}
+
+TEST(EventBus, ObserverMetricsJsonIdenticalAcrossThreadCounts) {
+  harness::register_scenario(
+      {"api_observer_probe", "observer-derived metrics determinism probe",
+       run_observer_probe, {}});
+  harness::ExperimentSpec spec;
+  spec.name = "observer_probe";
+  spec.scenario = "api_observer_probe";
+  spec.grids = {{3, 3}};
+  spec.loss_rates = {0.02};
+  spec.trials = 3;
+  spec.base_seed = 13;
+  spec.duration = 25 * sim::kSecond;
+  const std::string serial =
+      to_json(run_experiment(spec, harness::RunnerOptions{.threads = 1}));
+  const std::string parallel =
+      to_json(run_experiment(spec, harness::RunnerOptions{.threads = 8}));
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("obs_migrations"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace agilla::api

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "api/knob_registry.h"
 #include "harness/mesh.h"
 #include "harness/runner.h"
 
@@ -36,7 +37,8 @@ void print_usage() {
       "  --scenario NAME      scenario to run (default: fire_tracking)\n"
       "  --list               list registered scenarios and exit\n"
       "  --list-scenarios     machine-readable scenario list (docs gate)\n"
-      "  --list-knobs         machine-readable knob list (docs gate)\n"
+      "  --list-knobs         machine-readable knob-registry table "
+      "(docs gate)\n"
       "  --grid WxH           mesh size, repeatable (default: 5x5, max "
       "%zux%zu)\n"
       "  --trials N           trials per parameter cell (default: 8)\n"
@@ -81,14 +83,17 @@ void print_scenario_lines() {
   }
 }
 
+/// One line per registry knob — name, type, unit, default, range, scope
+/// (shared = every mesh-backed scenario), doc. Generated solely from the
+/// KnobRegistry, so this listing (and the MANUAL.md block the gate
+/// checks against it) cannot drift from what the binary accepts.
 void print_knob_lines() {
-  for (const harness::ScenarioInfo& info : harness::scenarios()) {
-    std::string knobs;
-    for (const std::string& knob : info.knobs) {
-      knobs += (knobs.empty() ? "" : " ") + knob;
-    }
-    std::printf("%s: %s\n", info.name.c_str(),
-                info.knobs.empty() ? "(any)" : knobs.c_str());
+  for (const api::KnobInfo& knob : api::knob_registry()) {
+    std::printf("%s | %s | %s | default %s | range %s | %s | %s\n",
+                knob.name, std::string(api::to_string(knob.type)).c_str(),
+                knob.unit, api::default_to_string(knob).c_str(),
+                api::range_to_string(knob).c_str(),
+                knob.shared() ? "shared" : knob.scenarios, knob.doc);
   }
 }
 
@@ -320,6 +325,33 @@ int main(int argc, char** argv) {
           !error.empty()) {
         return fail(error);
       }
+    }
+  }
+  // Range/type validation against the knob registry: an out-of-range
+  // value is rejected with the registry's range and unit, so a typo'd
+  // magnitude cannot silently run a nonsensical sweep. Knobs of
+  // externally registered scenarios have no registry entry and pass.
+  const auto range_check = [](const char* flag, const std::string& name,
+                              double value) -> std::string {
+    const api::KnobInfo* knob = api::find_knob(name);
+    if (knob == nullptr) {
+      return "";
+    }
+    const std::string error = api::validate_knob(*knob, value);
+    return error.empty() ? "" : "bad " + std::string(flag) + ": " + error;
+  };
+  for (const harness::Axis& axis : spec.axes) {
+    for (const double value : axis.values) {
+      if (std::string error = range_check("--axis", axis.name, value);
+          !error.empty()) {
+        return fail(error);
+      }
+    }
+  }
+  for (const auto& [name, value] : spec.params) {
+    if (std::string error = range_check("--param", name, value);
+        !error.empty()) {
+      return fail(error);
     }
   }
   if (spec.grids.empty()) {
