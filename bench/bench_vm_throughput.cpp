@@ -1,121 +1,147 @@
-// Host-speed microbenchmarks (google-benchmark): how fast the building
-// blocks run on the host, independent of the simulated mote clock. Useful
-// for keeping the simulator itself fast and for spotting regressions.
-#include <benchmark/benchmark.h>
+// Host-side VM throughput (ROADMAP item 4): executed instructions per
+// wall-clock second on one isolated mote, for the reference switch
+// interpreter vs the pre-decoded threaded dispatch (core/vm_dispatch.h).
+// This measures the simulator's own speed — the simulated VmCostModel
+// clock is identical in both modes (tests/test_dispatch_equivalence.cpp).
+//
+// Usage:
+//   bench_vm_throughput [--seconds S] [--reps N]   full table (default)
+//   bench_vm_throughput --smoke                    quick CI gate: exits
+//       nonzero if threaded dispatch is slower than switch anywhere.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "core/agent_library.h"
-#include "core/agent_serializer.h"
 #include "core/assembler.h"
-#include "core/code_pool.h"
-#include "sim/rng.h"
-#include "tuplespace/store.h"
+#include "core/middleware.h"
 
 namespace {
 
 using namespace agilla;
 
-void BM_TemplateMatch(benchmark::State& state) {
-  const ts::Tuple tuple{ts::Value::string("fir"),
-                        ts::Value::location({3, 3}), ts::Value::number(7)};
-  const ts::Template templ{
-      ts::Value::string("fir"),
-      ts::Value::type_wildcard(ts::ValueType::kLocation),
-      ts::Value::type_wildcard(ts::ValueType::kNumber)};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(templ.matches(tuple));
-  }
-}
-BENCHMARK(BM_TemplateMatch);
+struct Workload {
+  const char* name;
+  std::string source;
+  int agents = 1;
+};
 
-void BM_StoreProbe(benchmark::State& state) {
-  // rdp cost as a function of store occupancy (the store scans linearly).
-  ts::LinearTupleStore store(600);
-  const auto occupancy = static_cast<std::size_t>(state.range(0));
-  for (std::size_t i = 0; i < occupancy; ++i) {
-    store.insert(ts::Tuple{ts::Value::number(static_cast<std::int16_t>(i))});
+std::vector<Workload> make_workloads() {
+  // A straight-line body long enough (211 bytes) that the switch
+  // interpreter's per-byte CodePool chain walk hurts.
+  std::string straight;
+  for (int i = 0; i < 70; ++i) {
+    straight += "pushc 1\npop\n";
   }
-  const ts::Template missing{ts::Value::string("zzz")};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(store.read(missing));
-  }
-  state.SetLabel(std::to_string(store.tuple_count()) + " tuples");
-}
-BENCHMARK(BM_StoreProbe)->Arg(0)->Arg(20)->Arg(60)->Arg(100);
+  straight += "jump 0\n";
 
-void BM_StoreInsertTake(benchmark::State& state) {
-  ts::LinearTupleStore store(600);
-  const ts::Tuple tuple{ts::Value::number(1), ts::Value::location({2, 2})};
-  const ts::Template templ{
-      ts::Value::number(1),
-      ts::Value::type_wildcard(ts::ValueType::kLocation)};
-  for (auto _ : state) {
-    store.insert(tuple);
-    benchmark::DoNotOptimize(store.take(templ));
-  }
-}
-BENCHMARK(BM_StoreInsertTake);
+  const std::string tight = "LOOP pushc 1\npushc 2\nadd\npop\nrjump LOOP\n";
+  const std::string tuple =
+      "LOOP pushc 5\npushc 1\nout\n"
+      "pusht NUMBER\npushc 1\ninp\npop\nrjump LOOP\n";
 
-void BM_TupleWireRoundTrip(benchmark::State& state) {
-  const ts::Tuple tuple{ts::Value::string("abc"),
-                        ts::Value::reading(sim::SensorType::kPhoto, 321),
-                        ts::Value::location({4, 4})};
-  for (auto _ : state) {
-    net::Writer w;
-    tuple.encode(w);
-    net::Reader r(w.data());
-    benchmark::DoNotOptimize(ts::Tuple::decode(r));
-  }
+  return {
+      {"tight_loop", tight, 1},
+      {"long_body", straight, 1},
+      {"tight_x4", tight, 4},
+      {"tuple_churn", tuple, 1},
+  };
 }
-BENCHMARK(BM_TupleWireRoundTrip);
 
-void BM_Assemble(benchmark::State& state) {
-  const std::string source = core::agents::fire_tracker();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::assemble(source));
-  }
-}
-BENCHMARK(BM_Assemble);
-
-void BM_CodePoolFetch(benchmark::State& state) {
-  core::CodePool pool;
-  std::vector<std::uint8_t> code(200, 0x01);
-  const auto handle = pool.store(code);
-  std::uint16_t pc = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pool.fetch(*handle, pc));
-    pc = static_cast<std::uint16_t>((pc + 1) % 200);
-  }
-}
-BENCHMARK(BM_CodePoolFetch);
-
-void BM_AgentSerializeRoundTrip(benchmark::State& state) {
-  core::AgentImage image;
-  image.agent_id = 7;
-  image.op = core::MigrationOp::kSClone;
-  image.code.assign(120, 0x01);
-  for (int i = 0; i < 8; ++i) {
-    image.stack.push_back(ts::Value::number(static_cast<std::int16_t>(i)));
-  }
-  image.heap = {{0, ts::Value::location({1, 1})}};
-  for (auto _ : state) {
-    const auto messages = core::to_messages(image, 1);
-    core::ImageAssembler assembler;
-    for (const auto& m : messages) {
-      assembler.feed(m.am, m.payload);
+/// Instructions per wall-clock second for one (mode, workload) cell, on an
+/// isolated never-started mote (no radio traffic competes for sim events).
+double measure(core::DispatchMode mode, const Workload& workload,
+               double min_seconds) {
+  sim::Simulator simulator{42};
+  sim::Network network{simulator, std::make_unique<sim::PerfectRadio>()};
+  sim::SensorEnvironment environment;
+  core::AgillaConfig config;
+  config.engine.dispatch = mode;
+  const sim::NodeId id = network.add_node({1, 1});
+  core::AgillaMiddleware mote(network, id, &environment, config);
+  const auto code = core::assemble_or_die(workload.source);
+  for (int i = 0; i < workload.agents; ++i) {
+    if (!mote.inject(code).has_value()) {
+      std::fprintf(stderr, "inject failed for %s\n", workload.name);
+      std::exit(2);
     }
-    benchmark::DoNotOptimize(assembler.take());
   }
-}
-BENCHMARK(BM_AgentSerializeRoundTrip);
+  simulator.run_for(sim::kSecond);  // warm up caches and the event queue
 
-void BM_RngUniform(benchmark::State& state) {
-  sim::Rng rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.uniform(1000));
-  }
+  const std::uint64_t start_insns = mote.engine().stats().instructions;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    simulator.run_for(10 * sim::kSecond);
+    elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  } while (elapsed < min_seconds);
+  const std::uint64_t insns = mote.engine().stats().instructions - start_insns;
+  return static_cast<double>(insns) / elapsed;
 }
-BENCHMARK(BM_RngUniform);
+
+/// Best-of-N to tame host-scheduling noise.
+double measure_best(core::DispatchMode mode, const Workload& workload,
+                    double min_seconds, int reps) {
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const double ops = measure(mode, workload, min_seconds);
+    if (ops > best) {
+      best = ops;
+    }
+  }
+  return best;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  double seconds = 0.4;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::stoi(argv[++i]);
+    }
+  }
+  if (smoke) {
+    seconds = 0.15;
+    reps = 2;
+  }
+
+  std::printf("VM throughput: host-side executed instructions per second\n");
+  std::printf("(simulated mote cost is identical in both modes)\n\n");
+  std::printf("  %-12s %14s %14s %9s\n", "workload", "switch ops/s",
+              "threaded ops/s", "speedup");
+  std::printf("  %-12s %14s %14s %9s\n", "--------", "------------",
+              "--------------", "-------");
+
+  bool ok = true;
+  for (const Workload& workload : make_workloads()) {
+    const double sw = measure_best(core::DispatchMode::kSwitch, workload,
+                                   seconds, reps);
+    const double th = measure_best(core::DispatchMode::kThreaded, workload,
+                                   seconds, reps);
+    std::printf("  %-12s %14.0f %14.0f %8.2fx\n", workload.name, sw, th,
+                sw > 0 ? th / sw : 0.0);
+    if (th < sw) {
+      ok = false;
+    }
+  }
+
+  if (smoke) {
+    if (!ok) {
+      std::printf("\nSMOKE FAIL: threaded dispatch slower than switch\n");
+      return 1;
+    }
+    std::printf("\nsmoke ok: threaded >= switch on every workload\n");
+  }
+  return 0;
+}

@@ -45,6 +45,25 @@ for example in quickstart fire_tracking intruder_tracking \
   echo "example $example ran clean"
 done
 
+echo "== VM dispatch smoke (threaded not slower than switch) =="
+# Runs both dispatch modes on every throughput workload and fails if the
+# pre-decoded threaded dispatch is ever slower than the reference switch
+# interpreter (DESIGN.md "VM dispatch").
+./build/bench_vm_throughput --smoke
+
+echo "== dispatch-mode sweep equivalence (switch vs threaded) =="
+dispatch_sweep() {  # $1 = vm_dispatch value, $2 = out file
+  ./build/agilla_sim --scenario fire_tracking --grid 4x4 --trials 2 \
+    --duration 40 --param vm_dispatch="$1" --out "$2" > /dev/null
+}
+dispatch_sweep 0 build/dispatch_switch.json
+dispatch_sweep 1 build/dispatch_threaded.json
+# The echoed vm_dispatch param is the one intended difference.
+sed '/"vm_dispatch":/d' build/dispatch_switch.json > build/dispatch_switch_norm.json
+sed '/"vm_dispatch":/d' build/dispatch_threaded.json > build/dispatch_threaded_norm.json
+cmp build/dispatch_switch_norm.json build/dispatch_threaded_norm.json
+echo "fire_tracking sweep byte-identical across dispatch modes"
+
 echo "== routing-sweep determinism (threads 1 vs 8) =="
 routing_sweep() {  # $1 = threads, $2 = out file
   ./build/agilla_sim --scenario report_collection --grid 4x4 --trials 2 \

@@ -22,6 +22,9 @@ Deployment::Deployment(DeploymentOptions options,
     bus_.subscribe(*observer);
   }
   options_.config.tuple_space.store_kind = options_.store;
+  options_.config.engine.dispatch = options_.vm_dispatch == 0
+                                        ? core::DispatchMode::kSwitch
+                                        : core::DispatchMode::kThreaded;
   topology_ = sim::make_grid(network_, options_.width, options_.height);
 
   // Routing policy (the route_policy / energy_weight knobs).
@@ -130,6 +133,16 @@ void Deployment::wire_instrumentation() {
           [this, id](core::AgentId agent, sim::Location dest) {
             bus_.publish_agent_migrate(AgentMigrateEvent{
                 simulator_.now(), id, agent.value, dest});
+          },
+      .on_block =
+          [this, id](core::AgentId agent, std::string_view reason) {
+            bus_.publish_agent_block(AgentBlockEvent{
+                simulator_.now(), id, agent.value, reason});
+          },
+      .on_resume =
+          [this, id](core::AgentId agent) {
+            bus_.publish_agent_resume(
+                AgentResumeEvent{simulator_.now(), id, agent.value});
           }});
   mote.tuple_space().set_op_tap(
       [this, id](ts::TupleSpaceOp op, const ts::Tuple& tuple) {

@@ -74,6 +74,10 @@ struct DeploymentOptions {
   /// Charge RX to awake in-range nodes that filter a unicast frame out
   /// (off = the paper model; needs batteries to have any effect).
   bool overhearing = false;
+  /// VM bytecode execution strategy (registry knob vm_dispatch): 0 = the
+  /// reference switch interpreter, 1 = pre-decoded threaded dispatch.
+  /// Simulated behaviour is byte-identical; only host speed differs.
+  int vm_dispatch = 1;
 };
 
 /// A fully composed Agilla mesh: the unit every workload runs against,

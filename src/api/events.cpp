@@ -62,6 +62,14 @@ void EventBus::publish_agent_migrate(const AgentMigrateEvent& event) {
   dispatch([&](Observer& o) { o.on_agent_migrate(event); });
 }
 
+void EventBus::publish_agent_block(const AgentBlockEvent& event) {
+  dispatch([&](Observer& o) { o.on_agent_block(event); });
+}
+
+void EventBus::publish_agent_resume(const AgentResumeEvent& event) {
+  dispatch([&](Observer& o) { o.on_agent_resume(event); });
+}
+
 void EventBus::publish_tuple_op(const TupleOpEvent& event) {
   dispatch([&](Observer& o) { o.on_tuple_op(event); });
 }

@@ -53,6 +53,25 @@ struct AgentMigrateEvent {
   sim::Location dest;
 };
 
+/// An agent left the ready queue. `reason` is a stable short string:
+/// "sleep", "wait", "tuple" (blocked in/rd), "migrate" (awaiting the
+/// migration protocol's outcome), or "remote" (remote tuple-space op in
+/// flight); valid only during dispatch.
+struct AgentBlockEvent {
+  sim::SimTime at = 0;
+  sim::NodeId node;
+  std::uint16_t agent = 0;
+  std::string_view reason;
+};
+
+/// A previously blocked agent re-entered the ready queue (timer expiry,
+/// tuple insertion, reaction delivery, or protocol completion).
+struct AgentResumeEvent {
+  sim::SimTime at = 0;
+  sim::NodeId node;
+  std::uint16_t agent = 0;
+};
+
 /// A state-changing local tuple-space operation completed on `node`.
 /// `tuple` points at the affected tuple and is valid only during dispatch.
 struct TupleOpEvent {
@@ -98,6 +117,8 @@ class Observer {
   virtual void on_agent_spawn(const AgentSpawnEvent&) {}
   virtual void on_agent_kill(const AgentKillEvent&) {}
   virtual void on_agent_migrate(const AgentMigrateEvent&) {}
+  virtual void on_agent_block(const AgentBlockEvent&) {}
+  virtual void on_agent_resume(const AgentResumeEvent&) {}
   virtual void on_tuple_op(const TupleOpEvent&) {}
   virtual void on_frame_tx(const FrameEvent&) {}
   virtual void on_frame_rx(const FrameEvent&) {}
@@ -128,6 +149,8 @@ class EventBus {
   void publish_agent_spawn(const AgentSpawnEvent& event);
   void publish_agent_kill(const AgentKillEvent& event);
   void publish_agent_migrate(const AgentMigrateEvent& event);
+  void publish_agent_block(const AgentBlockEvent& event);
+  void publish_agent_resume(const AgentResumeEvent& event);
   void publish_tuple_op(const TupleOpEvent& event);
   void publish_frame_tx(const FrameEvent& event);
   void publish_frame_rx(const FrameEvent& event);
@@ -155,6 +178,8 @@ class EventCounter : public Observer {
   std::uint64_t agent_spawns = 0;
   std::uint64_t agent_kills = 0;
   std::uint64_t agent_migrations = 0;
+  std::uint64_t agent_blocks = 0;
+  std::uint64_t agent_resumes = 0;
   std::uint64_t tuple_ops = 0;
   std::uint64_t frames_tx = 0;
   std::uint64_t frames_rx = 0;
@@ -167,6 +192,10 @@ class EventCounter : public Observer {
   void on_agent_kill(const AgentKillEvent&) override { ++agent_kills; }
   void on_agent_migrate(const AgentMigrateEvent&) override {
     ++agent_migrations;
+  }
+  void on_agent_block(const AgentBlockEvent&) override { ++agent_blocks; }
+  void on_agent_resume(const AgentResumeEvent&) override {
+    ++agent_resumes;
   }
   void on_tuple_op(const TupleOpEvent&) override { ++tuple_ops; }
   void on_frame_tx(const FrameEvent&) override { ++frames_tx; }

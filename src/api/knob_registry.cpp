@@ -176,6 +176,17 @@ std::vector<KnobInfo> build_registry() {
       [](const DeploymentOptions& o) {
         return o.overhearing ? 1.0 : 0.0;
       }));
+  knobs.push_back(shared_knob(
+      "vm_dispatch", KnobType::kInt, "enum", 1.0, 0.0, 1.0, false,
+      "0 = reference switch interpreter, 1 = pre-decoded threaded "
+      "dispatch (DESIGN.md VM dispatch); simulated behaviour is "
+      "byte-identical, only host speed differs",
+      [](DeploymentOptions& o, double v) {
+        o.vm_dispatch = static_cast<int>(v);
+      },
+      [](const DeploymentOptions& o) {
+        return static_cast<double>(o.vm_dispatch);
+      }));
   return knobs;
 }
 

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -15,6 +16,8 @@
 #include "tuplespace/tuple_match.h"
 
 namespace agilla::core {
+
+class DecodedProgram;
 
 /// Network-unique agent identity: high byte derives from the node that
 /// created the agent, low byte is a per-node counter (see DESIGN.md).
@@ -89,6 +92,20 @@ class Agent {
     blocked_probe_ = std::move(probe);
   }
 
+  /// The pre-decoded template for this agent's code image
+  /// (core/vm_dispatch.h); nullptr under the reference switch dispatch.
+  /// Set when the code is stored, cleared when the agent is destroyed.
+  /// Shared ownership: a handler can destroy the agent (and release its
+  /// code handle) mid-slice, so the dispatch loop pins a copy for the
+  /// duration of the slice.
+  [[nodiscard]] const std::shared_ptr<const DecodedProgram>&
+  decoded_program() const {
+    return decoded_;
+  }
+  void set_decoded_program(std::shared_ptr<const DecodedProgram> program) {
+    decoded_ = std::move(program);
+  }
+
  private:
   AgentId id_;
   std::uint16_t pc_ = 0;
@@ -98,6 +115,7 @@ class Agent {
   std::array<ts::Value, kHeapSlots> heap_{};
   AgentRunState run_state_ = AgentRunState::kReady;
   std::optional<BlockedProbe> blocked_probe_;
+  std::shared_ptr<const DecodedProgram> decoded_;
 };
 
 }  // namespace agilla::core

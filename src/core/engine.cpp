@@ -1,30 +1,26 @@
 #include "core/engine.h"
 
 #include <algorithm>
-#include <cassert>
 
-#include "net/packet.h"
+#include "core/vm_dispatch.h"
 
 namespace agilla::core {
 namespace {
 
-/// Sleep ticks are 1/8 s: paper Fig. 13 sleeps 10 minutes with 4800 ticks.
-constexpr sim::SimTime kSleepTick = sim::kSecond / 8;
-
 /// Cap on queued reactions for a busy agent.
 constexpr std::size_t kMaxPendingReactions = 4;
 
-/// Mixed-type comparisons use the numeric view (a sensor reading compares
-/// with a pushed constant, per paper Fig. 13); same-type values compare
-/// exactly.
-bool values_equal(const ts::Value& a, const ts::Value& b) {
-  if (a.type() == b.type()) {
-    return a == b;
-  }
-  return a.as_number() == b.as_number();
-}
-
 }  // namespace
+
+const char* to_string(DispatchMode mode) {
+  switch (mode) {
+    case DispatchMode::kSwitch:
+      return "switch";
+    case DispatchMode::kThreaded:
+      break;
+  }
+  return "threaded";
+}
 
 AgillaEngine::AgillaEngine(sim::Simulator& sim, sim::NodeId node,
                            Options options, AgentManager& agents,
@@ -42,7 +38,10 @@ AgillaEngine::AgillaEngine(sim::Simulator& sim, sim::NodeId node,
       sensors_(sensors),
       migration_(migration),
       remote_ts_(remote_ts),
-      trace_(trace) {}
+      trace_(trace),
+      dispatcher_(std::make_unique<VmDispatcher>(*this)) {}
+
+AgillaEngine::~AgillaEngine() = default;
 
 void AgillaEngine::trace_agent(const Agent& agent,
                                const std::string& message) {
@@ -65,6 +64,7 @@ std::optional<AgentId> AgillaEngine::launch(
     stats_.agents_rejected++;
     return std::nullopt;
   }
+  agent->set_decoded_program(dispatcher_->on_code_stored(*handle, code));
   stats_.agents_launched++;
   trace_agent(*agent, "launched");
   if (hooks_.on_spawn) {
@@ -86,6 +86,8 @@ bool AgillaEngine::install(AgentImage image, bool reached_dest) {
     stats_.agents_rejected++;
     return false;
   }
+  agent->set_decoded_program(
+      dispatcher_->on_code_stored(*handle, image.code));
   agent->set_pc(image.pc);
   agent->set_condition(reached_dest ? 1 : 0);
   if (is_strong(image.op)) {
@@ -114,7 +116,11 @@ void AgillaEngine::make_ready(Agent& agent) {
   if (agent.run_state() == AgentRunState::kDead) {
     return;
   }
+  const bool was_blocked = agent.run_state() != AgentRunState::kReady;
   agent.set_run_state(AgentRunState::kReady);
+  if (was_blocked && hooks_.on_resume) {
+    hooks_.on_resume(agent.id());
+  }
   ready_.push_back(agent.id());
   // Deliver one queued reaction now that the agent can accept it.
   auto pending = pending_reactions_.find(agent.id().value);
@@ -126,7 +132,21 @@ void AgillaEngine::make_ready(Agent& agent) {
     }
     deliver_reaction(agent, next.reaction, next.tuple);
   }
-  schedule_tick(0);
+  // From inside tick() the end-of-batch reschedule picks the agent up with
+  // the batch's accumulated cost as delay; scheduling a zero-delay tick
+  // here instead would let an install-during-slice loop (e.g. a weak-clone
+  // fork bomb) pin simulated time forever.
+  if (!in_tick_) {
+    schedule_tick(0);
+  }
+}
+
+void AgillaEngine::block_agent(Agent& agent, AgentRunState state,
+                               std::string_view reason) {
+  agent.set_run_state(state);
+  if (hooks_.on_block) {
+    hooks_.on_block(agent.id(), reason);
+  }
 }
 
 void AgillaEngine::set_energy(energy::Battery* battery,
@@ -169,35 +189,41 @@ void AgillaEngine::schedule_tick(sim::SimTime delay) {
 }
 
 void AgillaEngine::tick() {
-  if (ready_.empty()) {
-    return;
-  }
-  const AgentId id = ready_.front();
-  ready_.pop_front();
-  Agent* agent = agents_.find(id);
-  if (agent == nullptr || agent->run_state() != AgentRunState::kReady) {
-    if (!ready_.empty()) {
-      schedule_tick(0);
-    }
-    return;
-  }
-
+  // Batched scheduling: drain up to batch_slices round-robin slices per
+  // engine wakeup instead of paying one event-queue round trip per slice.
+  // Simulated cost accrues per instruction exactly as before — only the
+  // host-side wakeup overhead is amortized.
   sim::SimTime cost = 0;
+  const std::size_t max_slices =
+      std::max<std::size_t>(std::size_t{1}, options_.batch_slices);
+  std::size_t drained = 0;
+  in_tick_ = true;
+  while (drained < max_slices && !ready_.empty()) {
+    const AgentId id = ready_.front();
+    ready_.pop_front();
+    Agent* agent = agents_.find(id);
+    if (agent == nullptr || agent->run_state() != AgentRunState::kReady) {
+      continue;  // stale queue entry
+    }
 
-  // A woken in/rd retries its probe before executing anything.
-  if (agent->blocked_probe().has_value()) {
-    const Agent::BlockedProbe probe = *agent->blocked_probe();
-    const auto result = probe.remove ? tuple_space_.inp(probe.templ)
-                                     : tuple_space_.rdp(probe.templ);
-    const auto probe_raw =
-        static_cast<std::uint8_t>(probe.remove ? Opcode::kIn : Opcode::kRd);
-    const sim::SimTime probe_cost = options_.costs.instruction_cost(
-        probe_raw, tuple_space_.store().last_op_bytes_touched(), true);
-    OpcodeProfile& entry = profile_[probe_raw];
-    entry.count++;
-    entry.total_cost += probe_cost;
-    cost += probe_cost;
-    if (result.has_value()) {
+    // A woken in/rd retries its probe before executing anything.
+    if (agent->blocked_probe().has_value()) {
+      const Agent::BlockedProbe probe = *agent->blocked_probe();
+      const auto result = probe.remove ? tuple_space_.inp(probe.templ)
+                                       : tuple_space_.rdp(probe.templ);
+      const auto probe_raw =
+          static_cast<std::uint8_t>(probe.remove ? Opcode::kIn : Opcode::kRd);
+      const sim::SimTime probe_cost = options_.costs.instruction_cost(
+          probe_raw, tuple_space_.store().last_op_bytes_touched(), true);
+      OpcodeProfile& entry = profile_[probe_raw];
+      entry.count++;
+      entry.total_cost += probe_cost;
+      cost += probe_cost;
+      if (!result.has_value()) {
+        block_agent(*agent, AgentRunState::kBlockedTs, "tuple");
+        drained++;
+        continue;
+      }
       agent->set_blocked_probe(std::nullopt);
       bool ok = true;
       for (std::size_t i = result->arity(); i-- > 0;) {
@@ -206,51 +232,22 @@ void AgillaEngine::tick() {
       agent->set_condition(1);
       if (!ok) {
         die(*agent, "stack overflow resuming blocked in/rd");
-        charge_cpu(cost);
-        schedule_tick(cost);
-        return;
+        drained++;
+        continue;
       }
-    } else {
-      agent->set_run_state(AgentRunState::kBlockedTs);
-      charge_cpu(cost);
-      if (!ready_.empty()) {
-        schedule_tick(cost);
-      }
-      return;
     }
-  }
 
-  stats_.slices++;
-  StepResult result = StepResult::kContinue;
-  for (std::size_t i = 0;
-       i < options_.instructions_per_slice &&
-       result == StepResult::kContinue;
-       ++i) {
-    // Peek the opcode for the execution profile before stepping.
-    bool peek_ok = false;
-    std::uint8_t raw = code_pool_.fetch(agent->code(), agent->pc(),
-                                        &peek_ok);
-    std::uint8_t slot = 0;
-    if (is_getvar(raw, &slot)) {
-      raw = static_cast<std::uint8_t>(Opcode::kGetVar0);
-    } else if (is_setvar(raw, &slot)) {
-      raw = static_cast<std::uint8_t>(Opcode::kSetVar0);
+    stats_.slices++;
+    dispatcher_->run_slice(*agent, cost);
+    // The slice may have destroyed the agent; re-resolve before requeueing.
+    if (Agent* after = agents_.find(id);
+        after != nullptr && after->run_state() == AgentRunState::kReady) {
+      ready_.push_back(id);
     }
-    const sim::SimTime cost_before = cost;
-    result = step(*agent, cost);
-    if (peek_ok) {
-      OpcodeProfile& entry = profile_[raw];
-      entry.count++;
-      entry.total_cost += cost - cost_before;
-    }
+    cost += options_.costs.context_switch_cost();
+    drained++;
   }
-
-  if (result == StepResult::kContinue || result == StepResult::kYield) {
-    if (agent->run_state() == AgentRunState::kReady) {
-      ready_.push_back(agent->id());
-    }
-  }
-  cost += options_.costs.context_switch_cost();
+  in_tick_ = false;
   charge_cpu(cost);
   if (!ready_.empty()) {
     schedule_tick(cost);
@@ -269,6 +266,8 @@ void AgillaEngine::destroy(AgentId id, bool drop_reactions) {
   }
   if (Agent* agent = agents_.find(id); agent != nullptr) {
     agent->set_run_state(AgentRunState::kDead);
+    agent->set_decoded_program(nullptr);
+    dispatcher_->on_code_released(agent->code());
     code_pool_.release(agent->code());
     agents_.destroy(id);
   }
@@ -282,6 +281,17 @@ void AgillaEngine::die(Agent& agent, const std::string& reason) {
     hooks_.on_kill(agent.id(), reason);
   }
   destroy(agent.id(), true);
+}
+
+std::unordered_map<std::uint8_t, OpcodeProfile>
+AgillaEngine::opcode_profile() const {
+  std::unordered_map<std::uint8_t, OpcodeProfile> out;
+  for (std::size_t raw = 0; raw < profile_.size(); ++raw) {
+    if (profile_[raw].count > 0) {
+      out.emplace(static_cast<std::uint8_t>(raw), profile_[raw]);
+    }
+  }
+  return out;
 }
 
 // --------------------------------------------------------------------------
@@ -356,720 +366,6 @@ void AgillaEngine::deliver_reaction(Agent& agent,
   agent.set_pc(reaction.handler_pc);
   trace_agent(agent, "reaction fired -> pc " +
                          std::to_string(reaction.handler_pc));
-}
-
-// --------------------------------------------------------------------------
-// Instruction execution
-// --------------------------------------------------------------------------
-
-bool AgillaEngine::pop_fields(Agent& agent, std::vector<ts::Value>* out) {
-  const ts::Value count_value = agent.pop();
-  const std::int16_t count = count_value.as_number();
-  if (!count_value.valid() || count < 0 ||
-      count > static_cast<std::int16_t>(Agent::kStackDepth)) {
-    die(agent, "bad field count for tuple operation");
-    return false;
-  }
-  std::vector<ts::Value> reversed;
-  reversed.reserve(static_cast<std::size_t>(count));
-  for (std::int16_t i = 0; i < count; ++i) {
-    ts::Value v = agent.pop();
-    if (!v.valid()) {
-      die(agent, "stack underflow building tuple");
-      return false;
-    }
-    reversed.push_back(std::move(v));
-  }
-  // Popped last-pushed-first; restore push order (field 0 first).
-  out->assign(reversed.rbegin(), reversed.rend());
-  return true;
-}
-
-AgentImage AgillaEngine::make_image(Agent& agent, MigrationOp op,
-                                    sim::Location dest) {
-  AgentImage image;
-  image.agent_id = agent.id().value;
-  image.op = op;
-  image.dest = dest;
-  image.pc = agent.pc();
-  image.condition = agent.condition();
-  image.code = code_pool_.copy_out(agent.code());
-  if (is_strong(op)) {
-    image.stack = agent.stack();
-    image.heap = agent.heap_entries();
-    image.reactions = tuple_space_.reactions().owned_by(agent.id().value);
-  } else {
-    image.weaken();
-  }
-  return image;
-}
-
-AgillaEngine::StepResult AgillaEngine::exec_tuple_op(Agent& agent, Opcode op,
-                                                     sim::SimTime& cost) {
-  auto charge = [&](bool blocking) {
-    cost += options_.costs.instruction_cost(
-        static_cast<std::uint8_t>(op),
-        tuple_space_.store().last_op_bytes_touched(), blocking);
-  };
-
-  switch (op) {
-    case Opcode::kOut: {
-      std::vector<ts::Value> fields;
-      if (!pop_fields(agent, &fields)) {
-        return StepResult::kGone;
-      }
-      ts::Tuple tuple;
-      for (const ts::Value& f : fields) {
-        if (!tuple.add(f)) {
-          die(agent, "field not storable in a tuple (out)");
-          return StepResult::kGone;
-        }
-      }
-      const bool ok = tuple_space_.out(tuple);
-      agent.set_condition(ok ? 1 : 0);
-      charge(false);
-      return StepResult::kContinue;
-    }
-    case Opcode::kInp:
-    case Opcode::kRdp:
-    case Opcode::kIn:
-    case Opcode::kRd:
-    case Opcode::kTCount: {
-      std::vector<ts::Value> fields;
-      if (!pop_fields(agent, &fields)) {
-        return StepResult::kGone;
-      }
-      ts::Template templ;
-      for (const ts::Value& f : fields) {
-        if (!templ.add(f)) {
-          die(agent, "template too large");
-          return StepResult::kGone;
-        }
-      }
-      // Compile once; the probe (and any blocked re-probes) reuse it.
-      ts::CompiledTemplate compiled(templ);
-      if (op == Opcode::kTCount) {
-        const std::size_t n = tuple_space_.tcount(compiled);
-        charge(false);
-        if (!agent.push(ts::Value::number(static_cast<std::int16_t>(n)))) {
-          die(agent, "stack overflow (tcount)");
-          return StepResult::kGone;
-        }
-        return StepResult::kContinue;
-      }
-      const bool removes = (op == Opcode::kInp || op == Opcode::kIn);
-      const bool blocking = (op == Opcode::kIn || op == Opcode::kRd);
-      const auto result = removes ? tuple_space_.inp(compiled)
-                                  : tuple_space_.rdp(compiled);
-      charge(blocking);
-      if (result.has_value()) {
-        bool ok = true;
-        for (std::size_t i = result->arity(); i-- > 0;) {
-          ok = ok && agent.push(result->field(i));
-        }
-        if (!ok) {
-          die(agent, "stack overflow pushing tuple result");
-          return StepResult::kGone;
-        }
-        agent.set_condition(1);
-        return StepResult::kContinue;
-      }
-      if (!blocking) {
-        agent.set_condition(0);
-        return StepResult::kContinue;
-      }
-      // Blocking probe failed: park the agent until an insertion.
-      agent.set_blocked_probe(
-          Agent::BlockedProbe{std::move(compiled), removes});
-      agent.set_run_state(AgentRunState::kBlockedTs);
-      return StepResult::kBlocked;
-    }
-    case Opcode::kRegRxn: {
-      const ts::Value handler = agent.pop();
-      if (!handler.valid()) {
-        die(agent, "stack underflow (regrxn handler)");
-        return StepResult::kGone;
-      }
-      std::vector<ts::Value> fields;
-      if (!pop_fields(agent, &fields)) {
-        return StepResult::kGone;
-      }
-      if (fields.size() > kMaxReactionTemplateFields) {
-        die(agent, "reaction template exceeds 4 fields");
-        return StepResult::kGone;
-      }
-      ts::Reaction reaction;
-      reaction.agent_id = agent.id().value;
-      reaction.handler_pc =
-          static_cast<std::uint16_t>(handler.as_number());
-      for (const ts::Value& f : fields) {
-        reaction.templ.add(f);
-      }
-      const bool ok = tuple_space_.register_reaction(std::move(reaction));
-      agent.set_condition(ok ? 1 : 0);
-      cost += options_.costs.instruction_cost(
-          static_cast<std::uint8_t>(op), 0, false);
-      return StepResult::kContinue;
-    }
-    case Opcode::kDeregRxn: {
-      std::vector<ts::Value> fields;
-      if (!pop_fields(agent, &fields)) {
-        return StepResult::kGone;
-      }
-      ts::Template templ;
-      for (const ts::Value& f : fields) {
-        templ.add(f);
-      }
-      const bool ok =
-          tuple_space_.deregister_reaction(agent.id().value, templ);
-      agent.set_condition(ok ? 1 : 0);
-      cost += options_.costs.instruction_cost(
-          static_cast<std::uint8_t>(op), 0, false);
-      return StepResult::kContinue;
-    }
-    default:
-      die(agent, "internal: not a tuple op");
-      return StepResult::kGone;
-  }
-}
-
-AgillaEngine::StepResult AgillaEngine::exec_migration(Agent& agent,
-                                                      Opcode op) {
-  const ts::Value dest_value = agent.pop();
-  if (dest_value.type() != ts::ValueType::kLocation) {
-    die(agent, "migration destination is not a location");
-    return StepResult::kGone;
-  }
-  const sim::Location dest = dest_value.as_location();
-  MigrationOp mop = MigrationOp::kSMove;
-  switch (op) {
-    case Opcode::kSMove:
-      mop = MigrationOp::kSMove;
-      break;
-    case Opcode::kWMove:
-      mop = MigrationOp::kWMove;
-      break;
-    case Opcode::kSClone:
-      mop = MigrationOp::kSClone;
-      break;
-    case Opcode::kWClone:
-      mop = MigrationOp::kWClone;
-      break;
-    default:
-      die(agent, "internal: not a migration op");
-      return StepResult::kGone;
-  }
-
-  // Destination is this node: moves are no-ops, clones fork locally.
-  if (within(context_.location(), dest, options_.epsilon)) {
-    if (is_clone(mop)) {
-      AgentImage image = make_image(agent, mop, dest);
-      image.agent_id = agents_.next_id().value;
-      install(std::move(image), true);
-      agent.set_condition(2);
-    } else {
-      agent.set_condition(1);
-    }
-    return StepResult::kYield;
-  }
-
-  stats_.migrations_started++;
-  if (hooks_.on_migrate) {
-    hooks_.on_migrate(agent.id(), dest);
-  }
-  AgentImage image = make_image(agent, mop, dest);
-  if (is_clone(mop)) {
-    image.agent_id = agents_.next_id().value;
-  }
-  agent.set_run_state(AgentRunState::kBlockedOp);
-  const AgentId id = agent.id();
-  trace_agent(agent, std::string(to_string(mop)) + " ->");
-  migration_.send(std::move(image), [this, id, mop](bool success) {
-    Agent* a = agents_.find(id);
-    if (a == nullptr) {
-      return;
-    }
-    if (is_clone(mop)) {
-      if (success) {
-        a->set_condition(2);
-      } else {
-        stats_.migrations_failed++;
-        a->set_condition(0);
-      }
-      make_ready(*a);
-      return;
-    }
-    // Moves: on success the agent now lives on the next hop.
-    if (success) {
-      if (hooks_.on_kill) {
-        hooks_.on_kill(id, "migrated");
-      }
-      destroy(id, /*drop_reactions=*/true);
-      return;
-    }
-    stats_.migrations_failed++;
-    a->set_condition(0);
-    make_ready(*a);
-  });
-  return StepResult::kBlocked;
-}
-
-AgillaEngine::StepResult AgillaEngine::exec_remote(Agent& agent, Opcode op) {
-  const ts::Value dest_value = agent.pop();
-  if (dest_value.type() != ts::ValueType::kLocation) {
-    die(agent, "remote op destination is not a location");
-    return StepResult::kGone;
-  }
-  const sim::Location dest = dest_value.as_location();
-  std::vector<ts::Value> fields;
-  if (!pop_fields(agent, &fields)) {
-    return StepResult::kGone;
-  }
-
-  stats_.remote_ops++;
-  agent.set_run_state(AgentRunState::kBlockedOp);
-  const AgentId id = agent.id();
-  auto completion = [this, id](bool success,
-                               std::optional<ts::Tuple> result) {
-    Agent* a = agents_.find(id);
-    if (a == nullptr) {
-      return;
-    }
-    if (success && result.has_value()) {
-      bool ok = true;
-      for (std::size_t i = result->arity(); i-- > 0;) {
-        ok = ok && a->push(result->field(i));
-      }
-      if (!ok) {
-        die(*a, "stack overflow pushing remote result");
-        return;
-      }
-    }
-    a->set_condition(success ? 1 : 0);
-    make_ready(*a);
-  };
-
-  if (op == Opcode::kROut) {
-    ts::Tuple tuple;
-    for (const ts::Value& f : fields) {
-      if (!tuple.add(f)) {
-        die(agent, "field not storable in a tuple (rout)");
-        return StepResult::kGone;
-      }
-    }
-    remote_ts_.request_out(dest, tuple, std::move(completion));
-  } else {
-    ts::Template templ;
-    for (const ts::Value& f : fields) {
-      if (!templ.add(f)) {
-        die(agent, "template too large (remote probe)");
-        return StepResult::kGone;
-      }
-    }
-    remote_ts_.request_probe(
-        op == Opcode::kRInp ? RemoteOp::kInp : RemoteOp::kRdp, dest, templ,
-        std::move(completion));
-  }
-  return StepResult::kBlocked;
-}
-
-AgillaEngine::StepResult AgillaEngine::step(Agent& agent,
-                                            sim::SimTime& cost) {
-  bool fetch_ok = true;
-  const std::uint8_t raw = code_pool_.fetch(agent.code(), agent.pc(),
-                                            &fetch_ok);
-  if (!fetch_ok) {
-    die(agent, "program counter out of range");
-    return StepResult::kGone;
-  }
-  const std::size_t length = instruction_length(raw);
-  if (length == 0) {
-    die(agent, "undefined opcode");
-    return StepResult::kGone;
-  }
-
-  // Fetch operand bytes and advance the PC before executing, so that
-  // relative jumps and migration resume points refer to the next
-  // instruction.
-  std::array<std::uint8_t, 4> operand{};
-  for (std::size_t i = 1; i < length; ++i) {
-    operand[i - 1] = code_pool_.fetch(
-        agent.code(), static_cast<std::uint16_t>(agent.pc() + i), &fetch_ok);
-    if (!fetch_ok) {
-      die(agent, "truncated instruction");
-      return StepResult::kGone;
-    }
-  }
-  agent.set_pc(static_cast<std::uint16_t>(agent.pc() + length));
-  stats_.instructions++;
-
-  auto operand_u16 = [&operand] {
-    return static_cast<std::uint16_t>(operand[0] | (operand[1] << 8));
-  };
-  auto charge = [&] {
-    cost += options_.costs.instruction_cost(raw, 0, false);
-  };
-  auto push_or_die = [&](const ts::Value& v) {
-    if (!agent.push(v)) {
-      die(agent, "stack overflow");
-      return false;
-    }
-    return true;
-  };
-  // getvar / setvar carry the heap slot in the opcode.
-  std::uint8_t slot = 0;
-  if (is_getvar(raw, &slot)) {
-    charge();
-    return push_or_die(agent.heap(slot)) ? StepResult::kContinue
-                                         : StepResult::kGone;
-  }
-  if (is_setvar(raw, &slot)) {
-    charge();
-    agent.set_heap(slot, agent.pop());
-    return StepResult::kContinue;
-  }
-
-  const auto op = static_cast<Opcode>(raw);
-  switch (op) {
-    case Opcode::kHalt:
-      stats_.agents_halted++;
-      trace_agent(agent, "halt");
-      if (hooks_.on_kill) {
-        hooks_.on_kill(agent.id(), "halt");
-      }
-      destroy(agent.id(), true);
-      return StepResult::kGone;
-
-    case Opcode::kLoc:
-      charge();
-      return push_or_die(ts::Value::location(context_.location()))
-                 ? StepResult::kContinue
-                 : StepResult::kGone;
-    case Opcode::kAid:
-      charge();
-      return push_or_die(ts::Value::agent_id(agent.id().value))
-                 ? StepResult::kContinue
-                 : StepResult::kGone;
-    case Opcode::kRand:
-      charge();
-      return push_or_die(ts::Value::number(static_cast<std::int16_t>(
-                 sim_.rng().next() & 0xFFFF)))
-                 ? StepResult::kContinue
-                 : StepResult::kGone;
-    case Opcode::kNumNbrs:
-      charge();
-      return push_or_die(ts::Value::number(static_cast<std::int16_t>(
-                 context_.num_neighbors())))
-                 ? StepResult::kContinue
-                 : StepResult::kGone;
-
-    case Opcode::kSense: {
-      const ts::Value designator = agent.pop();
-      const auto sensor =
-          designator.type() == ts::ValueType::kReadingType
-              ? designator.sensor()
-              : static_cast<sim::SensorType>(designator.as_number());
-      const auto reading = sensors_.read(sensor, sim_.now());
-      cost += options_.costs.sense_cost();
-      if (battery_ != nullptr) {
-        battery_->drain(energy::EnergyComponent::kSense,
-                        cpu_energy_.sense_mj_per_sample);
-      }
-      if (reading.has_value()) {
-        agent.set_condition(1);
-        if (!push_or_die(ts::Value::reading(sensor, *reading))) {
-          return StepResult::kGone;
-        }
-      } else {
-        agent.set_condition(0);
-        if (!push_or_die(ts::Value::reading(sensor, 0))) {
-          return StepResult::kGone;
-        }
-      }
-      return StepResult::kYield;
-    }
-
-    case Opcode::kSleep: {
-      const std::int16_t ticks = agent.pop().as_number();
-      charge();
-      const sim::SimTime duration =
-          ticks <= 0 ? 0 : static_cast<sim::SimTime>(ticks) * kSleepTick;
-      agent.set_run_state(AgentRunState::kSleeping);
-      const AgentId id = agent.id();
-      sleep_timers_[id.value] = sim_.schedule_in(duration, [this, id] {
-        sleep_timers_.erase(id.value);
-        Agent* a = agents_.find(id);
-        if (a != nullptr && a->run_state() == AgentRunState::kSleeping) {
-          make_ready(*a);
-        }
-      });
-      trace_agent(agent, "sleep " + std::to_string(ticks) + " ticks");
-      return StepResult::kBlocked;
-    }
-
-    case Opcode::kPutLed:
-      charge();
-      leds_ = static_cast<std::uint8_t>(agent.pop().as_number() & 0x7);
-      trace_agent(agent, "leds=" + std::to_string(leds_));
-      return StepResult::kContinue;
-
-    case Opcode::kCopy:
-      charge();
-      if (agent.stack_depth() == 0) {
-        die(agent, "stack underflow (copy)");
-        return StepResult::kGone;
-      }
-      return push_or_die(agent.peek(0)) ? StepResult::kContinue
-                                        : StepResult::kGone;
-    case Opcode::kPop:
-      charge();
-      if (agent.stack_depth() == 0) {
-        die(agent, "stack underflow (pop)");
-        return StepResult::kGone;
-      }
-      agent.pop();
-      return StepResult::kContinue;
-    case Opcode::kSwap: {
-      charge();
-      if (agent.stack_depth() < 2) {
-        die(agent, "stack underflow (swap)");
-        return StepResult::kGone;
-      }
-      const ts::Value a = agent.pop();
-      const ts::Value b = agent.pop();
-      return (agent.push(a) && agent.push(b)) ? StepResult::kContinue
-                                              : StepResult::kGone;
-    }
-
-    case Opcode::kWait:
-      charge();
-      agent.set_run_state(AgentRunState::kWaitingRxn);
-      trace_agent(agent, "wait");
-      return StepResult::kBlocked;
-
-    case Opcode::kJumps: {
-      charge();
-      const ts::Value target = agent.pop();
-      agent.set_pc(static_cast<std::uint16_t>(target.as_number()));
-      return StepResult::kContinue;
-    }
-    case Opcode::kDepth:
-      charge();
-      return push_or_die(ts::Value::number(
-                 static_cast<std::int16_t>(agent.stack_depth())))
-                 ? StepResult::kContinue
-                 : StepResult::kGone;
-    case Opcode::kClear:
-      charge();
-      agent.clear_stack();
-      return StepResult::kContinue;
-    case Opcode::kCpush:
-      charge();
-      return push_or_die(ts::Value::number(agent.condition()))
-                 ? StepResult::kContinue
-                 : StepResult::kGone;
-
-    case Opcode::kAdd:
-    case Opcode::kSub:
-    case Opcode::kAnd:
-    case Opcode::kOr:
-    case Opcode::kMod:
-    case Opcode::kMul:
-    case Opcode::kEq: {
-      charge();
-      if (agent.stack_depth() < 2) {
-        die(agent, "stack underflow (arithmetic)");
-        return StepResult::kGone;
-      }
-      const ts::Value a = agent.pop();  // top
-      const ts::Value b = agent.pop();  // second
-      std::int16_t result = 0;
-      const std::int16_t av = a.as_number();
-      const std::int16_t bv = b.as_number();
-      switch (op) {
-        case Opcode::kAdd:
-          result = static_cast<std::int16_t>(bv + av);
-          break;
-        case Opcode::kSub:
-          result = static_cast<std::int16_t>(bv - av);
-          break;
-        case Opcode::kAnd:
-          result = static_cast<std::int16_t>(bv & av);
-          break;
-        case Opcode::kOr:
-          result = static_cast<std::int16_t>(bv | av);
-          break;
-        case Opcode::kMul:
-          result = static_cast<std::int16_t>(bv * av);
-          break;
-        case Opcode::kMod:
-          if (av == 0) {
-            die(agent, "mod by zero");
-            return StepResult::kGone;
-          }
-          result = static_cast<std::int16_t>(bv % av);
-          break;
-        case Opcode::kEq:
-          result = values_equal(a, b) ? 1 : 0;
-          break;
-        default:
-          break;
-      }
-      return push_or_die(ts::Value::number(result)) ? StepResult::kContinue
-                                                    : StepResult::kGone;
-    }
-    case Opcode::kNot: {
-      charge();
-      const ts::Value v = agent.pop();
-      return push_or_die(
-                 ts::Value::number(v.as_number() == 0 ? 1 : 0))
-                 ? StepResult::kContinue
-                 : StepResult::kGone;
-    }
-    case Opcode::kInc:
-    case Opcode::kDec: {
-      charge();
-      const std::int16_t v = agent.pop().as_number();
-      const std::int16_t delta = (op == Opcode::kInc) ? 1 : -1;
-      return push_or_die(ts::Value::number(
-                 static_cast<std::int16_t>(v + delta)))
-                 ? StepResult::kContinue
-                 : StepResult::kGone;
-    }
-
-    case Opcode::kSMove:
-    case Opcode::kWMove:
-    case Opcode::kSClone:
-    case Opcode::kWClone:
-      cost += options_.costs.instruction_cost(raw, 0, false);
-      return exec_migration(agent, op);
-
-    case Opcode::kGetNbr: {
-      charge();
-      const std::int16_t index = agent.pop().as_number();
-      const auto loc = index >= 0
-                           ? context_.neighbor_location(
-                                 static_cast<std::size_t>(index))
-                           : std::nullopt;
-      agent.set_condition(loc.has_value() ? 1 : 0);
-      return push_or_die(ts::Value::location(
-                 loc.value_or(context_.location())))
-                 ? StepResult::kContinue
-                 : StepResult::kGone;
-    }
-    case Opcode::kRandNbr: {
-      charge();
-      const auto loc = context_.random_neighbor(sim_.rng());
-      agent.set_condition(loc.has_value() ? 1 : 0);
-      return push_or_die(ts::Value::location(
-                 loc.value_or(context_.location())))
-                 ? StepResult::kContinue
-                 : StepResult::kGone;
-    }
-
-    case Opcode::kCeq:
-    case Opcode::kClt:
-    case Opcode::kCgt: {
-      charge();
-      if (agent.stack_depth() < 2) {
-        die(agent, "stack underflow (comparison)");
-        return StepResult::kGone;
-      }
-      const ts::Value a = agent.pop();  // top
-      const ts::Value b = agent.pop();  // second
-      bool cond = false;
-      switch (op) {
-        case Opcode::kCeq:
-          cond = values_equal(a, b);
-          break;
-        case Opcode::kClt:
-          cond = a.as_number() < b.as_number();
-          break;
-        case Opcode::kCgt:
-          cond = a.as_number() > b.as_number();
-          break;
-        default:
-          break;
-      }
-      agent.set_condition(cond ? 1 : 0);
-      return StepResult::kContinue;
-    }
-
-    case Opcode::kRjump:
-    case Opcode::kRjumpc: {
-      charge();
-      const auto offset = static_cast<std::int8_t>(operand[0]);
-      if (op == Opcode::kRjump || agent.condition() != 0) {
-        agent.set_pc(
-            static_cast<std::uint16_t>(agent.pc() + offset));
-      }
-      return StepResult::kContinue;
-    }
-    case Opcode::kJump:
-      charge();
-      agent.set_pc(operand[0]);
-      return StepResult::kContinue;
-
-    case Opcode::kOut:
-    case Opcode::kInp:
-    case Opcode::kRdp:
-    case Opcode::kIn:
-    case Opcode::kRd:
-    case Opcode::kTCount:
-    case Opcode::kRegRxn:
-    case Opcode::kDeregRxn:
-      return exec_tuple_op(agent, op, cost);
-
-    case Opcode::kROut:
-    case Opcode::kRInp:
-    case Opcode::kRRdp:
-      cost += options_.costs.instruction_cost(raw, 0, false);
-      return exec_remote(agent, op);
-
-    case Opcode::kPushc:
-      charge();
-      return push_or_die(ts::Value::number(operand[0]))
-                 ? StepResult::kContinue
-                 : StepResult::kGone;
-    case Opcode::kPushcl:
-      charge();
-      return push_or_die(ts::Value::number(
-                 static_cast<std::int16_t>(operand_u16())))
-                 ? StepResult::kContinue
-                 : StepResult::kGone;
-    case Opcode::kPushn:
-      charge();
-      return push_or_die(ts::Value::packed_string(operand_u16()))
-                 ? StepResult::kContinue
-                 : StepResult::kGone;
-    case Opcode::kPusht:
-      charge();
-      return push_or_die(ts::Value::type_wildcard(
-                 static_cast<ts::ValueType>(operand[0])))
-                 ? StepResult::kContinue
-                 : StepResult::kGone;
-    case Opcode::kPushrt:
-      charge();
-      return push_or_die(ts::Value::reading_type(
-                 static_cast<sim::SensorType>(operand[0])))
-                 ? StepResult::kContinue
-                 : StepResult::kGone;
-    case Opcode::kPushloc: {
-      charge();
-      const auto x = static_cast<std::int16_t>(
-          operand[0] | (operand[1] << 8));
-      const auto y = static_cast<std::int16_t>(
-          operand[2] | (operand[3] << 8));
-      return push_or_die(ts::Value::location(sim::Location{
-                 net::decode_coordinate(x), net::decode_coordinate(y)}))
-                 ? StepResult::kContinue
-                 : StepResult::kGone;
-    }
-
-    default:
-      die(agent, "unimplemented opcode " + opcode_name(raw));
-      return StepResult::kGone;
-  }
 }
 
 }  // namespace agilla::core

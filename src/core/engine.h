@@ -3,11 +3,18 @@
 // can execute a fixed number of instructions (default 4) before switching
 // context", yielding immediately on long-running instructions (sleep,
 // sense, wait, migration, remote tuple-space ops, blocked in/rd).
+//
+// This header is the embedding-facing surface: lifecycle (launch/install),
+// hooks, stats, and knob-style Options. The decode/execute machinery lives
+// in the engine-internal core/vm_dispatch.h and must not leak through here
+// (enforced by the api_header_selfcheck gate).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -25,6 +32,20 @@
 #include "sim/trace.h"
 
 namespace agilla::core {
+
+class VmDispatcher;
+
+/// How the engine executes bytecode. Both modes produce byte-identical
+/// simulated behaviour (cost ledger, traces, stats, tuple-space state);
+/// they differ only in host-side speed. kSwitch is the fetch-per-byte
+/// reference interpreter; kThreaded runs images pre-decoded at store time
+/// (DESIGN.md "VM dispatch").
+enum class DispatchMode : std::uint8_t {
+  kSwitch = 0,
+  kThreaded = 1,
+};
+
+[[nodiscard]] const char* to_string(DispatchMode mode);
 
 /// Accumulated simulated execution cost per opcode — the raw data behind
 /// the paper's Fig. 12 local-instruction latencies.
@@ -66,6 +87,11 @@ struct EngineHooks {
   /// A migration protocol run started (moves and clones), before the
   /// outcome is known.
   std::function<void(AgentId, sim::Location dest)> on_migrate;
+  /// Agent left the ready state. `reason` is "sleep", "wait", "tuple"
+  /// (blocked in/rd), "migrate", or "remote"; valid only during the call.
+  std::function<void(AgentId, std::string_view reason)> on_block;
+  /// A previously blocked agent re-entered the ready queue.
+  std::function<void(AgentId)> on_resume;
 };
 
 class AgillaEngine {
@@ -74,6 +100,15 @@ class AgillaEngine {
     std::size_t instructions_per_slice = 4;  ///< paper default (as in Mate)
     VmCostModel costs;
     double epsilon = 0.3;  ///< location-addressing tolerance
+    /// Bytecode execution strategy; see DispatchMode.
+    DispatchMode dispatch = DispatchMode::kThreaded;
+    /// Ready-queue slices drained per engine wakeup. Batching amortizes
+    /// the host-side event-queue overhead across slices; every slice still
+    /// pays its full simulated cost (instructions + context switch), so
+    /// the VmCostModel ledger is unaffected. The clock advances once per
+    /// batch, so timer timestamps can shift by microseconds relative to
+    /// batch_slices = 1; outcomes are invariant (tested).
+    std::size_t batch_slices = 8;
   };
 
   AgillaEngine(sim::Simulator& sim, sim::NodeId node, Options options,
@@ -81,6 +116,7 @@ class AgillaEngine {
                ts::TupleSpace& tuple_space, ContextManager& context,
                SensorBoard& sensors, MigrationManager& migration,
                RemoteTsManager& remote_ts, sim::Trace* trace = nullptr);
+  ~AgillaEngine();
 
   AgillaEngine(const AgillaEngine&) = delete;
   AgillaEngine& operator=(const AgillaEngine&) = delete;
@@ -112,42 +148,36 @@ class AgillaEngine {
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
 
   /// Per-opcode execution profile (key: raw opcode byte; getvar/setvar
-  /// collapse onto their base opcode).
-  [[nodiscard]] const std::unordered_map<std::uint8_t, OpcodeProfile>&
-  opcode_profile() const {
-    return profile_;
-  }
+  /// collapse onto their base opcode). Materialized from the engine's
+  /// flat per-byte table; only executed opcodes appear.
+  [[nodiscard]] std::unordered_map<std::uint8_t, OpcodeProfile>
+  opcode_profile() const;
 
   [[nodiscard]] std::uint8_t leds() const { return leds_; }
   [[nodiscard]] AgentManager& agents() { return agents_; }
   [[nodiscard]] const Options& options() const { return options_; }
 
+  /// The decode/execute layer (engine-internal; include
+  /// core/vm_dispatch.h to use it, e.g. to read template-cache stats).
+  [[nodiscard]] const VmDispatcher& dispatcher() const {
+    return *dispatcher_;
+  }
+
   /// True when any agent is alive on this node.
   [[nodiscard]] bool busy() const { return agents_.count() > 0; }
 
  private:
-  enum class StepResult : std::uint8_t {
-    kContinue,  ///< keep executing this slice
-    kYield,     ///< long-running op issued; end slice, agent stays ready
-    kBlocked,   ///< agent left the ready state
-    kGone,      ///< agent died or migrated away
-  };
+  friend class VmDispatcher;
 
   void make_ready(Agent& agent);
+  void block_agent(Agent& agent, AgentRunState state,
+                   std::string_view reason);
   void schedule_tick(sim::SimTime delay);
   void tick();
   void charge_cpu(sim::SimTime cost);
-  StepResult step(Agent& agent, sim::SimTime& cost);
   void die(Agent& agent, const std::string& reason);
   void destroy(AgentId id, bool drop_reactions);
 
-  // Instruction groups (implemented in engine.cpp).
-  StepResult exec_tuple_op(Agent& agent, Opcode op, sim::SimTime& cost);
-  StepResult exec_migration(Agent& agent, Opcode op);
-  StepResult exec_remote(Agent& agent, Opcode op);
-  bool pop_fields(Agent& agent, std::vector<ts::Value>* out);
-
-  AgentImage make_image(Agent& agent, MigrationOp op, sim::Location dest);
   void deliver_reaction(Agent& agent, const ts::Reaction& reaction,
                         const ts::Tuple& tuple);
   void trace_agent(const Agent& agent, const std::string& message);
@@ -166,9 +196,11 @@ class AgillaEngine {
   energy::Battery* battery_ = nullptr;
   energy::CpuEnergyModel cpu_energy_{};
   EngineHooks hooks_;
+  std::unique_ptr<VmDispatcher> dispatcher_;
 
   std::deque<AgentId> ready_;
   bool tick_scheduled_ = false;
+  bool in_tick_ = false;  ///< make_ready defers scheduling to the batch end
   std::unordered_map<std::uint16_t, sim::EventHandle> sleep_timers_;
   struct PendingReaction {
     ts::Reaction reaction;
@@ -178,7 +210,8 @@ class AgillaEngine {
       pending_reactions_;
   std::uint8_t leds_ = 0;
   EngineStats stats_;
-  std::unordered_map<std::uint8_t, OpcodeProfile> profile_;
+  /// Flat per-opcode-byte table: O(1) updates on the instruction hot path.
+  std::array<OpcodeProfile, 256> profile_{};
 };
 
 }  // namespace agilla::core

@@ -1,0 +1,1287 @@
+#include "core/vm_dispatch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/engine.h"
+#include "net/packet.h"
+
+// Labels-as-values needs a GNU-compatible compiler; everything else takes
+// the handler-pointer table fallback below.
+#if defined(__GNUC__) || defined(__clang__)
+#define AGILLA_COMPUTED_GOTO 1
+#else
+#define AGILLA_COMPUTED_GOTO 0
+#endif
+
+namespace agilla::core {
+namespace {
+
+/// Sleep ticks are 1/8 s: paper Fig. 13 sleeps 10 minutes with 4800 ticks.
+constexpr sim::SimTime kSleepTick = sim::kSecond / 8;
+
+/// Mixed-type comparisons use the numeric view (a sensor reading compares
+/// with a pushed constant, per paper Fig. 13); same-type values compare
+/// exactly.
+bool values_equal(const ts::Value& a, const ts::Value& b) {
+  if (a.type() == b.type()) {
+    return a == b;
+  }
+  return a.as_number() == b.as_number();
+}
+
+OpClass classify(std::uint8_t raw) {
+  if (is_getvar(raw)) {
+    return OpClass::kGetVar;
+  }
+  if (is_setvar(raw)) {
+    return OpClass::kSetVar;
+  }
+  switch (static_cast<Opcode>(raw)) {
+    case Opcode::kHalt:
+      return OpClass::kHalt;
+    case Opcode::kLoc:
+      return OpClass::kLoc;
+    case Opcode::kAid:
+      return OpClass::kAid;
+    case Opcode::kRand:
+      return OpClass::kRand;
+    case Opcode::kNumNbrs:
+      return OpClass::kNumNbrs;
+    case Opcode::kSense:
+      return OpClass::kSense;
+    case Opcode::kSleep:
+      return OpClass::kSleep;
+    case Opcode::kPutLed:
+      return OpClass::kPutLed;
+    case Opcode::kCopy:
+      return OpClass::kCopy;
+    case Opcode::kPop:
+      return OpClass::kPop;
+    case Opcode::kSwap:
+      return OpClass::kSwap;
+    case Opcode::kWait:
+      return OpClass::kWait;
+    case Opcode::kJumps:
+      return OpClass::kJumps;
+    case Opcode::kDepth:
+      return OpClass::kDepth;
+    case Opcode::kClear:
+      return OpClass::kClear;
+    case Opcode::kCpush:
+      return OpClass::kCpush;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kMod:
+    case Opcode::kMul:
+    case Opcode::kEq:
+      return OpClass::kArith;
+    case Opcode::kNot:
+      return OpClass::kNot;
+    case Opcode::kInc:
+    case Opcode::kDec:
+      return OpClass::kIncDec;
+    case Opcode::kSMove:
+    case Opcode::kWMove:
+    case Opcode::kSClone:
+    case Opcode::kWClone:
+      return OpClass::kMigrate;
+    case Opcode::kGetNbr:
+      return OpClass::kGetNbr;
+    case Opcode::kRandNbr:
+      return OpClass::kRandNbr;
+    case Opcode::kCeq:
+    case Opcode::kClt:
+    case Opcode::kCgt:
+      return OpClass::kCompare;
+    case Opcode::kRjump:
+      return OpClass::kRjump;
+    case Opcode::kRjumpc:
+      return OpClass::kRjumpc;
+    case Opcode::kJump:
+      return OpClass::kJump;
+    case Opcode::kOut:
+    case Opcode::kInp:
+    case Opcode::kRdp:
+    case Opcode::kIn:
+    case Opcode::kRd:
+    case Opcode::kTCount:
+    case Opcode::kRegRxn:
+    case Opcode::kDeregRxn:
+      return OpClass::kTupleOp;
+    case Opcode::kROut:
+    case Opcode::kRInp:
+    case Opcode::kRRdp:
+      return OpClass::kRemote;
+    case Opcode::kPushc:
+    case Opcode::kPushcl:
+    case Opcode::kPushn:
+    case Opcode::kPusht:
+    case Opcode::kPushloc:
+    case Opcode::kPushrt:
+      return OpClass::kPush;
+    default:
+      return OpClass::kUndefined;
+  }
+}
+
+/// The immediate Value a push instruction will deliver, resolved at decode
+/// time. All Value factories are total, so prebuilding from unreachable or
+/// garbage operand bytes is safe.
+ts::Value make_push_value(Opcode op,
+                          const std::array<std::uint8_t, 4>& operand) {
+  const auto operand_u16 = static_cast<std::uint16_t>(
+      operand[0] | (operand[1] << 8));
+  switch (op) {
+    case Opcode::kPushc:
+      return ts::Value::number(operand[0]);
+    case Opcode::kPushcl:
+      return ts::Value::number(static_cast<std::int16_t>(operand_u16));
+    case Opcode::kPushn:
+      return ts::Value::packed_string(operand_u16);
+    case Opcode::kPusht:
+      return ts::Value::type_wildcard(
+          static_cast<ts::ValueType>(operand[0]));
+    case Opcode::kPushrt:
+      return ts::Value::reading_type(
+          static_cast<sim::SensorType>(operand[0]));
+    case Opcode::kPushloc: {
+      const auto x = static_cast<std::int16_t>(
+          operand[0] | (operand[1] << 8));
+      const auto y = static_cast<std::int16_t>(
+          operand[2] | (operand[3] << 8));
+      return ts::Value::location(sim::Location{
+          net::decode_coordinate(x), net::decode_coordinate(y)});
+    }
+    default:
+      return ts::Value();
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Decoding
+// --------------------------------------------------------------------------
+
+DecodedInsn decode_insn(std::uint8_t raw,
+                        const std::array<std::uint8_t, 4>& operand,
+                        std::size_t operands_available,
+                        const VmCostModel& costs) {
+  DecodedInsn d;
+  d.raw = raw;
+  d.profile_key = raw;
+  d.operand = operand;
+  std::uint8_t slot = 0;
+  if (is_getvar(raw, &slot)) {
+    d.profile_key = static_cast<std::uint8_t>(Opcode::kGetVar0);
+    d.slot = slot;
+  } else if (is_setvar(raw, &slot)) {
+    d.profile_key = static_cast<std::uint8_t>(Opcode::kSetVar0);
+    d.slot = slot;
+  }
+  const std::size_t length = instruction_length(raw);
+  if (length == 0) {
+    d.cls = OpClass::kUndefined;
+    d.length = 1;
+    return d;
+  }
+  d.length = static_cast<std::uint8_t>(length);
+  if (operands_available + 1 < length) {
+    d.cls = OpClass::kTruncated;
+    return d;
+  }
+  d.cls = classify(raw);
+  d.precharge = costs.instruction_cost(raw, 0, false);
+  if (d.cls == OpClass::kPush) {
+    d.imm = make_push_value(static_cast<Opcode>(raw), operand);
+  }
+  return d;
+}
+
+std::uint64_t hash_code_bytes(std::span<const std::uint8_t> code) {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  for (const std::uint8_t b : code) {
+    h ^= b;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+DecodedProgram::DecodedProgram(std::span<const std::uint8_t> code,
+                               const VmCostModel& costs)
+    : bytes_(code.begin(), code.end()), hash_(hash_code_bytes(code)) {
+  insns_.reserve(bytes_.size());
+  for (std::size_t pc = 0; pc < bytes_.size(); ++pc) {
+    std::array<std::uint8_t, 4> operand{};
+    const std::size_t available =
+        std::min<std::size_t>(4, bytes_.size() - pc - 1);
+    for (std::size_t i = 0; i < available; ++i) {
+      operand[i] = bytes_[pc + 1 + i];
+    }
+    insns_.push_back(decode_insn(bytes_[pc], operand, available, costs));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Template cache
+// --------------------------------------------------------------------------
+
+std::shared_ptr<const DecodedProgram> VmDispatcher::on_code_stored(
+    CodeHandle handle, std::span<const std::uint8_t> code) {
+  if (e_.options_.dispatch != DispatchMode::kThreaded) {
+    return nullptr;
+  }
+  const std::uint64_t hash = hash_code_bytes(code);
+  std::shared_ptr<const DecodedProgram> program;
+  auto& chain = by_hash_[hash];
+  for (const auto& candidate : chain) {
+    if (candidate->bytes().size() == code.size() &&
+        std::equal(code.begin(), code.end(), candidate->bytes().begin())) {
+      program = candidate;
+      cache_stats_.cache_hits++;
+      break;
+    }
+  }
+  if (program == nullptr) {
+    program = std::make_shared<DecodedProgram>(code, e_.options_.costs);
+    chain.push_back(program);
+    cache_stats_.programs_compiled++;
+  }
+  by_handle_[handle_key(handle)] = program;
+  return program;
+}
+
+void VmDispatcher::on_code_released(CodeHandle handle) {
+  const auto it = by_handle_.find(handle_key(handle));
+  if (it == by_handle_.end()) {
+    return;
+  }
+  const std::shared_ptr<const DecodedProgram> program = it->second;
+  by_handle_.erase(it);
+  // Drop the template once no live handle references it. Ownership count
+  // cannot stand in for handle count: agents hold shared references, and
+  // run_slice pins one across the slice that releases the handle.
+  for (const auto& [key, other] : by_handle_) {
+    if (other == program) {
+      return;
+    }
+  }
+  const auto chain = by_hash_.find(program->content_hash());
+  if (chain == by_hash_.end()) {
+    return;
+  }
+  std::erase(chain->second, program);
+  if (chain->second.empty()) {
+    by_hash_.erase(chain);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Slice execution front-ends
+// --------------------------------------------------------------------------
+
+void VmDispatcher::run_slice(Agent& agent, sim::SimTime& cost) {
+  if (e_.options_.dispatch == DispatchMode::kThreaded) {
+    // The stack copy pins the template for the whole slice: a handler that
+    // destroys the agent (halt, completed smove) releases the code handle
+    // mid-slice, and the dispatch loop's profiling epilogue still reads
+    // the current instruction.
+    if (const std::shared_ptr<const DecodedProgram> program =
+            agent.decoded_program();
+        program != nullptr) {
+      run_slice_threaded(agent, *program, cost);
+      return;
+    }
+  }
+  run_slice_switch(agent, cost);
+}
+
+bool VmDispatcher::fetch_decode(Agent& agent, DecodedInsn* out) {
+  bool ok = true;
+  const std::uint8_t raw =
+      e_.code_pool_.fetch(agent.code(), agent.pc(), &ok);
+  if (!ok) {
+    e_.die(agent, "program counter out of range");
+    return false;
+  }
+  std::array<std::uint8_t, 4> operand{};
+  const std::size_t length = instruction_length(raw);
+  std::size_t operands_available = 0;
+  for (std::size_t i = 1; i < length; ++i) {
+    operand[i - 1] = e_.code_pool_.fetch(
+        agent.code(), static_cast<std::uint16_t>(agent.pc() + i), &ok);
+    if (!ok) {
+      break;
+    }
+    ++operands_available;
+  }
+  *out = decode_insn(raw, operand, operands_available, e_.options_.costs);
+  return true;
+}
+
+void VmDispatcher::run_slice_switch(Agent& agent, sim::SimTime& cost) {
+  const std::size_t per_slice = e_.options_.instructions_per_slice;
+  StepResult result = StepResult::kContinue;
+  for (std::size_t i = 0; i < per_slice && result == StepResult::kContinue;
+       ++i) {
+    DecodedInsn d;
+    if (!fetch_decode(agent, &d)) {
+      return;  // PC out of range: the agent died, nothing is profiled
+    }
+    const sim::SimTime cost_before = cost;
+    if (d.cls != OpClass::kUndefined && d.cls != OpClass::kTruncated) {
+      // Advance the PC before executing, so that relative jumps and
+      // migration resume points refer to the next instruction.
+      agent.set_pc(static_cast<std::uint16_t>(agent.pc() + d.length));
+      e_.stats_.instructions++;
+    }
+    result = execute(agent, d, cost);
+    OpcodeProfile& entry = e_.profile_[d.profile_key];
+    entry.count++;
+    entry.total_cost += cost - cost_before;
+  }
+}
+
+void VmDispatcher::run_slice_threaded(Agent& agent,
+                                      const DecodedProgram& program,
+                                      sim::SimTime& cost) {
+  const std::size_t per_slice = e_.options_.instructions_per_slice;
+  std::size_t executed = 0;
+
+#if AGILLA_COMPUTED_GOTO
+  // Label table indexed by OpClass — order must match the enum exactly.
+  static const void* const kLabels[] = {
+      &&lbl_halt,    &&lbl_loc,     &&lbl_aid,      &&lbl_rand,
+      &&lbl_numnbrs, &&lbl_sense,   &&lbl_sleep,    &&lbl_putled,
+      &&lbl_copy,    &&lbl_pop,     &&lbl_swap,     &&lbl_wait,
+      &&lbl_jumps,   &&lbl_depth,   &&lbl_clear,    &&lbl_cpush,
+      &&lbl_arith,   &&lbl_not,     &&lbl_incdec,   &&lbl_migrate,
+      &&lbl_getnbr,  &&lbl_randnbr, &&lbl_compare,  &&lbl_rjump,
+      &&lbl_rjumpc,  &&lbl_jump,    &&lbl_tuple,    &&lbl_remote,
+      &&lbl_getvar,  &&lbl_setvar,  &&lbl_push,     &&lbl_undefined,
+      &&lbl_truncated,
+  };
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
+                static_cast<std::size_t>(OpClass::kCount));
+
+  const DecodedInsn* d = nullptr;
+  sim::SimTime cost_before = 0;
+  StepResult result = StepResult::kContinue;
+
+next_insn : {
+  const std::uint16_t pc = agent.pc();
+  if (pc >= program.size()) {
+    e_.die(agent, "program counter out of range");
+    return;
+  }
+  d = &program.at(pc);
+  cost_before = cost;
+  if (d->cls != OpClass::kUndefined && d->cls != OpClass::kTruncated) {
+    agent.set_pc(static_cast<std::uint16_t>(pc + d->length));
+    e_.stats_.instructions++;
+  }
+  goto* kLabels[static_cast<std::size_t>(d->cls)];
+}
+  // clang-format off
+lbl_halt:      result = h_halt(agent, *d, cost);      goto insn_done;
+lbl_loc:       result = h_loc(agent, *d, cost);       goto insn_done;
+lbl_aid:       result = h_aid(agent, *d, cost);       goto insn_done;
+lbl_rand:      result = h_rand(agent, *d, cost);      goto insn_done;
+lbl_numnbrs:   result = h_numnbrs(agent, *d, cost);   goto insn_done;
+lbl_sense:     result = h_sense(agent, *d, cost);     goto insn_done;
+lbl_sleep:     result = h_sleep(agent, *d, cost);     goto insn_done;
+lbl_putled:    result = h_putled(agent, *d, cost);    goto insn_done;
+lbl_copy:      result = h_copy(agent, *d, cost);      goto insn_done;
+lbl_pop:       result = h_pop(agent, *d, cost);       goto insn_done;
+lbl_swap:      result = h_swap(agent, *d, cost);      goto insn_done;
+lbl_wait:      result = h_wait(agent, *d, cost);      goto insn_done;
+lbl_jumps:     result = h_jumps(agent, *d, cost);     goto insn_done;
+lbl_depth:     result = h_depth(agent, *d, cost);     goto insn_done;
+lbl_clear:     result = h_clear(agent, *d, cost);     goto insn_done;
+lbl_cpush:     result = h_cpush(agent, *d, cost);     goto insn_done;
+lbl_arith:     result = h_arith(agent, *d, cost);     goto insn_done;
+lbl_not:       result = h_not(agent, *d, cost);       goto insn_done;
+lbl_incdec:    result = h_incdec(agent, *d, cost);    goto insn_done;
+lbl_migrate:   result = h_migrate(agent, *d, cost);   goto insn_done;
+lbl_getnbr:    result = h_getnbr(agent, *d, cost);    goto insn_done;
+lbl_randnbr:   result = h_randnbr(agent, *d, cost);   goto insn_done;
+lbl_compare:   result = h_compare(agent, *d, cost);   goto insn_done;
+lbl_rjump:     result = h_rjump(agent, *d, cost);     goto insn_done;
+lbl_rjumpc:    result = h_rjumpc(agent, *d, cost);    goto insn_done;
+lbl_jump:      result = h_jump(agent, *d, cost);      goto insn_done;
+lbl_tuple:     result = h_tuple(agent, *d, cost);     goto insn_done;
+lbl_remote:    result = h_remote(agent, *d, cost);    goto insn_done;
+lbl_getvar:    result = h_getvar(agent, *d, cost);    goto insn_done;
+lbl_setvar:    result = h_setvar(agent, *d, cost);    goto insn_done;
+lbl_push:      result = h_push(agent, *d, cost);      goto insn_done;
+lbl_undefined: result = h_undefined(agent, *d, cost); goto insn_done;
+lbl_truncated: result = h_truncated(agent, *d, cost); goto insn_done;
+  // clang-format on
+
+insn_done : {
+  OpcodeProfile& entry = e_.profile_[d->profile_key];
+  entry.count++;
+  entry.total_cost += cost - cost_before;
+  if (result == StepResult::kContinue && ++executed < per_slice) {
+    goto next_insn;
+  }
+  return;
+}
+#else
+  // Handler-pointer table fallback for compilers without labels-as-values.
+  using Handler = StepResult (VmDispatcher::*)(Agent&, const DecodedInsn&,
+                                               sim::SimTime&);
+  static constexpr Handler kHandlers[] = {
+      &VmDispatcher::h_halt,      &VmDispatcher::h_loc,
+      &VmDispatcher::h_aid,       &VmDispatcher::h_rand,
+      &VmDispatcher::h_numnbrs,   &VmDispatcher::h_sense,
+      &VmDispatcher::h_sleep,     &VmDispatcher::h_putled,
+      &VmDispatcher::h_copy,      &VmDispatcher::h_pop,
+      &VmDispatcher::h_swap,      &VmDispatcher::h_wait,
+      &VmDispatcher::h_jumps,     &VmDispatcher::h_depth,
+      &VmDispatcher::h_clear,     &VmDispatcher::h_cpush,
+      &VmDispatcher::h_arith,     &VmDispatcher::h_not,
+      &VmDispatcher::h_incdec,    &VmDispatcher::h_migrate,
+      &VmDispatcher::h_getnbr,    &VmDispatcher::h_randnbr,
+      &VmDispatcher::h_compare,   &VmDispatcher::h_rjump,
+      &VmDispatcher::h_rjumpc,    &VmDispatcher::h_jump,
+      &VmDispatcher::h_tuple,     &VmDispatcher::h_remote,
+      &VmDispatcher::h_getvar,    &VmDispatcher::h_setvar,
+      &VmDispatcher::h_push,      &VmDispatcher::h_undefined,
+      &VmDispatcher::h_truncated,
+  };
+  static_assert(sizeof(kHandlers) / sizeof(kHandlers[0]) ==
+                static_cast<std::size_t>(OpClass::kCount));
+
+  StepResult result = StepResult::kContinue;
+  while (true) {
+    const std::uint16_t pc = agent.pc();
+    if (pc >= program.size()) {
+      e_.die(agent, "program counter out of range");
+      return;
+    }
+    const DecodedInsn& d = program.at(pc);
+    const sim::SimTime cost_before = cost;
+    if (d.cls != OpClass::kUndefined && d.cls != OpClass::kTruncated) {
+      agent.set_pc(static_cast<std::uint16_t>(pc + d.length));
+      e_.stats_.instructions++;
+    }
+    result = (this->*kHandlers[static_cast<std::size_t>(d.cls)])(agent, d,
+                                                                 cost);
+    OpcodeProfile& entry = e_.profile_[d.profile_key];
+    entry.count++;
+    entry.total_cost += cost - cost_before;
+    if (result != StepResult::kContinue || ++executed >= per_slice) {
+      return;
+    }
+  }
+#endif
+}
+
+VmDispatcher::StepResult VmDispatcher::execute(Agent& agent,
+                                               const DecodedInsn& d,
+                                               sim::SimTime& cost) {
+  switch (d.cls) {
+    case OpClass::kHalt:
+      return h_halt(agent, d, cost);
+    case OpClass::kLoc:
+      return h_loc(agent, d, cost);
+    case OpClass::kAid:
+      return h_aid(agent, d, cost);
+    case OpClass::kRand:
+      return h_rand(agent, d, cost);
+    case OpClass::kNumNbrs:
+      return h_numnbrs(agent, d, cost);
+    case OpClass::kSense:
+      return h_sense(agent, d, cost);
+    case OpClass::kSleep:
+      return h_sleep(agent, d, cost);
+    case OpClass::kPutLed:
+      return h_putled(agent, d, cost);
+    case OpClass::kCopy:
+      return h_copy(agent, d, cost);
+    case OpClass::kPop:
+      return h_pop(agent, d, cost);
+    case OpClass::kSwap:
+      return h_swap(agent, d, cost);
+    case OpClass::kWait:
+      return h_wait(agent, d, cost);
+    case OpClass::kJumps:
+      return h_jumps(agent, d, cost);
+    case OpClass::kDepth:
+      return h_depth(agent, d, cost);
+    case OpClass::kClear:
+      return h_clear(agent, d, cost);
+    case OpClass::kCpush:
+      return h_cpush(agent, d, cost);
+    case OpClass::kArith:
+      return h_arith(agent, d, cost);
+    case OpClass::kNot:
+      return h_not(agent, d, cost);
+    case OpClass::kIncDec:
+      return h_incdec(agent, d, cost);
+    case OpClass::kMigrate:
+      return h_migrate(agent, d, cost);
+    case OpClass::kGetNbr:
+      return h_getnbr(agent, d, cost);
+    case OpClass::kRandNbr:
+      return h_randnbr(agent, d, cost);
+    case OpClass::kCompare:
+      return h_compare(agent, d, cost);
+    case OpClass::kRjump:
+      return h_rjump(agent, d, cost);
+    case OpClass::kRjumpc:
+      return h_rjumpc(agent, d, cost);
+    case OpClass::kJump:
+      return h_jump(agent, d, cost);
+    case OpClass::kTupleOp:
+      return h_tuple(agent, d, cost);
+    case OpClass::kRemote:
+      return h_remote(agent, d, cost);
+    case OpClass::kGetVar:
+      return h_getvar(agent, d, cost);
+    case OpClass::kSetVar:
+      return h_setvar(agent, d, cost);
+    case OpClass::kPush:
+      return h_push(agent, d, cost);
+    case OpClass::kUndefined:
+      return h_undefined(agent, d, cost);
+    case OpClass::kTruncated:
+    case OpClass::kCount:
+      break;
+  }
+  return h_truncated(agent, d, cost);
+}
+
+// --------------------------------------------------------------------------
+// Opcode handlers (shared by all front-ends)
+// --------------------------------------------------------------------------
+
+bool VmDispatcher::push_or_die(Agent& agent, const ts::Value& v) {
+  if (!agent.push(v)) {
+    e_.die(agent, "stack overflow");
+    return false;
+  }
+  return true;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_halt(Agent& agent,
+                                              const DecodedInsn& /*d*/,
+                                              sim::SimTime& /*cost*/) {
+  e_.stats_.agents_halted++;
+  e_.trace_agent(agent, "halt");
+  if (e_.hooks_.on_kill) {
+    e_.hooks_.on_kill(agent.id(), "halt");
+  }
+  e_.destroy(agent.id(), true);
+  return StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_loc(Agent& agent,
+                                             const DecodedInsn& d,
+                                             sim::SimTime& cost) {
+  cost += d.precharge;
+  return push_or_die(agent, ts::Value::location(e_.context_.location()))
+             ? StepResult::kContinue
+             : StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_aid(Agent& agent,
+                                             const DecodedInsn& d,
+                                             sim::SimTime& cost) {
+  cost += d.precharge;
+  return push_or_die(agent, ts::Value::agent_id(agent.id().value))
+             ? StepResult::kContinue
+             : StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_rand(Agent& agent,
+                                              const DecodedInsn& d,
+                                              sim::SimTime& cost) {
+  cost += d.precharge;
+  return push_or_die(agent, ts::Value::number(static_cast<std::int16_t>(
+                                e_.sim_.rng().next() & 0xFFFF)))
+             ? StepResult::kContinue
+             : StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_numnbrs(Agent& agent,
+                                                 const DecodedInsn& d,
+                                                 sim::SimTime& cost) {
+  cost += d.precharge;
+  return push_or_die(agent, ts::Value::number(static_cast<std::int16_t>(
+                                e_.context_.num_neighbors())))
+             ? StepResult::kContinue
+             : StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_sense(Agent& agent,
+                                               const DecodedInsn& /*d*/,
+                                               sim::SimTime& cost) {
+  const ts::Value designator = agent.pop();
+  const auto sensor =
+      designator.type() == ts::ValueType::kReadingType
+          ? designator.sensor()
+          : static_cast<sim::SensorType>(designator.as_number());
+  const auto reading = e_.sensors_.read(sensor, e_.sim_.now());
+  cost += e_.options_.costs.sense_cost();
+  if (e_.battery_ != nullptr) {
+    e_.battery_->drain(energy::EnergyComponent::kSense,
+                       e_.cpu_energy_.sense_mj_per_sample);
+  }
+  if (reading.has_value()) {
+    agent.set_condition(1);
+    if (!push_or_die(agent, ts::Value::reading(sensor, *reading))) {
+      return StepResult::kGone;
+    }
+  } else {
+    agent.set_condition(0);
+    if (!push_or_die(agent, ts::Value::reading(sensor, 0))) {
+      return StepResult::kGone;
+    }
+  }
+  return StepResult::kYield;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_sleep(Agent& agent,
+                                               const DecodedInsn& d,
+                                               sim::SimTime& cost) {
+  const std::int16_t ticks = agent.pop().as_number();
+  cost += d.precharge;
+  const sim::SimTime duration =
+      ticks <= 0 ? 0 : static_cast<sim::SimTime>(ticks) * kSleepTick;
+  e_.block_agent(agent, AgentRunState::kSleeping, "sleep");
+  const AgentId id = agent.id();
+  e_.sleep_timers_[id.value] = e_.sim_.schedule_in(duration, [this, id] {
+    e_.sleep_timers_.erase(id.value);
+    Agent* a = e_.agents_.find(id);
+    if (a != nullptr && a->run_state() == AgentRunState::kSleeping) {
+      e_.make_ready(*a);
+    }
+  });
+  e_.trace_agent(agent, "sleep " + std::to_string(ticks) + " ticks");
+  return StepResult::kBlocked;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_putled(Agent& agent,
+                                                const DecodedInsn& d,
+                                                sim::SimTime& cost) {
+  cost += d.precharge;
+  e_.leds_ = static_cast<std::uint8_t>(agent.pop().as_number() & 0x7);
+  e_.trace_agent(agent, "leds=" + std::to_string(e_.leds_));
+  return StepResult::kContinue;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_copy(Agent& agent,
+                                              const DecodedInsn& d,
+                                              sim::SimTime& cost) {
+  cost += d.precharge;
+  if (agent.stack_depth() == 0) {
+    e_.die(agent, "stack underflow (copy)");
+    return StepResult::kGone;
+  }
+  return push_or_die(agent, agent.peek(0)) ? StepResult::kContinue
+                                           : StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_pop(Agent& agent,
+                                             const DecodedInsn& d,
+                                             sim::SimTime& cost) {
+  cost += d.precharge;
+  if (agent.stack_depth() == 0) {
+    e_.die(agent, "stack underflow (pop)");
+    return StepResult::kGone;
+  }
+  agent.pop();
+  return StepResult::kContinue;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_swap(Agent& agent,
+                                              const DecodedInsn& d,
+                                              sim::SimTime& cost) {
+  cost += d.precharge;
+  if (agent.stack_depth() < 2) {
+    e_.die(agent, "stack underflow (swap)");
+    return StepResult::kGone;
+  }
+  const ts::Value a = agent.pop();
+  const ts::Value b = agent.pop();
+  return (agent.push(a) && agent.push(b)) ? StepResult::kContinue
+                                          : StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_wait(Agent& agent,
+                                              const DecodedInsn& d,
+                                              sim::SimTime& cost) {
+  cost += d.precharge;
+  e_.block_agent(agent, AgentRunState::kWaitingRxn, "wait");
+  e_.trace_agent(agent, "wait");
+  return StepResult::kBlocked;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_jumps(Agent& agent,
+                                               const DecodedInsn& d,
+                                               sim::SimTime& cost) {
+  cost += d.precharge;
+  const ts::Value target = agent.pop();
+  agent.set_pc(static_cast<std::uint16_t>(target.as_number()));
+  return StepResult::kContinue;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_depth(Agent& agent,
+                                               const DecodedInsn& d,
+                                               sim::SimTime& cost) {
+  cost += d.precharge;
+  return push_or_die(agent, ts::Value::number(static_cast<std::int16_t>(
+                                agent.stack_depth())))
+             ? StepResult::kContinue
+             : StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_clear(Agent& agent,
+                                               const DecodedInsn& d,
+                                               sim::SimTime& cost) {
+  cost += d.precharge;
+  agent.clear_stack();
+  return StepResult::kContinue;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_cpush(Agent& agent,
+                                               const DecodedInsn& d,
+                                               sim::SimTime& cost) {
+  cost += d.precharge;
+  return push_or_die(agent, ts::Value::number(agent.condition()))
+             ? StepResult::kContinue
+             : StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_arith(Agent& agent,
+                                               const DecodedInsn& d,
+                                               sim::SimTime& cost) {
+  cost += d.precharge;
+  if (agent.stack_depth() < 2) {
+    e_.die(agent, "stack underflow (arithmetic)");
+    return StepResult::kGone;
+  }
+  const ts::Value a = agent.pop();  // top
+  const ts::Value b = agent.pop();  // second
+  std::int16_t result = 0;
+  const std::int16_t av = a.as_number();
+  const std::int16_t bv = b.as_number();
+  switch (static_cast<Opcode>(d.raw)) {
+    case Opcode::kAdd:
+      result = static_cast<std::int16_t>(bv + av);
+      break;
+    case Opcode::kSub:
+      result = static_cast<std::int16_t>(bv - av);
+      break;
+    case Opcode::kAnd:
+      result = static_cast<std::int16_t>(bv & av);
+      break;
+    case Opcode::kOr:
+      result = static_cast<std::int16_t>(bv | av);
+      break;
+    case Opcode::kMul:
+      result = static_cast<std::int16_t>(bv * av);
+      break;
+    case Opcode::kMod:
+      if (av == 0) {
+        e_.die(agent, "mod by zero");
+        return StepResult::kGone;
+      }
+      result = static_cast<std::int16_t>(bv % av);
+      break;
+    case Opcode::kEq:
+      result = values_equal(a, b) ? 1 : 0;
+      break;
+    default:
+      break;
+  }
+  return push_or_die(agent, ts::Value::number(result))
+             ? StepResult::kContinue
+             : StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_not(Agent& agent,
+                                             const DecodedInsn& d,
+                                             sim::SimTime& cost) {
+  cost += d.precharge;
+  const ts::Value v = agent.pop();
+  return push_or_die(agent, ts::Value::number(v.as_number() == 0 ? 1 : 0))
+             ? StepResult::kContinue
+             : StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_incdec(Agent& agent,
+                                                const DecodedInsn& d,
+                                                sim::SimTime& cost) {
+  cost += d.precharge;
+  const std::int16_t v = agent.pop().as_number();
+  const std::int16_t delta =
+      (static_cast<Opcode>(d.raw) == Opcode::kInc) ? 1 : -1;
+  return push_or_die(agent,
+                     ts::Value::number(static_cast<std::int16_t>(v + delta)))
+             ? StepResult::kContinue
+             : StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_migrate(Agent& agent,
+                                                 const DecodedInsn& d,
+                                                 sim::SimTime& cost) {
+  cost += d.precharge;
+  return exec_migration(agent, static_cast<Opcode>(d.raw));
+}
+
+VmDispatcher::StepResult VmDispatcher::h_getnbr(Agent& agent,
+                                                const DecodedInsn& d,
+                                                sim::SimTime& cost) {
+  cost += d.precharge;
+  const std::int16_t index = agent.pop().as_number();
+  const auto loc = index >= 0 ? e_.context_.neighbor_location(
+                                    static_cast<std::size_t>(index))
+                              : std::nullopt;
+  agent.set_condition(loc.has_value() ? 1 : 0);
+  return push_or_die(agent, ts::Value::location(
+                                loc.value_or(e_.context_.location())))
+             ? StepResult::kContinue
+             : StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_randnbr(Agent& agent,
+                                                 const DecodedInsn& d,
+                                                 sim::SimTime& cost) {
+  cost += d.precharge;
+  const auto loc = e_.context_.random_neighbor(e_.sim_.rng());
+  agent.set_condition(loc.has_value() ? 1 : 0);
+  return push_or_die(agent, ts::Value::location(
+                                loc.value_or(e_.context_.location())))
+             ? StepResult::kContinue
+             : StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_compare(Agent& agent,
+                                                 const DecodedInsn& d,
+                                                 sim::SimTime& cost) {
+  cost += d.precharge;
+  if (agent.stack_depth() < 2) {
+    e_.die(agent, "stack underflow (comparison)");
+    return StepResult::kGone;
+  }
+  const ts::Value a = agent.pop();  // top
+  const ts::Value b = agent.pop();  // second
+  bool cond = false;
+  switch (static_cast<Opcode>(d.raw)) {
+    case Opcode::kCeq:
+      cond = values_equal(a, b);
+      break;
+    case Opcode::kClt:
+      cond = a.as_number() < b.as_number();
+      break;
+    case Opcode::kCgt:
+      cond = a.as_number() > b.as_number();
+      break;
+    default:
+      break;
+  }
+  agent.set_condition(cond ? 1 : 0);
+  return StepResult::kContinue;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_rjump(Agent& agent,
+                                               const DecodedInsn& d,
+                                               sim::SimTime& cost) {
+  cost += d.precharge;
+  const auto offset = static_cast<std::int8_t>(d.operand[0]);
+  agent.set_pc(static_cast<std::uint16_t>(agent.pc() + offset));
+  return StepResult::kContinue;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_rjumpc(Agent& agent,
+                                                const DecodedInsn& d,
+                                                sim::SimTime& cost) {
+  cost += d.precharge;
+  if (agent.condition() != 0) {
+    const auto offset = static_cast<std::int8_t>(d.operand[0]);
+    agent.set_pc(static_cast<std::uint16_t>(agent.pc() + offset));
+  }
+  return StepResult::kContinue;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_jump(Agent& agent,
+                                              const DecodedInsn& d,
+                                              sim::SimTime& cost) {
+  cost += d.precharge;
+  agent.set_pc(d.operand[0]);
+  return StepResult::kContinue;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_tuple(Agent& agent,
+                                               const DecodedInsn& d,
+                                               sim::SimTime& cost) {
+  return exec_tuple_op(agent, static_cast<Opcode>(d.raw), cost);
+}
+
+VmDispatcher::StepResult VmDispatcher::h_remote(Agent& agent,
+                                                const DecodedInsn& d,
+                                                sim::SimTime& cost) {
+  cost += d.precharge;
+  return exec_remote(agent, static_cast<Opcode>(d.raw));
+}
+
+VmDispatcher::StepResult VmDispatcher::h_getvar(Agent& agent,
+                                                const DecodedInsn& d,
+                                                sim::SimTime& cost) {
+  cost += d.precharge;
+  return push_or_die(agent, agent.heap(d.slot)) ? StepResult::kContinue
+                                                : StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_setvar(Agent& agent,
+                                                const DecodedInsn& d,
+                                                sim::SimTime& cost) {
+  cost += d.precharge;
+  agent.set_heap(d.slot, agent.pop());
+  return StepResult::kContinue;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_push(Agent& agent,
+                                              const DecodedInsn& d,
+                                              sim::SimTime& cost) {
+  cost += d.precharge;
+  return push_or_die(agent, d.imm) ? StepResult::kContinue
+                                   : StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_undefined(Agent& agent,
+                                                   const DecodedInsn& /*d*/,
+                                                   sim::SimTime& /*cost*/) {
+  e_.die(agent, "undefined opcode");
+  return StepResult::kGone;
+}
+
+VmDispatcher::StepResult VmDispatcher::h_truncated(Agent& agent,
+                                                   const DecodedInsn& /*d*/,
+                                                   sim::SimTime& /*cost*/) {
+  e_.die(agent, "truncated instruction");
+  return StepResult::kGone;
+}
+
+// --------------------------------------------------------------------------
+// Composite instruction groups
+// --------------------------------------------------------------------------
+
+bool VmDispatcher::pop_fields(Agent& agent, std::vector<ts::Value>* out) {
+  const ts::Value count_value = agent.pop();
+  const std::int16_t count = count_value.as_number();
+  if (!count_value.valid() || count < 0 ||
+      count > static_cast<std::int16_t>(Agent::kStackDepth)) {
+    e_.die(agent, "bad field count for tuple operation");
+    return false;
+  }
+  std::vector<ts::Value> reversed;
+  reversed.reserve(static_cast<std::size_t>(count));
+  for (std::int16_t i = 0; i < count; ++i) {
+    ts::Value v = agent.pop();
+    if (!v.valid()) {
+      e_.die(agent, "stack underflow building tuple");
+      return false;
+    }
+    reversed.push_back(std::move(v));
+  }
+  // Popped last-pushed-first; restore push order (field 0 first).
+  out->assign(reversed.rbegin(), reversed.rend());
+  return true;
+}
+
+AgentImage VmDispatcher::make_image(Agent& agent, MigrationOp op,
+                                    sim::Location dest) {
+  AgentImage image;
+  image.agent_id = agent.id().value;
+  image.op = op;
+  image.dest = dest;
+  image.pc = agent.pc();
+  image.condition = agent.condition();
+  image.code = e_.code_pool_.copy_out(agent.code());
+  if (is_strong(op)) {
+    image.stack = agent.stack();
+    image.heap = agent.heap_entries();
+    image.reactions =
+        e_.tuple_space_.reactions().owned_by(agent.id().value);
+  } else {
+    image.weaken();
+  }
+  return image;
+}
+
+VmDispatcher::StepResult VmDispatcher::exec_tuple_op(Agent& agent, Opcode op,
+                                                     sim::SimTime& cost) {
+  auto charge = [&](bool blocking) {
+    cost += e_.options_.costs.instruction_cost(
+        static_cast<std::uint8_t>(op),
+        e_.tuple_space_.store().last_op_bytes_touched(), blocking);
+  };
+
+  switch (op) {
+    case Opcode::kOut: {
+      std::vector<ts::Value> fields;
+      if (!pop_fields(agent, &fields)) {
+        return StepResult::kGone;
+      }
+      ts::Tuple tuple;
+      for (const ts::Value& f : fields) {
+        if (!tuple.add(f)) {
+          e_.die(agent, "field not storable in a tuple (out)");
+          return StepResult::kGone;
+        }
+      }
+      const bool ok = e_.tuple_space_.out(tuple);
+      agent.set_condition(ok ? 1 : 0);
+      charge(false);
+      return StepResult::kContinue;
+    }
+    case Opcode::kInp:
+    case Opcode::kRdp:
+    case Opcode::kIn:
+    case Opcode::kRd:
+    case Opcode::kTCount: {
+      std::vector<ts::Value> fields;
+      if (!pop_fields(agent, &fields)) {
+        return StepResult::kGone;
+      }
+      ts::Template templ;
+      for (const ts::Value& f : fields) {
+        if (!templ.add(f)) {
+          e_.die(agent, "template too large");
+          return StepResult::kGone;
+        }
+      }
+      // Compile once; the probe (and any blocked re-probes) reuse it.
+      ts::CompiledTemplate compiled(templ);
+      if (op == Opcode::kTCount) {
+        const std::size_t n = e_.tuple_space_.tcount(compiled);
+        charge(false);
+        if (!agent.push(ts::Value::number(static_cast<std::int16_t>(n)))) {
+          e_.die(agent, "stack overflow (tcount)");
+          return StepResult::kGone;
+        }
+        return StepResult::kContinue;
+      }
+      const bool removes = (op == Opcode::kInp || op == Opcode::kIn);
+      const bool blocking = (op == Opcode::kIn || op == Opcode::kRd);
+      const auto result = removes ? e_.tuple_space_.inp(compiled)
+                                  : e_.tuple_space_.rdp(compiled);
+      charge(blocking);
+      if (result.has_value()) {
+        bool ok = true;
+        for (std::size_t i = result->arity(); i-- > 0;) {
+          ok = ok && agent.push(result->field(i));
+        }
+        if (!ok) {
+          e_.die(agent, "stack overflow pushing tuple result");
+          return StepResult::kGone;
+        }
+        agent.set_condition(1);
+        return StepResult::kContinue;
+      }
+      if (!blocking) {
+        agent.set_condition(0);
+        return StepResult::kContinue;
+      }
+      // Blocking probe failed: park the agent until an insertion.
+      agent.set_blocked_probe(
+          Agent::BlockedProbe{std::move(compiled), removes});
+      e_.block_agent(agent, AgentRunState::kBlockedTs, "tuple");
+      return StepResult::kBlocked;
+    }
+    case Opcode::kRegRxn: {
+      const ts::Value handler = agent.pop();
+      if (!handler.valid()) {
+        e_.die(agent, "stack underflow (regrxn handler)");
+        return StepResult::kGone;
+      }
+      std::vector<ts::Value> fields;
+      if (!pop_fields(agent, &fields)) {
+        return StepResult::kGone;
+      }
+      if (fields.size() > kMaxReactionTemplateFields) {
+        e_.die(agent, "reaction template exceeds 4 fields");
+        return StepResult::kGone;
+      }
+      ts::Reaction reaction;
+      reaction.agent_id = agent.id().value;
+      reaction.handler_pc = static_cast<std::uint16_t>(handler.as_number());
+      for (const ts::Value& f : fields) {
+        reaction.templ.add(f);
+      }
+      const bool ok = e_.tuple_space_.register_reaction(std::move(reaction));
+      agent.set_condition(ok ? 1 : 0);
+      cost += e_.options_.costs.instruction_cost(
+          static_cast<std::uint8_t>(op), 0, false);
+      return StepResult::kContinue;
+    }
+    case Opcode::kDeregRxn: {
+      std::vector<ts::Value> fields;
+      if (!pop_fields(agent, &fields)) {
+        return StepResult::kGone;
+      }
+      ts::Template templ;
+      for (const ts::Value& f : fields) {
+        templ.add(f);
+      }
+      const bool ok =
+          e_.tuple_space_.deregister_reaction(agent.id().value, templ);
+      agent.set_condition(ok ? 1 : 0);
+      cost += e_.options_.costs.instruction_cost(
+          static_cast<std::uint8_t>(op), 0, false);
+      return StepResult::kContinue;
+    }
+    default:
+      e_.die(agent, "internal: not a tuple op");
+      return StepResult::kGone;
+  }
+}
+
+VmDispatcher::StepResult VmDispatcher::exec_migration(Agent& agent,
+                                                      Opcode op) {
+  const ts::Value dest_value = agent.pop();
+  if (dest_value.type() != ts::ValueType::kLocation) {
+    e_.die(agent, "migration destination is not a location");
+    return StepResult::kGone;
+  }
+  const sim::Location dest = dest_value.as_location();
+  MigrationOp mop = MigrationOp::kSMove;
+  switch (op) {
+    case Opcode::kSMove:
+      mop = MigrationOp::kSMove;
+      break;
+    case Opcode::kWMove:
+      mop = MigrationOp::kWMove;
+      break;
+    case Opcode::kSClone:
+      mop = MigrationOp::kSClone;
+      break;
+    case Opcode::kWClone:
+      mop = MigrationOp::kWClone;
+      break;
+    default:
+      e_.die(agent, "internal: not a migration op");
+      return StepResult::kGone;
+  }
+
+  // Destination is this node: moves are no-ops, clones fork locally.
+  if (within(e_.context_.location(), dest, e_.options_.epsilon)) {
+    if (is_clone(mop)) {
+      AgentImage image = make_image(agent, mop, dest);
+      image.agent_id = e_.agents_.next_id().value;
+      e_.install(std::move(image), true);
+      agent.set_condition(2);
+    } else {
+      agent.set_condition(1);
+    }
+    return StepResult::kYield;
+  }
+
+  e_.stats_.migrations_started++;
+  if (e_.hooks_.on_migrate) {
+    e_.hooks_.on_migrate(agent.id(), dest);
+  }
+  AgentImage image = make_image(agent, mop, dest);
+  if (is_clone(mop)) {
+    image.agent_id = e_.agents_.next_id().value;
+  }
+  e_.block_agent(agent, AgentRunState::kBlockedOp, "migrate");
+  const AgentId id = agent.id();
+  e_.trace_agent(agent, std::string(to_string(mop)) + " ->");
+  e_.migration_.send(std::move(image), [this, id, mop](bool success) {
+    Agent* a = e_.agents_.find(id);
+    if (a == nullptr) {
+      return;
+    }
+    if (is_clone(mop)) {
+      if (success) {
+        a->set_condition(2);
+      } else {
+        e_.stats_.migrations_failed++;
+        a->set_condition(0);
+      }
+      e_.make_ready(*a);
+      return;
+    }
+    // Moves: on success the agent now lives on the next hop.
+    if (success) {
+      if (e_.hooks_.on_kill) {
+        e_.hooks_.on_kill(id, "migrated");
+      }
+      e_.destroy(id, /*drop_reactions=*/true);
+      return;
+    }
+    e_.stats_.migrations_failed++;
+    a->set_condition(0);
+    e_.make_ready(*a);
+  });
+  return StepResult::kBlocked;
+}
+
+VmDispatcher::StepResult VmDispatcher::exec_remote(Agent& agent, Opcode op) {
+  const ts::Value dest_value = agent.pop();
+  if (dest_value.type() != ts::ValueType::kLocation) {
+    e_.die(agent, "remote op destination is not a location");
+    return StepResult::kGone;
+  }
+  const sim::Location dest = dest_value.as_location();
+  std::vector<ts::Value> fields;
+  if (!pop_fields(agent, &fields)) {
+    return StepResult::kGone;
+  }
+
+  e_.stats_.remote_ops++;
+  e_.block_agent(agent, AgentRunState::kBlockedOp, "remote");
+  const AgentId id = agent.id();
+  auto completion = [this, id](bool success,
+                               std::optional<ts::Tuple> result) {
+    Agent* a = e_.agents_.find(id);
+    if (a == nullptr) {
+      return;
+    }
+    if (success && result.has_value()) {
+      bool ok = true;
+      for (std::size_t i = result->arity(); i-- > 0;) {
+        ok = ok && a->push(result->field(i));
+      }
+      if (!ok) {
+        e_.die(*a, "stack overflow pushing remote result");
+        return;
+      }
+    }
+    a->set_condition(success ? 1 : 0);
+    e_.make_ready(*a);
+  };
+
+  if (op == Opcode::kROut) {
+    ts::Tuple tuple;
+    for (const ts::Value& f : fields) {
+      if (!tuple.add(f)) {
+        e_.die(agent, "field not storable in a tuple (rout)");
+        return StepResult::kGone;
+      }
+    }
+    e_.remote_ts_.request_out(dest, tuple, std::move(completion));
+  } else {
+    ts::Template templ;
+    for (const ts::Value& f : fields) {
+      if (!templ.add(f)) {
+        e_.die(agent, "template too large (remote probe)");
+        return StepResult::kGone;
+      }
+    }
+    e_.remote_ts_.request_probe(
+        op == Opcode::kRInp ? RemoteOp::kInp : RemoteOp::kRdp, dest, templ,
+        std::move(completion));
+  }
+  return StepResult::kBlocked;
+}
+
+}  // namespace agilla::core

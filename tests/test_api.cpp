@@ -183,6 +183,40 @@ TEST(EventBus, ObservesAgentTupleFrameAndMigrationEvents) {
   EXPECT_EQ(net->agent_count(), 0u);
 }
 
+TEST(EventBus, ObservesAgentBlockAndResume) {
+  struct BlockLog : Observer {
+    std::vector<std::string> reasons;
+    std::uint64_t resumes = 0;
+    void on_agent_block(const AgentBlockEvent& event) override {
+      reasons.emplace_back(event.reason);
+    }
+    void on_agent_resume(const AgentResumeEvent&) override { ++resumes; }
+  };
+  BlockLog log;
+  auto net = SimulationBuilder()
+                 .grid(1, 1)
+                 .seed(5)
+                 .packet_loss(0.0)
+                 .observe(log)
+                 .build();
+  log.reasons.clear();
+  log.resumes = 0;
+
+  // sleep blocks and the timer resumes; the blocking in blocks until the
+  // second agent's out resumes it.
+  net->mote(0).inject(core::assemble_or_die(
+      "pushc 2\nsleep\npusht NUMBER\npushc 1\nin\nhalt\n"));
+  net->run_for(2 * sim::kSecond);
+  ASSERT_EQ(log.reasons, (std::vector<std::string>{"sleep", "tuple"}));
+  EXPECT_EQ(log.resumes, 1u) << "sleep timer fired; in still parked";
+
+  net->mote(0).inject(core::assemble_or_die(
+      "pushc 9\npushc 1\nout\nhalt\n"));
+  net->run_for(2 * sim::kSecond);
+  EXPECT_EQ(log.resumes, 2u) << "matching out resumed the blocked in";
+  EXPECT_EQ(net->agent_count(), 0u);
+}
+
 TEST(EventBus, DispatchFollowsSubscriptionOrder) {
   struct Tagger : Observer {
     std::vector<int>* log;
@@ -353,6 +387,8 @@ harness::TrialMetrics run_observer_probe(const harness::TrialSpec& trial) {
   metrics.set("obs_frames_tx", static_cast<double>(counter.frames_tx));
   metrics.set("obs_frames_rx", static_cast<double>(counter.frames_rx));
   metrics.set("obs_beacons", static_cast<double>(counter.beacons));
+  metrics.set("obs_blocks", static_cast<double>(counter.agent_blocks));
+  metrics.set("obs_resumes", static_cast<double>(counter.agent_resumes));
   metrics.set("obs_tuple_ops", static_cast<double>(counter.tuple_ops));
   metrics.set("success", counter.agent_spawns > 0 ? 1.0 : 0.0);
   return metrics;
