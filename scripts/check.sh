@@ -75,3 +75,18 @@ routing_sweep 1 build/routing_t1.json
 routing_sweep 8 build/routing_t8.json
 cmp build/routing_t1.json build/routing_t8.json
 echo "routing sweep byte-identical across thread counts"
+
+echo "== sharded-engine determinism (shards 1 vs 4) =="
+shard_sweep() {  # $1 = sim_shards, $2 = out file
+  ./build/agilla_sim --scenario fire_tracking --grid 16x16 --trials 2 \
+    --duration 30 --threads 1 --param sim_shards="$1" \
+    --out "$2" > /dev/null
+}
+shard_sweep 1 build/shards_1.json
+shard_sweep 4 build/shards_4.json
+# The echoed sim_shards param is the one intended difference.
+sed '/"sim_shards":/d' build/shards_1.json > build/shards_1_norm.json
+sed '/"sim_shards":/d' build/shards_4.json > build/shards_4_norm.json
+cmp build/shards_1_norm.json build/shards_4_norm.json
+./build/bench_scale --smoke > /dev/null
+echo "fire_tracking sweep byte-identical across shard counts"

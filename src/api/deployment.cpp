@@ -1,6 +1,8 @@
 #include "api/deployment.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <tuple>
 
 #include "api/knob_registry.h"
 #include "sim/radio_model.h"
@@ -26,6 +28,18 @@ Deployment::Deployment(DeploymentOptions options,
                                         ? core::DispatchMode::kSwitch
                                         : core::DispatchMode::kThreaded;
   topology_ = sim::make_grid(network_, options_.width, options_.height);
+
+  // Shard the event engine while the world is still inert: every node
+  // exists, no node-affine event is scheduled yet. The EventBus contract
+  // (subscription-order dispatch on one thread) cannot hold when taps
+  // fire from shard workers, so observers and sharding are exclusive.
+  if (options_.sim_shards > 1 && !observers.empty()) {
+    throw std::invalid_argument(
+        "sim_shards > 1 is incompatible with bus observers");
+  }
+  network_.configure_shards(options_.sim_shards);
+  shard_deaths_.resize(simulator_.shard_count());
+  shard_reboots_.assign(simulator_.shard_count(), 0);
 
   // Routing policy (the route_policy / energy_weight knobs).
   options_.config.routing.policy =
@@ -78,13 +92,14 @@ Deployment::Deployment(DeploymentOptions options,
   // bus re-publishes both transitions to subscribers.
   network_.set_node_down_handler(
       [this](sim::NodeId id, sim::NodeDownReason reason) {
-        death_log_.push_back(DeathEvent{id, simulator_.now(), reason});
+        shard_deaths_[simulator_.shard_of(id)].push_back(
+            DeathEvent{id, simulator_.now(), reason});
         motes_.at(id.value)->power_down();
         bus_.publish_node_down(
             NodeLifecycleEvent{simulator_.now(), id, reason});
       });
   network_.set_node_up_handler([this](sim::NodeId id) {
-    ++reboots_;
+    ++shard_reboots_[simulator_.shard_of(id)];
     motes_.at(id.value)->power_up();
     bus_.publish_node_up(NodeLifecycleEvent{simulator_.now(), id, {}});
   });
@@ -202,6 +217,30 @@ std::size_t Deployment::agent_count() const {
     count += mote->agents().count();
   }
   return count;
+}
+
+std::vector<Deployment::DeathEvent> Deployment::death_log() const {
+  std::vector<DeathEvent> merged;
+  for (const auto& shard : shard_deaths_) {
+    merged.insert(merged.end(), shard.begin(), shard.end());
+  }
+  // (time, node) is exactly the serial emission order: same-time deaths
+  // execute in stream order (= node order), and a settle tick kills in
+  // node order — so the merge is shard-count invariant.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const DeathEvent& a, const DeathEvent& b) {
+                     return std::tie(a.at, a.node.value) <
+                            std::tie(b.at, b.node.value);
+                   });
+  return merged;
+}
+
+std::size_t Deployment::reboot_count() const {
+  std::size_t total = 0;
+  for (const std::size_t count : shard_reboots_) {
+    total += count;
+  }
+  return total;
 }
 
 double Deployment::total_drained_mj(energy::EnergyComponent component) {

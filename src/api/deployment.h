@@ -78,6 +78,14 @@ struct DeploymentOptions {
   /// reference switch interpreter, 1 = pre-decoded threaded dispatch.
   /// Simulated behaviour is byte-identical; only host speed differs.
   int vm_dispatch = 1;
+  /// Spatial shards of the event engine (registry knob sim_shards): the
+  /// mesh is split into contiguous x-strips, each drained by its own
+  /// worker inside conservative lookahead epochs. 1 = the exact serial
+  /// loop; any K produces byte-identical results (DESIGN.md "Sharded
+  /// event engine"). Only host speed differs. Incompatible with bus
+  /// observers (the EventBus is not thread-safe): Deployment throws if
+  /// both are requested.
+  std::size_t sim_shards = 1;
 };
 
 /// A fully composed Agilla mesh: the unit every workload runs against,
@@ -148,11 +156,12 @@ class Deployment {
     sim::NodeDownReason reason = sim::NodeDownReason::kBatteryDepleted;
   };
 
-  /// Node deaths in event order (battery + churn), across the whole run.
-  [[nodiscard]] const std::vector<DeathEvent>& death_log() const {
-    return death_log_;
-  }
-  [[nodiscard]] std::size_t reboot_count() const { return reboots_; }
+  /// Node deaths (battery + churn) across the whole run, ordered by
+  /// (time, node) — the order the serial engine emits them. Recorded per
+  /// shard (handlers fire on shard workers under sim_shards > 1) and
+  /// merged here; call between run() calls.
+  [[nodiscard]] std::vector<DeathEvent> death_log() const;
+  [[nodiscard]] std::size_t reboot_count() const;
 
   /// Network-wide drain for one ledger component, batteries settled to
   /// now() first. 0 when energy is disabled.
@@ -168,8 +177,10 @@ class Deployment {
   sim::Topology topology_;
   EventBus bus_;
   std::vector<std::unique_ptr<core::AgillaMiddleware>> motes_;
-  std::vector<DeathEvent> death_log_;
-  std::size_t reboots_ = 0;
+  /// One lifecycle log per shard: node-down/up handlers run in the dying
+  /// node's shard context, so each worker appends only to its own slot.
+  std::vector<std::vector<DeathEvent>> shard_deaths_;
+  std::vector<std::size_t> shard_reboots_;
 };
 
 /// Fluent assembly of a Deployment. Typed setters for the structural

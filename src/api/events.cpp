@@ -37,6 +37,13 @@ std::size_t EventBus::observer_count() const {
 
 template <typename Fn>
 void EventBus::dispatch(Fn&& deliver) {
+  if (observers_.empty()) {
+    // Zero-subscriber publishes also arrive concurrently from shard
+    // worker threads (Deployment rejects observers when sim_shards > 1,
+    // so the list is immutable-empty there); the reentrancy bookkeeping
+    // below must not run on that path.
+    return;
+  }
   ++dispatch_depth_;
   for (std::size_t i = 0; i < observers_.size(); ++i) {
     if (Observer* observer = observers_[i]) {

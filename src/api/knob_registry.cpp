@@ -187,6 +187,17 @@ std::vector<KnobInfo> build_registry() {
       [](const DeploymentOptions& o) {
         return static_cast<double>(o.vm_dispatch);
       }));
+  knobs.push_back(shared_knob(
+      "sim_shards", KnobType::kInt, "shards", 1.0, 1.0, 256.0, false,
+      "spatial shards of the event engine, each drained by its own "
+      "worker thread (DESIGN.md Sharded event engine); results are "
+      "byte-identical for any value, only host speed differs",
+      [](DeploymentOptions& o, double v) {
+        o.sim_shards = static_cast<std::size_t>(v);
+      },
+      [](const DeploymentOptions& o) {
+        return static_cast<double>(o.sim_shards);
+      }));
   return knobs;
 }
 

@@ -182,7 +182,9 @@ void AgillaEngine::schedule_tick(sim::SimTime delay) {
     return;
   }
   tick_scheduled_ = true;
-  sim_.schedule_in(delay, [this] {
+  // Explicit affinity: ticks are also scheduled from kernel context
+  // (agent injection, reboot reseeding) and must run in this node's shard.
+  sim_.schedule_in(delay, node_, [this] {
     tick_scheduled_ = false;
     tick();
   });

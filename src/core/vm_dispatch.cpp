@@ -602,8 +602,9 @@ VmDispatcher::StepResult VmDispatcher::h_rand(Agent& agent,
                                               const DecodedInsn& d,
                                               sim::SimTime& cost) {
   cost += d.precharge;
-  return push_or_die(agent, ts::Value::number(static_cast<std::int16_t>(
-                                e_.sim_.rng().next() & 0xFFFF)))
+  return push_or_die(agent,
+                     ts::Value::number(static_cast<std::int16_t>(
+                         e_.sim_.node_rng(e_.node_).next() & 0xFFFF)))
              ? StepResult::kContinue
              : StepResult::kGone;
 }
@@ -854,7 +855,7 @@ VmDispatcher::StepResult VmDispatcher::h_randnbr(Agent& agent,
                                                  const DecodedInsn& d,
                                                  sim::SimTime& cost) {
   cost += d.precharge;
-  const auto loc = e_.context_.random_neighbor(e_.sim_.rng());
+  const auto loc = e_.context_.random_neighbor(e_.sim_.node_rng(e_.node_));
   agent.set_condition(loc.has_value() ? 1 : 0);
   return push_or_die(agent, ts::Value::location(
                                 loc.value_or(e_.context_.location())))

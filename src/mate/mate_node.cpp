@@ -28,8 +28,9 @@ void MateNode::start() {
   running_ = true;
   link_.attach();
   const sim::SimTime offset =
-      network_.simulator().rng().uniform(options_.clock_period);
-  clock_ = network_.simulator().schedule_in(offset, [this] { run_clock(); });
+      network_.simulator().node_rng(self_).uniform(options_.clock_period);
+  clock_ = network_.simulator().schedule_in(offset, self_,
+                                            [this] { run_clock(); });
 }
 
 void MateNode::install(const Capsule& capsule) {
@@ -67,7 +68,8 @@ void MateNode::run_clock() {
     host.forw = [this] { broadcast_capsules(); };
     host.set_leds = [this](std::uint8_t v) { leds_ = v; };
     host.rand = [this] {
-      return static_cast<std::uint16_t>(network_.simulator().rng().next());
+      return static_cast<std::uint16_t>(
+          network_.simulator().node_rng(self_).next());
     };
     host.sense = [this]() -> std::int16_t {
       if (environment_ == nullptr) {
@@ -84,7 +86,7 @@ void MateNode::run_clock() {
       stats_.vm_errors++;
     }
   }
-  clock_ = network_.simulator().schedule_in(options_.clock_period,
+  clock_ = network_.simulator().schedule_in(options_.clock_period, self_,
                                             [this] { run_clock(); });
 }
 

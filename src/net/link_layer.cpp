@@ -80,7 +80,7 @@ void LinkLayer::transmit(std::uint8_t seq) {
   }
   send_frame(p.dst, p.am, p.payload);
   p.timer = network_.simulator().schedule_in(
-      options_.ack_timeout, [this, seq] { on_timeout(seq); });
+      options_.ack_timeout, self_, [this, seq] { on_timeout(seq); });
 }
 
 void LinkLayer::on_timeout(std::uint8_t seq) {
@@ -118,8 +118,8 @@ void LinkLayer::send_ack(sim::NodeId to, std::uint8_t seq) {
 
 bool* LinkLayer::find_duplicate(sim::NodeId from, std::uint8_t seq,
                                 bool acked) {
-  const std::uint32_t key =
-      (static_cast<std::uint32_t>(from.value) << 8) | seq;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(from.value) << 8) | seq;
   const sim::SimTime now = network_.simulator().now();
   const auto it =
       std::find_if(dedup_.begin(), dedup_.end(),

@@ -128,7 +128,7 @@ class LinkLayer {
   Options options_;
   sim::Trace* trace_;
   struct DedupEntry {
-    std::uint32_t key = 0;  // (src << 8) | seq
+    std::uint64_t key = 0;  // (src << 8) | seq
     bool acked = false;
     sim::SimTime seen_at = 0;
   };

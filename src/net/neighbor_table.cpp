@@ -32,10 +32,14 @@ void NeighborTable::start() {
   }
   running_ = true;
   backoff_exp_ = 0;
+  // Our own stream for the desync offset, our own affinity for the timer:
+  // start() is called from setup or reboot (kernel context), and beacon
+  // events must run in this node's shard.
   const sim::SimTime offset =
-      network_.simulator().rng().uniform(options_.beacon_period);
+      network_.simulator().node_rng(link_.self()).uniform(
+          options_.beacon_period);
   beacon_timer_ = network_.simulator().schedule_in(
-      offset, [this] { send_beacon(); });
+      offset, link_.self(), [this] { send_beacon(); });
   if (options_.suppression) {
     // Backed-off beacons check for expiry too rarely: sweep on the base
     // cadence so a silenced-then-dead neighbour is still evicted after
@@ -52,7 +56,7 @@ void NeighborTable::stop() {
 
 void NeighborTable::schedule_expiry_sweep() {
   expiry_timer_ = network_.simulator().schedule_in(
-      options_.beacon_period, [this] {
+      options_.beacon_period, link_.self(), [this] {
         if (!running_) {
           return;
         }
@@ -105,7 +109,7 @@ void NeighborTable::send_beacon() {
                      payload_for(state));
   expire();
   beacon_timer_ = network_.simulator().schedule_in(
-      current_beacon_interval(), [this] { send_beacon(); });
+      current_beacon_interval(), link_.self(), [this] { send_beacon(); });
 }
 
 std::vector<std::uint8_t> NeighborTable::payload_for(

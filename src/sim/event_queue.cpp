@@ -1,50 +1,103 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace agilla::sim {
 
 void EventHandle::cancel() {
-  if (alive_) {
-    *alive_ = false;
+  if (queue_ != nullptr) {
+    queue_->cancel_slot(slot_, generation_);
   }
 }
 
-bool EventHandle::pending() const { return alive_ && *alive_; }
+bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->slot_pending(slot_, generation_);
+}
 
 EventHandle EventQueue::schedule(SimTime at, Callback cb) {
-  auto alive = std::make_shared<bool>(true);
-  heap_.push(Entry{at, next_seq_++, std::move(cb), alive});
-  return EventHandle(std::move(alive));
+  return schedule(EventKey{at, kKernelStream, local_seq_++}, kKernelStream,
+                  std::move(cb));
 }
 
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && !*heap_.top().alive) {
-    heap_.pop();
+EventHandle EventQueue::schedule(EventKey key, StreamId target, Callback cb) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
   }
+  Slot& s = slots_[slot];
+  s.callback = std::move(cb);
+  s.target = target;
+  s.live = true;
+  heap_.push_back(HeapEntry{key, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return EventHandle(this, slot, s.generation);
 }
 
-bool EventQueue::empty() const {
-  drop_cancelled();
-  return heap_.empty();
+void EventQueue::cancel_slot(std::uint32_t slot, std::uint32_t generation) {
+  if (slot >= slots_.size()) {
+    return;
+  }
+  Slot& s = slots_[slot];
+  if (s.generation != generation || !s.live) {
+    return;
+  }
+  // Release the closure eagerly; the heap entry stays until it surfaces,
+  // at which point the slot is recycled.
+  s.live = false;
+  s.callback = nullptr;
+  assert(live_ > 0);
+  --live_;
+}
+
+bool EventQueue::slot_pending(std::uint32_t slot,
+                              std::uint32_t generation) const {
+  return slot < slots_.size() && slots_[slot].generation == generation &&
+         slots_[slot].live;
+}
+
+void EventQueue::prune_dead_head() const {
+  while (!heap_.empty() && !slots_[heap_.front().slot].live) {
+    const std::uint32_t slot = heap_.front().slot;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    slots_[slot].generation++;
+    free_slots_.push_back(slot);
+  }
 }
 
 SimTime EventQueue::next_time() const {
-  drop_cancelled();
+  prune_dead_head();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().key.time;
+}
+
+const EventKey* EventQueue::peek_key() const {
+  prune_dead_head();
+  return heap_.empty() ? nullptr : &heap_.front().key;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled();
+  prune_dead_head();
   assert(!heap_.empty());
-  // priority_queue::top() is const&; the callback must be moved out, so we
-  // cast away constness of the popped entry (safe: we pop immediately).
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.time, std::move(top.callback)};
-  *top.alive = false;
-  heap_.pop();
+  const HeapEntry head = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+  Slot& s = slots_[head.slot];
+  assert(s.live);
+  Fired fired{head.key.time, head.key, s.target, std::move(s.callback)};
+  s.callback = nullptr;
+  s.live = false;
+  s.generation++;
+  free_slots_.push_back(head.slot);
+  assert(live_ > 0);
+  --live_;
   return fired;
 }
 

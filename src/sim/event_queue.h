@@ -1,86 +1,146 @@
 // The discrete-event core: a time-ordered queue of callbacks.
 //
-// Ties at the same timestamp are broken by insertion order (a monotone
-// sequence number), which keeps runs deterministic regardless of heap
-// internals.
+// Events are ordered by an intrinsic key (time, stream, seq): the stream is
+// the logical context the event was scheduled FROM (kernel = 0, node n =
+// n + 1) and seq is that stream's schedule counter at scheduling time. The
+// key is a property of the event itself, not of which queue or thread it
+// happens to sit in — this is what lets the sharded simulator (see
+// sim/simulator.h) merge cross-shard events at epoch barriers and still
+// execute in exactly the order a serial run would.
+//
+// Storage is a slab: entries live in a recycled slot pool addressed by a
+// small binary heap of (key, slot) pairs, and EventHandles carry a
+// (slot, generation) pair instead of a heap-allocated alive flag. A
+// cancelled handle whose slot has been recycled simply sees a stale
+// generation and becomes inert. Scheduling a small-capture callback costs
+// zero heap allocations once the pools are warm.
 #pragma once
 
+#include <compare>
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/types.h"
 
 namespace agilla::sim {
 
-/// Handle for cancelling a scheduled event. Cancellation is lazy: the event
-/// stays in the heap but is skipped when popped.
+/// Logical event stream: the ordering (and RNG) context of an event.
+/// Stream 0 is the kernel (setup code, the main thread between runs, and
+/// global events like the battery settle tick); node n uses stream n + 1.
+using StreamId = std::uint32_t;
+
+inline constexpr StreamId kKernelStream = 0;
+
+[[nodiscard]] constexpr StreamId stream_of(NodeId id) {
+  return static_cast<StreamId>(id.value) + 1;
+}
+
+/// Total order over events. Scheduled-from context and per-stream sequence
+/// break timestamp ties, so the order is independent of heap internals,
+/// shard count, and thread arrival.
+struct EventKey {
+  SimTime time = 0;
+  StreamId stream = kKernelStream;
+  std::uint64_t seq = 0;
+
+  friend constexpr auto operator<=>(const EventKey&,
+                                    const EventKey&) = default;
+};
+
+class EventQueue;
+
+/// Handle for cancelling a scheduled event. Internally (queue, slot,
+/// generation): when the slot is recycled after the event fires or is
+/// cancelled, the generation no longer matches and the handle is inert.
+/// Handles must not outlive their queue.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Cancel the event if it has not fired yet. Safe to call repeatedly and
-  /// after the event fired.
+  /// after the event fired (even if the slot has been reused since).
   void cancel();
 
   [[nodiscard]] bool pending() const;
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint32_t generation)
+      : queue_(queue), slot_(slot), generation_(generation) {}
 
-  std::shared_ptr<bool> alive_;
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  /// Schedule `cb` at absolute time `at`. `at` may equal the current head
-  /// time; events never run before already-queued events with earlier times.
+  /// Schedule `cb` at absolute time `at` on the kernel stream with a
+  /// queue-local sequence (the standalone-queue API used by tests; the
+  /// simulator always supplies full keys). Ties at the same timestamp
+  /// break by insertion order.
   EventHandle schedule(SimTime at, Callback cb);
 
-  [[nodiscard]] bool empty() const;
+  /// Schedule `cb` with an explicit ordering key, to be executed in the
+  /// context of `target` (the stream whose state/RNG the callback may
+  /// touch). Keys must be unique per queue.
+  EventHandle schedule(EventKey key, StreamId target, Callback cb);
 
-  /// Number of queued entries. May overcount by events that were cancelled
-  /// but not yet lazily removed from the middle of the heap.
-  [[nodiscard]] std::size_t size() const {
-    drop_cancelled();
-    return heap_.size();
-  }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of live (scheduled, not cancelled, not fired) events — exact,
+  /// including events cancelled in the middle of the heap.
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the next live event. Queue must not be empty.
   [[nodiscard]] SimTime next_time() const;
 
+  /// Key of the next live event, or nullptr when empty. The pointer is
+  /// valid until the next schedule/pop/cancel.
+  [[nodiscard]] const EventKey* peek_key() const;
+
   /// Pop and return the next live event. Queue must not be empty.
   struct Fired {
     SimTime time = 0;
+    EventKey key;
+    StreamId target = kKernelStream;
     Callback callback;
   };
   Fired pop();
 
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;
+  friend class EventHandle;
+
+  struct Slot {
     Callback callback;
-    std::shared_ptr<bool> alive;
+    StreamId target = kKernelStream;
+    std::uint32_t generation = 0;
+    bool live = false;
+  };
+  struct HeapEntry {
+    EventKey key;
+    std::uint32_t slot = 0;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.seq > b.seq;
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      return b.key < a.key;  // min-heap on key
     }
   };
 
-  void drop_cancelled() const;
+  void cancel_slot(std::uint32_t slot, std::uint32_t generation);
+  [[nodiscard]] bool slot_pending(std::uint32_t slot,
+                                  std::uint32_t generation) const;
+  /// Drops heap entries whose slot was cancelled, recycling the slots.
+  void prune_dead_head() const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::uint64_t next_seq_ = 0;
+  mutable std::vector<HeapEntry> heap_;
+  mutable std::vector<Slot> slots_;
+  mutable std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
+  std::uint64_t local_seq_ = 0;
 };
 
 }  // namespace agilla::sim

@@ -1,5 +1,6 @@
 #include "sim/network.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <utility>
@@ -13,6 +14,11 @@ SimTime exponential_delay(Rng& rng, double rate_per_s) {
   const double u = std::max(rng.uniform01(), 1e-12);
   const double seconds = -std::log(u) / rate_per_s;
   return static_cast<SimTime>(seconds * 1e6) + 1;
+}
+
+std::uint64_t cell_key(std::int32_t cx, std::int32_t cy) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint32_t>(cy);
 }
 
 }  // namespace
@@ -35,10 +41,12 @@ Network::Network(Simulator& sim, std::unique_ptr<RadioModel> radio,
 }
 
 NodeId Network::add_node(Location loc) {
-  const NodeId id{static_cast<std::uint16_t>(nodes_.size())};
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
   NodeState node;
   node.info = NodeInfo{id, loc, true};
   nodes_.push_back(std::move(node));
+  sim_.ensure_node_streams(nodes_.size());
+  index_dirty_ = true;
   return id;
 }
 
@@ -60,6 +68,103 @@ void Network::set_radio_enabled(NodeId id, bool enabled) {
   node.info.radio_enabled = enabled;
   if (enabled) {
     try_start_tx(node);
+  }
+}
+
+// ------------------------------------------------------------- sharding
+
+void Network::configure_shards(std::size_t shards) {
+  shards = std::max<std::size_t>(shards, 1);
+  shards = std::min(shards, std::max<std::size_t>(nodes_.size(), 1));
+  // Contiguous x-strips: radio range is short, so strip borders are the
+  // only cross-shard traffic, and a uniform grid splits evenly.
+  double min_x = 0.0;
+  double max_x = 0.0;
+  if (!nodes_.empty()) {
+    min_x = max_x = nodes_.front().info.location.x;
+    for (const NodeState& node : nodes_) {
+      min_x = std::min(min_x, node.info.location.x);
+      max_x = std::max(max_x, node.info.location.x);
+    }
+  }
+  const double span = max_x - min_x;
+  std::vector<std::uint32_t> map(nodes_.size(), 0);
+  if (span > 0.0 && shards > 1) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const double frac = (nodes_[i].info.location.x - min_x) / span;
+      const auto shard = static_cast<std::uint32_t>(
+          frac * static_cast<double>(shards));
+      map[i] = std::min(shard, static_cast<std::uint32_t>(shards - 1));
+    }
+  }
+  sim_.configure_shards(shards, std::move(map), min_frame_latency());
+  shard_stats_.assign(sim_.shard_count(), NetworkStats{});
+  rebuild_index();
+}
+
+NetworkStats& Network::stats_for(NodeId id) {
+  if (shard_stats_.size() == 1) {
+    return shard_stats_.front();
+  }
+  return shard_stats_[sim_.shard_of(id)];
+}
+
+NetworkStats Network::stats() const {
+  NetworkStats total;
+  for (const NetworkStats& shard : shard_stats_) {
+    total.frames_sent += shard.frames_sent;
+    total.frames_delivered += shard.frames_delivered;
+    total.frames_lost += shard.frames_lost;
+    total.frames_unreachable += shard.frames_unreachable;
+    total.bytes_on_air += shard.bytes_on_air;
+    total.node_deaths += shard.node_deaths;
+    total.node_reboots += shard.node_reboots;
+    for (const auto& [am, count] : shard.sent_by_type) {
+      total.sent_by_type[am] += count;
+    }
+  }
+  return total;
+}
+
+// ------------------------------------------- spatial neighbour index
+
+void Network::rebuild_index() const {
+  index_.clear();
+  index_cell_ = std::max(radio_->max_range(), 1e-9);
+  for (const NodeState& node : nodes_) {
+    const auto cx = static_cast<std::int32_t>(
+        std::floor(node.info.location.x / index_cell_));
+    const auto cy = static_cast<std::int32_t>(
+        std::floor(node.info.location.y / index_cell_));
+    index_[cell_key(cx, cy)].push_back(node.info.id);
+  }
+  index_dirty_ = false;
+}
+
+void Network::for_each_in_range(
+    const NodeInfo& from,
+    const std::function<void(const NodeState&)>& fn) const {
+  if (index_dirty_) {
+    // Lazy rebuilds happen only in serial contexts (unit tests adding
+    // nodes ad hoc); sharded deployments build eagerly in
+    // configure_shards before any traffic exists.
+    assert(sim_.shard_count() == 1);
+    rebuild_index();
+  }
+  const auto cx = static_cast<std::int32_t>(
+      std::floor(from.location.x / index_cell_));
+  const auto cy = static_cast<std::int32_t>(
+      std::floor(from.location.y / index_cell_));
+  for (std::int32_t dx = -1; dx <= 1; ++dx) {
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+      const auto it = index_.find(cell_key(cx + dx, cy + dy));
+      if (it == index_.end()) {
+        continue;
+      }
+      for (const NodeId id : it->second) {
+        fn(nodes_[id.value]);
+      }
+    }
   }
 }
 
@@ -128,6 +233,9 @@ void Network::settle_batteries() {
 }
 
 void Network::schedule_settle_tick() {
+  // The settle tick walks every node, so it stays a kernel-stream event:
+  // it runs at an epoch barrier with all shards quiescent, in exact node
+  // order, exactly as the serial loop ran it.
   sim_.schedule_in(energy_->options.settle_period, [this] {
     for (NodeState& node : nodes_) {
       // Adaptive LPL: fold this tick's traffic into the node's schedule
@@ -165,7 +273,7 @@ void Network::charge(NodeState& node, energy::EnergyComponent component,
     // Defer the kill to its own event: we may be mid-delivery, and the
     // node-down handler tears down middleware state.
     const NodeId id = node.info.id;
-    sim_.schedule_in(0, [this, id] {
+    sim_.schedule_in(0, id, [this, id] {
       auto& n = nodes_.at(id.value);
       if (n.alive && n.battery != nullptr && n.battery->depleted()) {
         kill_node(id, NodeDownReason::kBatteryDepleted);
@@ -192,16 +300,18 @@ void Network::enable_churn(ChurnOptions options) {
 }
 
 void Network::schedule_crash(NodeId id) {
+  // Crash delays draw from the node's own stream so churn timing is
+  // independent of every other node — and of the shard count.
   const SimTime delay =
-      exponential_delay(sim_.rng(), churn_.crash_rate_per_node_s);
-  sim_.schedule_in(delay, [this, id] {
+      exponential_delay(sim_.node_rng(id), churn_.crash_rate_per_node_s);
+  sim_.schedule_in(delay, id, [this, id] {
     auto& node = nodes_.at(id.value);
     if (!node.alive) {
       return;  // already down (battery death); churn stops for it
     }
     kill_node(id, NodeDownReason::kChurnCrash);
     if (churn_.reboot_after > 0) {
-      sim_.schedule_in(churn_.reboot_after, [this, id] {
+      sim_.schedule_in(churn_.reboot_after, id, [this, id] {
         revive_node(id);
         if (nodes_.at(id.value).alive) {
           schedule_crash(id);
@@ -218,8 +328,11 @@ void Network::kill_node(NodeId id, NodeDownReason reason) {
   }
   set_radio_enabled(id, false);  // settles + stops the idle draw
   node.alive = false;
-  node.tx_doomed = node.transmitting;
-  stats_.node_deaths++;
+  // Queued-but-unstarted frames die with the node. A frame already on
+  // the air completes: its fate (and its receivers' events) was sealed
+  // at transmit start — see DESIGN.md "Sharded event engine".
+  node.tx_queue.clear();
+  stats_for(id).node_deaths++;
   if (node_down_) {
     node_down_(id, reason);
   }
@@ -234,16 +347,14 @@ void Network::revive_node(NodeId id) {
     return;  // nothing to boot with
   }
   node.alive = true;
-  if (!node.transmitting) {
-    node.tx_queue.clear();  // a fresh boot forgets queued frames
-  }
+  node.tx_queue.clear();  // a fresh boot forgets queued frames
   if (energy_) {
     // The adaptive LPL controller's state lived in the wiped RAM: the
     // rebooted MAC restarts from the configured schedule.
     node.duty = energy::DutyCycler(energy_->options.duty);
     node.frames_heard = 0;
   }
-  stats_.node_reboots++;
+  stats_for(id).node_reboots++;
   set_radio_enabled(id, true);  // resumes the idle draw
   if (node_up_) {
     node_up_(id);
@@ -273,11 +384,12 @@ const NodeInfo& Network::info(NodeId id) const {
 std::vector<NodeId> Network::connected_neighbors(NodeId id) const {
   const auto& self = nodes_.at(id.value).info;
   std::vector<NodeId> out;
-  for (const auto& other : nodes_) {
+  for_each_in_range(self, [&](const NodeState& other) {
     if (other.info.id != id && radio_->connected(self, other.info)) {
       out.push_back(other.info.id);
     }
-  }
+  });
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -293,44 +405,89 @@ SimTime Network::preamble_for(const NodeState& sender,
 }
 
 void Network::try_start_tx(NodeState& node) {
-  if (node.transmitting || node.tx_queue.empty() ||
+  if (node.in_flight != nullptr || node.tx_queue.empty() ||
       !node.info.radio_enabled) {
     return;
   }
-  node.transmitting = true;
-  const Frame& frame = node.tx_queue.front();
+  node.in_flight =
+      std::make_shared<const Frame>(std::move(node.tx_queue.front()));
+  node.tx_queue.pop_front();
+  const Frame& frame = *node.in_flight;
   SimTime duration = timing_.air_time(frame.payload.size()) +
                      preamble_for(node, frame);
   if (timing_.max_jitter > 0) {
-    duration += sim_.rng().uniform(timing_.max_jitter + 1);
+    // MAC jitter from the sender's stream: every duration is therefore
+    // >= min_frame_latency(), the sharded engine's lookahead.
+    duration += sim_.node_rng(frame.src).uniform(timing_.max_jitter + 1);
   }
-  const NodeId id = node.info.id;
-  sim_.schedule_in(duration, [this, id] { finish_tx(id); });
+  launch_frame(node, sim_.now() + duration);
+}
+
+void Network::launch_frame(NodeState& node, SimTime arrival) {
+  // The frame's fate is decided here, at transmit start: candidate
+  // receivers are enumerated from static geometry and each gets a
+  // delivery event in its own stream at the arrival time. Receiver-local
+  // conditions (radio off, channel loss) are evaluated at delivery, in
+  // the receiver's context.
+  const std::shared_ptr<const Frame> frame = node.in_flight;
+  const NodeInfo& sender = node.info;
+  if (frame->dst.is_broadcast()) {
+    for_each_in_range(sender, [&](const NodeState& other) {
+      if (other.info.id == sender.id ||
+          !radio_->connected(sender, other.info)) {
+        return;
+      }
+      const NodeId rx = other.info.id;
+      sim_.schedule_at(arrival, rx, [this, frame, rx] {
+        deliver_at(frame, rx, RxRole::kBroadcast);
+      });
+    });
+  } else {
+    // Overhearing (energy option, off in the paper model): every awake
+    // in-range radio decodes the unicast frame before its address filter
+    // drops it, and pays RX for the decode. Pure energy accounting — not
+    // counted in frames_heard (filtered frames are not traffic the
+    // adaptive-LPL controller acts on), no taps, no randomness.
+    if (energy_ && energy_->options.overhearing) {
+      for_each_in_range(sender, [&](const NodeState& other) {
+        if (other.info.id == sender.id || other.info.id == frame->dst ||
+            !radio_->connected(sender, other.info)) {
+          return;
+        }
+        const NodeId rx = other.info.id;
+        sim_.schedule_at(arrival, rx, [this, frame, rx] {
+          deliver_at(frame, rx, RxRole::kOverhear);
+        });
+      });
+    }
+    if (frame->dst.value < nodes_.size() &&
+        radio_->connected(sender, nodes_[frame->dst.value].info)) {
+      const NodeId rx = frame->dst;
+      sim_.schedule_at(arrival, rx, [this, frame, rx] {
+        deliver_at(frame, rx, RxRole::kUnicast);
+      });
+    }
+    // Out-of-range / invalid destinations are counted unreachable at
+    // finish_tx, sender-side.
+  }
+  const NodeId src = sender.id;
+  sim_.schedule_at(arrival, src, [this, src] { finish_tx(src); });
 }
 
 void Network::finish_tx(NodeId id) {
   auto& node = nodes_.at(id.value);
-  assert(node.transmitting && !node.tx_queue.empty());
-  Frame frame = std::move(node.tx_queue.front());
-  node.tx_queue.pop_front();
-  node.transmitting = false;
-
-  if (node.tx_doomed) {
-    // The node died while this frame was on the air. Drop it — and the
-    // rest of the pre-death queue, which revive_node() could not clear
-    // while the finish event was pending — even if the node has already
-    // been revived.
-    node.tx_doomed = false;
-    node.tx_queue.clear();
-    return;
+  assert(node.in_flight != nullptr);
+  const Frame& frame = *node.in_flight;
+  NetworkStats& stats = stats_for(id);
+  stats.frames_sent++;
+  stats.sent_by_type[frame.am]++;
+  stats.bytes_on_air += frame.payload.size() + timing_.header_bytes;
+  if (!frame.dst.is_broadcast()) {
+    if (frame.dst.value >= nodes_.size() ||
+        !radio_->connected(node.info, nodes_[frame.dst.value].info)) {
+      stats.frames_unreachable++;
+    }
   }
-  if (!node.info.radio_enabled) {
-    return;  // radio switched off mid-transmission; the frame never lands
-  }
-
-  stats_.frames_sent++;
-  stats_.sent_by_type[frame.am]++;
-  stats_.bytes_on_air += frame.payload.size() + timing_.header_bytes;
   if (energy_) {
     charge(node, energy::EnergyComponent::kRadioTx,
            energy_->options.radio.tx_mj(
@@ -340,91 +497,50 @@ void Network::finish_tx(NodeId id) {
   if (tx_tap_) {
     tx_tap_(frame);
   }
-
-  deliver(frame, node.info);
+  node.in_flight.reset();
   try_start_tx(node);
 }
 
-void Network::deliver(const Frame& frame, const NodeInfo& sender) {
-  const std::size_t on_air = frame.payload.size() + timing_.header_bytes;
+void Network::deliver_at(const std::shared_ptr<const Frame>& frame,
+                         NodeId rx_id, RxRole role) {
+  auto& rx = nodes_.at(rx_id.value);
+  if (!rx.info.radio_enabled) {
+    if (role == RxRole::kUnicast) {
+      stats_for(rx_id).frames_unreachable++;
+    }
+    return;
+  }
   const SimTime decode_time =
-      timing_.serialization_time(frame.payload.size());
-  const auto charge_rx = [&](NodeState& receiver) {
-    receiver.frames_heard++;  // traffic signal for the adaptive controller
-    if (energy_) {
-      charge(receiver, energy::EnergyComponent::kRadioRx,
-             energy_->options.radio.rx_mj(decode_time));
-    }
-  };
-  if (frame.dst.is_broadcast()) {
-    for (auto& other : nodes_) {
-      if (other.info.id == sender.id || !other.info.radio_enabled ||
-          !radio_->connected(sender, other.info)) {
-        continue;
-      }
-      charge_rx(other);  // the radio decodes the frame, lost or not
-      if (sim_.rng().chance(
-              radio_->loss_probability(sender, other.info, on_air))) {
-        stats_.frames_lost++;
-        if (rx_tap_) {
-          rx_tap_(frame, other.info.id, /*lost=*/true);
-        }
-        continue;
-      }
-      stats_.frames_delivered++;
-      if (rx_tap_) {
-        rx_tap_(frame, other.info.id, /*lost=*/false);
-      }
-      if (other.receiver) {
-        other.receiver(frame);
-      }
-    }
+      timing_.serialization_time(frame->payload.size());
+  if (role == RxRole::kOverhear) {
+    charge(rx, energy::EnergyComponent::kRadioRx,
+           energy_->options.radio.rx_mj(decode_time));
     return;
   }
-
-  if (frame.dst.value >= nodes_.size()) {
-    stats_.frames_unreachable++;
-    return;
+  rx.frames_heard++;  // traffic signal for the adaptive controller
+  if (energy_) {
+    charge(rx, energy::EnergyComponent::kRadioRx,
+           energy_->options.radio.rx_mj(decode_time));
   }
-  // Overhearing (energy option, off in the paper model): every awake
-  // in-range radio decodes the unicast frame before its address filter
-  // drops it, and pays RX for the decode. Pure energy accounting —
-  // charged before the addressed target in node-index order, no
-  // randomness consumed, and deliberately NOT counted in frames_heard
-  // (filtered frames are not traffic the adaptive-LPL controller acts
-  // on), so delivery outcomes and LPL schedules are untouched.
-  if (energy_ && energy_->options.overhearing) {
-    const double overheard_mj = energy_->options.radio.rx_mj(decode_time);
-    for (auto& other : nodes_) {
-      if (other.info.id == sender.id || other.info.id == frame.dst ||
-          !other.info.radio_enabled ||
-          !radio_->connected(sender, other.info)) {
-        continue;
-      }
-      charge(other, energy::EnergyComponent::kRadioRx, overheard_mj);
-    }
-  }
-  auto& target = nodes_.at(frame.dst.value);
-  if (!target.info.radio_enabled ||
-      !radio_->connected(sender, target.info)) {
-    stats_.frames_unreachable++;
-    return;
-  }
-  charge_rx(target);
-  if (sim_.rng().chance(
-          radio_->loss_probability(sender, target.info, on_air))) {
-    stats_.frames_lost++;
+  // Loss draws from the receiver's stream: which frames a node loses is a
+  // fact about that node's channel, invariant across shard layouts. Only
+  // the sender's static location feeds the loss model.
+  const std::size_t on_air = frame->payload.size() + timing_.header_bytes;
+  const NodeInfo& sender_info = nodes_[frame->src.value].info;
+  if (sim_.node_rng(rx_id).chance(
+          radio_->loss_probability(sender_info, rx.info, on_air))) {
+    stats_for(rx_id).frames_lost++;
     if (rx_tap_) {
-      rx_tap_(frame, target.info.id, /*lost=*/true);
+      rx_tap_(*frame, rx_id, /*lost=*/true);
     }
     return;
   }
-  stats_.frames_delivered++;
+  stats_for(rx_id).frames_delivered++;
   if (rx_tap_) {
-    rx_tap_(frame, target.info.id, /*lost=*/false);
+    rx_tap_(*frame, rx_id, /*lost=*/false);
   }
-  if (target.receiver) {
-    target.receiver(frame);
+  if (rx.receiver) {
+    rx.receiver(*frame);
   }
 }
 

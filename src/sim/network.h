@@ -9,6 +9,18 @@
 // multi-message agent migration take several hundred milliseconds, exactly
 // the effect the paper measures in Figs. 10/11.
 //
+// Sharding model: transmission outcomes are decided receiver-side. When a
+// frame starts, the sender enumerates the (static) candidate receivers and
+// schedules one delivery event per receiver in the RECEIVER's stream at
+// the frame's arrival time; radio-enabled checks, loss draws (from the
+// receiver's RNG), RX energy, and the upcall all happen there. Since every
+// frame costs at least min_frame_latency() of virtual time, that latency
+// is the conservative lookahead window the sharded simulator synchronizes
+// on. A frame's fate is sealed when it starts: a sender killed mid-flight
+// no longer dooms the frame (the pre-death queue is dropped at kill time
+// instead) — see DESIGN.md for why zero-lookahead sender/receiver
+// coupling cannot shard.
+//
 // Energy subsystem (src/energy/): attach_energy() gives every node a
 // Battery and charges TX/RX per frame and idle-listen per unit time; a
 // depleted battery kills the node through the same node-down path
@@ -103,6 +115,7 @@ class Network {
   /// decoding receiver (with `lost` telling whether the channel then
   /// corrupted the frame); the settle tap fires after each battery
   /// settle tick. None of them consume randomness or affect delivery.
+  /// Under sim_shards > 1, tx/rx taps fire from shard worker threads.
   using FrameTxTap = std::function<void(const Frame&)>;
   using FrameRxTap = std::function<void(const Frame&, NodeId receiver,
                                         bool lost)>;
@@ -122,10 +135,28 @@ class Network {
   /// time; the call itself returns immediately.
   void send(Frame frame);
 
-  /// Turn a node's radio on/off. A disabled node neither transmits (its
-  /// queue stalls) nor receives. Used for failure injection and for the
-  /// paper's local-instruction benchmarks ("we disabled the radio").
+  /// Turn a node's radio on/off. A disabled node neither starts
+  /// transmissions (its queue stalls) nor receives; a frame already on
+  /// the air when the radio goes down still lands (its fate was sealed
+  /// at transmit start). Used for failure injection and for the paper's
+  /// local-instruction benchmarks ("we disabled the radio").
   void set_radio_enabled(NodeId id, bool enabled);
+
+  // ----------------------------------------------------------- sharding
+  /// Partitions the deployment into `shards` contiguous x-strips and
+  /// configures the simulator's sharded event engine (worker pool, per
+  /// shard event queues, conservative lookahead = min_frame_latency()).
+  /// Call once, after all nodes are added and before any middleware is
+  /// started. shards = 1 (the default engine state) is the exact serial
+  /// loop; any K produces byte-identical outcomes.
+  void configure_shards(std::size_t shards);
+
+  /// The minimum virtual latency of any frame (MAC overhead plus an empty
+  /// payload's serialization time, no preamble, no jitter): the sharded
+  /// engine's lookahead window.
+  [[nodiscard]] SimTime min_frame_latency() const {
+    return timing_.air_time(0);
+  }
 
   // ------------------------------------------------------------- energy
   /// Creates per-node batteries (unless battery_mj <= 0) and starts
@@ -158,8 +189,9 @@ class Network {
   /// always, when energy is not attached).
   void enable_churn(ChurnOptions options);
 
-  /// Kills a node now: radio off, transmit queue frozen, idle draw
-  /// stopped, node-down handler invoked. Idempotent.
+  /// Kills a node now: radio off, queued-but-unstarted frames dropped,
+  /// idle draw stopped, node-down handler invoked. A frame already on the
+  /// air completes (fate sealed at start). Idempotent.
   void kill_node(NodeId id, NodeDownReason reason);
 
   /// Reboots a killed node (fresh radio state). No-op if the node is
@@ -185,24 +217,26 @@ class Network {
   [[nodiscard]] const RadioTiming& timing() const { return timing_; }
   [[nodiscard]] Simulator& simulator() { return sim_; }
 
-  /// Ground-truth connectivity (what the channel permits). Protocol-level
-  /// neighbour knowledge comes from beacons in net::NeighborTable.
+  /// Ground-truth connectivity (what the channel permits), ascending by
+  /// node id. Protocol-level neighbour knowledge comes from beacons in
+  /// net::NeighborTable. Served from the spatial bucket index: O(density)
+  /// per call, not O(node_count).
   [[nodiscard]] std::vector<NodeId> connected_neighbors(NodeId id) const;
 
-  [[nodiscard]] NetworkStats& stats() { return stats_; }
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  /// Aggregated traffic/lifecycle counters. Counters accumulate per shard
+  /// (each in its owning worker's cache line set) and merge here; call
+  /// from the driving thread between run() calls.
+  [[nodiscard]] NetworkStats stats() const;
 
  private:
   struct NodeState {
     NodeInfo info;
     ReceiveHandler receiver;
     std::deque<Frame> tx_queue;
-    bool transmitting = false;
+    /// The frame currently on the air (shared with its per-receiver
+    /// delivery events). Non-null == transmitting.
+    std::shared_ptr<const Frame> in_flight;
     bool alive = true;
-    /// The node died mid-transmission: the in-flight frame (and the rest
-    /// of the pre-death queue) must be dropped when its finish event
-    /// fires, even if the node was revived in the meantime.
-    bool tx_doomed = false;
     std::unique_ptr<energy::Battery> battery;
     /// Per-node LPL schedule (meaningful only when energy is attached;
     /// moves per node under the adaptive controller).
@@ -217,18 +251,45 @@ class Network {
     energy::DutyCycler duty;
   };
 
+  /// What a scheduled receiver-side event does with the frame.
+  enum class RxRole : std::uint8_t {
+    kBroadcast,   ///< broadcast copy: full receive path
+    kUnicast,     ///< the addressed unicast target: full receive path
+    kOverhear,    ///< in-range bystander: RX energy for the decode only
+  };
+
   void try_start_tx(NodeState& node);
+  /// Enumerates receivers and schedules their delivery events plus the
+  /// sender-side finish, all at `arrival`.
+  void launch_frame(NodeState& node, SimTime arrival);
   void finish_tx(NodeId id);
+  /// Receiver-side delivery: runs in the receiver's stream at arrival
+  /// time — alive/radio checks, loss draw from the receiver's RNG, RX
+  /// energy, stats, and the upcall.
+  void deliver_at(const std::shared_ptr<const Frame>& frame, NodeId rx,
+                  RxRole role);
   /// The LPL preamble extension this frame pays: its per-receiver
   /// override when the net layer set one, the sender's own schedule
   /// otherwise.
   [[nodiscard]] SimTime preamble_for(const NodeState& sender,
                                      const Frame& frame) const;
-  void deliver(const Frame& frame, const NodeInfo& sender);
   /// Clamped drain + deferred depletion kill (safe mid-delivery).
   void charge(NodeState& node, energy::EnergyComponent component, double mj);
   void schedule_settle_tick();
   void schedule_crash(NodeId id);
+
+  /// The shard-local counter block for events concerning `id`.
+  [[nodiscard]] NetworkStats& stats_for(NodeId id);
+
+  // ------------------------------------------- spatial neighbour index
+  /// Node ids bucketed into square cells of the radio's max_range().
+  /// Rebuilt lazily after add_node (single-shard contexts only) and
+  /// eagerly by configure_shards; connectivity itself is still decided by
+  /// RadioModel::connected on the 3x3 candidate cells.
+  void rebuild_index() const;
+  void for_each_in_range(const NodeInfo& from,
+                         const std::function<void(const NodeState&)>& fn)
+      const;
 
   Simulator& sim_;
   std::unique_ptr<RadioModel> radio_;
@@ -241,7 +302,12 @@ class Network {
   FrameTxTap tx_tap_;
   FrameRxTap rx_tap_;
   SettleTap settle_tap_;
-  NetworkStats stats_;
+  /// One counter block per shard; stats() sums them.
+  std::vector<NetworkStats> shard_stats_{1};
+
+  mutable std::unordered_map<std::uint64_t, std::vector<NodeId>> index_;
+  mutable double index_cell_ = 0.0;
+  mutable bool index_dirty_ = true;
 };
 
 }  // namespace agilla::sim

@@ -38,6 +38,11 @@ double GridNeighborRadio::loss_probability(const NodeInfo&, const NodeInfo&,
   return std::clamp(p, 0.0, 1.0);
 }
 
+double GridNeighborRadio::max_range() const {
+  const double diag = options_.eight_connected ? std::sqrt(2.0) : 1.0;
+  return options_.spacing * diag + kTolerance;
+}
+
 bool UnitDiskRadio::connected(const NodeInfo& from, const NodeInfo& to) const {
   if (from.id == to.id) {
     return false;

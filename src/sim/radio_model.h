@@ -32,6 +32,12 @@ class RadioModel {
   [[nodiscard]] virtual double loss_probability(const NodeInfo& from,
                                                 const NodeInfo& to,
                                                 std::size_t bytes) const = 0;
+
+  /// Upper bound on the distance between any connected pair. The network
+  /// buckets nodes into cells of this size so receiver enumeration scans
+  /// the 3x3 surrounding cells instead of every node (O(1) per frame on
+  /// bounded-density deployments).
+  [[nodiscard]] virtual double max_range() const = 0;
 };
 
 /// Grid adjacency with a fixed per-packet loss probability.
@@ -54,6 +60,7 @@ class GridNeighborRadio final : public RadioModel {
   [[nodiscard]] double loss_probability(const NodeInfo& from,
                                         const NodeInfo& to,
                                         std::size_t bytes) const override;
+  [[nodiscard]] double max_range() const override;
 
   [[nodiscard]] const Options& options() const { return options_; }
 
@@ -80,6 +87,9 @@ class UnitDiskRadio final : public RadioModel {
   [[nodiscard]] double loss_probability(const NodeInfo& from,
                                         const NodeInfo& to,
                                         std::size_t bytes) const override;
+  [[nodiscard]] double max_range() const override {
+    return options_.range;
+  }
 
   [[nodiscard]] const Options& options() const { return options_; }
 
@@ -99,6 +109,7 @@ class PerfectRadio final : public RadioModel {
                                         std::size_t) const override {
     return 0.0;
   }
+  [[nodiscard]] double max_range() const override { return range_; }
 
  private:
   double range_;

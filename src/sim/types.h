@@ -23,14 +23,17 @@ inline constexpr SimTime kMillisecond = 1000;
 inline constexpr SimTime kSecond = 1'000'000;
 
 /// Identity of a node inside one simulation. Dense, assigned by Network.
+/// 32-bit so meshes beyond 65k motes (the 316x316 scale runs) fit; the
+/// paper's location-is-the-address scheme means node ids never cross the
+/// simulated wire, so widening costs nothing at the protocol layer.
 struct NodeId {
-  std::uint16_t value = kInvalid;
+  std::uint32_t value = kInvalid;
 
-  static constexpr std::uint16_t kInvalid = 0xFFFF;
-  static constexpr std::uint16_t kBroadcast = 0xFFFE;
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFF;
+  static constexpr std::uint32_t kBroadcast = 0xFFFFFFFE;
 
   constexpr NodeId() = default;
-  constexpr explicit NodeId(std::uint16_t v) : value(v) {}
+  constexpr explicit NodeId(std::uint32_t v) : value(v) {}
 
   [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
   [[nodiscard]] constexpr bool is_broadcast() const {
@@ -98,6 +101,6 @@ enum class AmType : std::uint8_t {
 template <>
 struct std::hash<agilla::sim::NodeId> {
   std::size_t operator()(agilla::sim::NodeId id) const noexcept {
-    return std::hash<std::uint16_t>{}(id.value);
+    return std::hash<std::uint32_t>{}(id.value);
   }
 };

@@ -1,0 +1,207 @@
+// Sharded event engine (DESIGN.md "Sharded event engine"): shard-count
+// outcome invariance, cross-shard ordering at the lookahead boundary,
+// churn across shard borders, and the slab queue's handle semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "api/deployment.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace agilla {
+namespace {
+
+using sim::EventHandle;
+using sim::EventQueue;
+using sim::NodeId;
+using sim::SimTime;
+using sim::Simulator;
+
+// ------------------------------------------------ slab handle semantics
+
+TEST(EventSlab, SizeCountsLiveEntriesExactly) {
+  EventQueue q;
+  EventHandle h1 = q.schedule(10, [] {});
+  EventHandle h2 = q.schedule(20, [] {});
+  q.schedule(30, [] {});
+  EXPECT_EQ(q.size(), 3u);
+  h2.cancel();
+  EXPECT_EQ(q.size(), 2u);  // dead heap entry no longer counted
+  h2.cancel();              // idempotent
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().time, 10u);
+  EXPECT_EQ(q.pop().time, 30u);  // cancelled entry skipped
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+  h1.cancel();  // cancel-after-fire is inert
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventSlab, StaleHandleCannotCancelSlotReuser) {
+  Simulator sim;
+  bool first = false;
+  bool second = false;
+  EventHandle h = sim.schedule_in(10, [&] { first = true; });
+  sim.run();
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // after fire: no-op
+  // The slot is recycled under a new generation; the stale handle must
+  // neither report the new event as its own nor be able to cancel it.
+  EventHandle h2 = sim.schedule_in(10, [&] { second = true; });
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+  EXPECT_TRUE(h2.pending());
+  sim.run();
+  EXPECT_TRUE(second);
+}
+
+TEST(EventSlab, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+// ------------------------------- cross-shard ordering at the lookahead
+
+// Events landing at exactly t + lookahead from two different shards must
+// interleave by the intrinsic key (time, origin stream, seq) — the order
+// the serial engine produces — not by worker arrival.
+std::vector<int> run_boundary_schedule(std::size_t shards) {
+  constexpr SimTime kLook = 1000;
+  Simulator sim(42);
+  sim.ensure_node_streams(2);
+  if (shards > 1) {
+    sim.configure_shards(2, {0, 1}, kLook);
+  }
+  std::vector<int> node1_log;  // shard 1 drains serially: no race
+  // Kernel event at the same instant: must run at the barrier, before
+  // every same-time node event (kernel stream orders lowest).
+  sim.schedule_at(kLook, [&] { node1_log.push_back(1); });
+  sim.schedule_at(0, NodeId{0}, [&] {
+    // Cross-shard schedules at exactly now + lookahead: the closest
+    // virtual distance the conservative window admits.
+    sim.schedule_at(sim.now() + kLook, NodeId{1},
+                    [&] { node1_log.push_back(100); });
+    sim.schedule_at(sim.now() + kLook, NodeId{1},
+                    [&] { node1_log.push_back(101); });
+  });
+  sim.schedule_at(0, NodeId{1}, [&] {
+    sim.schedule_at(sim.now() + kLook, NodeId{1},
+                    [&] { node1_log.push_back(200); });
+  });
+  sim.run();
+  return node1_log;
+}
+
+TEST(ShardEngine, CrossShardOrderingAtLookaheadBoundary) {
+  const std::vector<int> serial = run_boundary_schedule(1);
+  const std::vector<int> sharded = run_boundary_schedule(2);
+  // Kernel first, then node 0's cross-shard events (origin stream 1, in
+  // seq order), then node 1's own event (origin stream 2).
+  EXPECT_EQ(serial, (std::vector<int>{1, 100, 101, 200}));
+  EXPECT_EQ(sharded, serial);
+}
+
+TEST(ShardEngine, ShardOfFollowsConfiguredMap) {
+  Simulator sim;
+  sim.ensure_node_streams(4);
+  sim.configure_shards(2, {0, 0, 1, 1}, 500);
+  EXPECT_EQ(sim.shard_count(), 2u);
+  EXPECT_EQ(sim.lookahead(), 500u);
+  EXPECT_EQ(sim.shard_of(NodeId{0}), 0u);
+  EXPECT_EQ(sim.shard_of(NodeId{3}), 1u);
+}
+
+// --------------------------------------- whole-deployment invariance
+
+api::DeploymentOptions churn_mesh(std::size_t shards) {
+  api::DeploymentOptions options;
+  options.width = 6;
+  options.height = 6;
+  options.seed = 7;
+  options.warmup = 2 * sim::kSecond;
+  options.battery_mj = 500.0;  // dies in tens of virtual seconds
+  options.churn_rate = 0.02;   // plus steady crash/reboot churn
+  options.churn_reboot_s = 5.0;
+  options.sim_shards = shards;
+  return options;
+}
+
+void expect_same_outcome(api::Deployment& a, api::Deployment& b) {
+  const sim::NetworkStats sa = a.network().stats();
+  const sim::NetworkStats sb = b.network().stats();
+  EXPECT_EQ(sa.frames_sent, sb.frames_sent);
+  EXPECT_EQ(sa.frames_delivered, sb.frames_delivered);
+  EXPECT_EQ(sa.frames_lost, sb.frames_lost);
+  EXPECT_EQ(sa.frames_unreachable, sb.frames_unreachable);
+  EXPECT_EQ(sa.bytes_on_air, sb.bytes_on_air);
+  EXPECT_EQ(sa.node_deaths, sb.node_deaths);
+  EXPECT_EQ(sa.node_reboots, sb.node_reboots);
+  EXPECT_EQ(sa.sent_by_type, sb.sent_by_type);
+
+  const auto deaths_a = a.death_log();
+  const auto deaths_b = b.death_log();
+  ASSERT_EQ(deaths_a.size(), deaths_b.size());
+  for (std::size_t i = 0; i < deaths_a.size(); ++i) {
+    EXPECT_EQ(deaths_a[i].node, deaths_b[i].node);
+    EXPECT_EQ(deaths_a[i].at, deaths_b[i].at);
+    EXPECT_EQ(deaths_a[i].reason, deaths_b[i].reason);
+  }
+  EXPECT_EQ(a.reboot_count(), b.reboot_count());
+  EXPECT_EQ(a.network().alive_count(), b.network().alive_count());
+  // Per-node battery ledgers: every charge for a node happens in its own
+  // stream in the same order whatever the shard count, so the doubles
+  // must match bit for bit, not just approximately.
+  for (std::size_t n = 0; n < a.network().node_count(); ++n) {
+    const auto* battery_a = a.network().battery(NodeId{
+        static_cast<std::uint32_t>(n)});
+    const auto* battery_b = b.network().battery(NodeId{
+        static_cast<std::uint32_t>(n)});
+    ASSERT_EQ(battery_a == nullptr, battery_b == nullptr);
+    if (battery_a != nullptr) {
+      EXPECT_EQ(battery_a->remaining_mj(), battery_b->remaining_mj());
+      EXPECT_EQ(battery_a->total_drained_mj(),
+                battery_b->total_drained_mj());
+    }
+  }
+}
+
+TEST(ShardEngine, ChurnAndEnergyOutcomeInvariantAcrossShardCounts) {
+  api::Deployment serial(churn_mesh(1));
+  api::Deployment two(churn_mesh(2));
+  api::Deployment four(churn_mesh(4));
+  serial.run_for(60 * sim::kSecond);
+  two.run_for(60 * sim::kSecond);
+  four.run_for(60 * sim::kSecond);
+
+  ASSERT_GT(serial.death_log().size(), 0u)
+      << "test needs deaths to compare";
+  ASSERT_GT(serial.reboot_count(), 0u) << "test needs reboots to compare";
+  expect_same_outcome(serial, two);
+  expect_same_outcome(serial, four);
+
+  // The point of the churn leg: some of those kill/revive cycles hit
+  // nodes owned by a non-primary shard, i.e. they ran on a worker.
+  EXPECT_EQ(four.simulator().shard_count(), 4u);
+  bool cross_shard_death = false;
+  for (const auto& death : four.death_log()) {
+    if (four.simulator().shard_of(death.node) > 0) {
+      cross_shard_death = true;
+    }
+  }
+  EXPECT_TRUE(cross_shard_death);
+}
+
+TEST(ShardEngine, ShardsRejectObservers) {
+  class NullObserver final : public api::Observer {};
+  NullObserver observer;
+  api::DeploymentOptions options = churn_mesh(2);
+  options.warmup = 0;
+  EXPECT_THROW(api::Deployment(options, {&observer}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace agilla

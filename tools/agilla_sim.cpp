@@ -29,7 +29,11 @@ using namespace agilla;
 
 namespace {
 
-constexpr std::size_t kMaxGridSide = 32;
+// Rough per-mote host footprint (middleware + queues + streams), used
+// only to warn before very large meshes are attempted — the sharded
+// engine handles 100k-mote grids, but they need host RAM.
+constexpr double kApproxBytesPerMote = 12.0 * 1024.0;
+constexpr std::size_t kWarnGridMotes = 64 * 64;
 
 void print_usage() {
   std::printf(
@@ -39,8 +43,9 @@ void print_usage() {
       "  --list-scenarios     machine-readable scenario list (docs gate)\n"
       "  --list-knobs         machine-readable knob-registry table "
       "(docs gate)\n"
-      "  --grid WxH           mesh size, repeatable (default: 5x5, max "
-      "%zux%zu)\n"
+      "  --grid WxH           mesh size, repeatable (default: 5x5; large\n"
+      "                       grids print a memory estimate — pair with\n"
+      "                       --param sim_shards=K for parallel drain)\n"
       "  --trials N           trials per parameter cell (default: 8)\n"
       "  --loss P             packet-loss rate, repeatable (default: "
       "0.02)\n"
@@ -55,8 +60,7 @@ void print_usage() {
       "  --name NAME          experiment name in the JSON (default: "
       "scenario)\n"
       "  --out FILE           write JSON here and print a summary table;\n"
-      "                       without --out the JSON goes to stdout\n",
-      kMaxGridSide, kMaxGridSide);
+      "                       without --out the JSON goes to stdout\n");
 }
 
 void print_scenarios() {
@@ -199,11 +203,18 @@ int main(int argc, char** argv) {
       spec.scenario = value;
     } else if (arg == "--grid") {
       const auto grid = harness::parse_grid(value);
-      if (!grid || grid->width > kMaxGridSide ||
-          grid->height > kMaxGridSide) {
-        return fail("bad --grid (want WxH, sides 1.." +
-                    std::to_string(kMaxGridSide) +
-                    "): " + std::string(value));
+      if (!grid) {
+        return fail("bad --grid (want WxH): " + std::string(value));
+      }
+      if (const std::size_t motes = grid->width * grid->height;
+          motes > kWarnGridMotes) {
+        std::fprintf(stderr,
+                     "agilla_sim: note: %zux%zu = %zu motes, roughly "
+                     "%.1f GiB of host memory per concurrent trial; "
+                     "consider --threads 1 --param sim_shards=8\n",
+                     grid->width, grid->height, motes,
+                     static_cast<double>(motes) * kApproxBytesPerMote /
+                         (1024.0 * 1024.0 * 1024.0));
       }
       spec.grids.push_back(*grid);
     } else if (arg == "--trials") {
