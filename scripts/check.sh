@@ -90,3 +90,39 @@ sed '/"sim_shards":/d' build/shards_4.json > build/shards_4_norm.json
 cmp build/shards_1_norm.json build/shards_4_norm.json
 ./build/bench_scale --smoke > /dev/null
 echo "fire_tracking sweep byte-identical across shard counts"
+
+echo "== gateway smoke: loopback determinism (64 clients, 2 runs) =="
+# The loadgen exits non-zero on any protocol error, failed client, or
+# failed reconnect; two identical-seed runs must produce byte-identical
+# metrics (per-session transcript hashes included).
+loadgen_loopback() {  # $1 = out file
+  ./build/agilla_loadgen --loopback --grid 8x8 --seed 7 --clients 64 \
+    --smoke --out "$1" > /dev/null
+}
+loadgen_loopback build/loadgen_a.json
+loadgen_loopback build/loadgen_b.json
+cmp build/loadgen_a.json build/loadgen_b.json
+grep -q '"protocol_errors": 0' build/loadgen_a.json
+echo "gateway loopback smoke byte-identical across runs"
+
+echo "== gateway smoke: live TCP daemon round trip =="
+rm -f build/gatewayd_port build/gatewayd_metrics.json
+# Background ONLY the daemon command ($! must be the daemon, not a
+# compound-statement subshell, or the TERM below orphans it).
+./build/agilla_gatewayd --grid 8x8 --seed 7 --listen 127.0.0.1:0 \
+  --port-file build/gatewayd_port --metrics build/gatewayd_metrics.json &
+GWPID=$!
+for _ in $(seq 1 100); do
+  [ -s build/gatewayd_port ] && break
+  sleep 0.1
+done
+[ -s build/gatewayd_port ] || { echo "gatewayd never published its port"; kill "$GWPID"; exit 1; }
+./build/agilla_loadgen --connect "127.0.0.1:$(cat build/gatewayd_port)" \
+  --clients 64 --smoke --out build/loadgen_tcp.json > /dev/null
+kill -TERM "$GWPID"
+wait "$GWPID"
+grep -q '"protocol_errors": 0' build/loadgen_tcp.json
+# Graceful TERM: the daemon drains sessions and flushes its metrics.
+[ -s build/gatewayd_metrics.json ]
+grep -q '"sessions_opened"' build/gatewayd_metrics.json
+echo "gateway TCP smoke clean; daemon drained on SIGTERM"

@@ -57,6 +57,8 @@ Deployment::Deployment(DeploymentOptions options,
     energy.duty.adaptive = options_.adaptive_lpl;
     energy.duty.min_fraction = options_.duty_min;
     energy.duty.max_fraction = options_.duty_max;
+    energy.duty.tx_busy_depth =
+        static_cast<std::uint32_t>(options_.lpl_tx_busy);
     energy.gateway_powered = options_.gateway_powered;
     energy.overhearing = options_.overhearing;
     network_.attach_energy(energy);

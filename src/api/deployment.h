@@ -65,6 +65,10 @@ struct DeploymentOptions {
   bool adaptive_lpl = false;    ///< per-node traffic-adaptive LPL
   double duty_min = 0.02;       ///< adaptive controller duty floor
   double duty_max = 0.5;        ///< adaptive controller duty ceiling
+  /// Congestion coupling for adaptive LPL (registry knob lpl_tx_busy):
+  /// a settle tick with at least this many pending TX frames counts as
+  /// busy, so a backlogged node keeps its duty up. 0 = off.
+  int lpl_tx_busy = 0;
   /// Beacon suppression (backoff + piggyback): -1 = auto (on whenever
   /// LPL is active), 0 = off, 1 = on.
   int beacon_suppression = -1;

@@ -148,6 +148,17 @@ std::vector<KnobInfo> build_registry() {
       [](DeploymentOptions& o, double v) { o.duty_max = v; },
       [](const DeploymentOptions& o) { return o.duty_max; }));
   knobs.push_back(shared_knob(
+      "lpl_tx_busy", KnobType::kInt, "frames", 0.0, 0.0, kInf, false,
+      "adaptive LPL congestion coupling: a settle tick with >= this many "
+      "pending TX frames counts as busy (keeps duty up under backlog); 0 "
+      "= off",
+      [](DeploymentOptions& o, double v) {
+        o.lpl_tx_busy = static_cast<int>(v);
+      },
+      [](const DeploymentOptions& o) {
+        return static_cast<double>(o.lpl_tx_busy);
+      }));
+  knobs.push_back(shared_knob(
       "beacon_suppression", KnobType::kInt, "tristate", -1.0, -1.0, 1.0,
       false,
       "-1 = auto (on whenever LPL is active), 0 = force 1 Hz beacons, 1 "

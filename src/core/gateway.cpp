@@ -1,5 +1,6 @@
 #include "core/gateway.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -108,6 +109,12 @@ bool parse_wildcard(const std::string& token, ts::Value* out) {
   return true;
 }
 
+std::string format_location(sim::Location loc) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "(%g,%g)", loc.x, loc.y);
+  return buf;
+}
+
 const char kHelp[] =
     "commands:\n"
     "  inject agent <firedetector|firetracker|habitat|blinker|sentinel|"
@@ -120,18 +127,159 @@ const char kHelp[] =
     "?reading ?agent\n"
     "  rrdp <x> <y> <template>\n"
     "  region <x> <y> <radius> <any|all> <fields>\n"
+    "  subscribe <agent|tuple|node|frame|battery>\n"
+    "  unsubscribe [<kind>]       no kind = drop every subscription\n"
     "  status\n"
     "  help";
 
 }  // namespace
 
+/// Bridges the api::EventBus onto the console's sinks: one observer per
+/// console, subscribed to the bus only while at least one event kind is
+/// subscribed. Formatting happens only for subscribed kinds, so an idle
+/// console costs one set lookup per event.
+class GatewayConsole::BusBridge final : public api::Observer {
+ public:
+  explicit BusBridge(GatewayConsole& console) : console_(console) {}
+
+  void on_agent_spawn(const api::AgentSpawnEvent& e) override {
+    if (console_.subscribed("agent")) {
+      console_.deliver_event(
+          "agent", "spawn t=" + std::to_string(e.at) +
+                       " node=" + std::to_string(e.node.value) +
+                       " agent=" + std::to_string(e.agent) +
+                       (e.via_migration ? " migrated" : ""));
+    }
+  }
+  void on_agent_kill(const api::AgentKillEvent& e) override {
+    if (console_.subscribed("agent")) {
+      console_.deliver_event(
+          "agent", "kill t=" + std::to_string(e.at) +
+                       " node=" + std::to_string(e.node.value) +
+                       " agent=" + std::to_string(e.agent) + " reason=" +
+                       std::string(e.reason));
+    }
+  }
+  void on_agent_migrate(const api::AgentMigrateEvent& e) override {
+    if (console_.subscribed("agent")) {
+      console_.deliver_event(
+          "agent", "migrate t=" + std::to_string(e.at) +
+                       " node=" + std::to_string(e.node.value) +
+                       " agent=" + std::to_string(e.agent) + " dest=" +
+                       format_location(e.dest));
+    }
+  }
+  void on_tuple_op(const api::TupleOpEvent& e) override {
+    if (console_.subscribed("tuple")) {
+      console_.deliver_event(
+          "tuple",
+          std::string(e.op == ts::TupleSpaceOp::kOut ? "out" : "inp") +
+              " t=" + std::to_string(e.at) +
+              " node=" + std::to_string(e.node.value) + " " +
+              e.tuple->to_string());
+    }
+  }
+  void on_frame_tx(const api::FrameEvent& e) override {
+    if (console_.subscribed("frame")) {
+      console_.deliver_event(
+          "frame",
+          "tx t=" + std::to_string(e.at) +
+              " src=" + std::to_string(e.frame->src.value) +
+              " dst=" + std::to_string(e.frame->dst.value) + " am=" +
+              std::to_string(static_cast<int>(e.frame->am)) + " bytes=" +
+              std::to_string(e.frame->payload.size()));
+    }
+  }
+  void on_frame_rx(const api::FrameEvent& e) override {
+    if (console_.subscribed("frame")) {
+      console_.deliver_event(
+          "frame",
+          "rx t=" + std::to_string(e.at) +
+              " src=" + std::to_string(e.frame->src.value) + " rx=" +
+              std::to_string(e.receiver.value) +
+              (e.lost ? " lost" : ""));
+    }
+  }
+  void on_node_down(const api::NodeLifecycleEvent& e) override {
+    if (console_.subscribed("node")) {
+      console_.deliver_event(
+          "node", "down t=" + std::to_string(e.at) +
+                      " node=" + std::to_string(e.node.value) +
+                      (e.reason == sim::NodeDownReason::kChurnCrash
+                           ? " reason=churn"
+                           : " reason=battery"));
+    }
+  }
+  void on_node_up(const api::NodeLifecycleEvent& e) override {
+    if (console_.subscribed("node")) {
+      console_.deliver_event("node",
+                             "up t=" + std::to_string(e.at) + " node=" +
+                                 std::to_string(e.node.value));
+    }
+  }
+  void on_battery_settle(const api::BatterySettleEvent& e) override {
+    if (console_.subscribed("battery")) {
+      console_.deliver_event("battery",
+                             "settle t=" + std::to_string(e.at));
+    }
+  }
+
+ private:
+  GatewayConsole& console_;
+};
+
 GatewayConsole::GatewayConsole(BaseStation& base, OutputSink output)
     : base_(base), output_(std::move(output)) {}
+
+GatewayConsole::~GatewayConsole() {
+  *alive_ = false;  // in-flight remote-op completions become no-ops
+  if (bridge_subscribed_ && bus_ != nullptr) {
+    bus_->unsubscribe(*bridge_);
+  }
+}
+
+void GatewayConsole::attach_bus(api::EventBus& bus) {
+  if (bridge_subscribed_ && bus_ != nullptr) {
+    bus_->unsubscribe(*bridge_);
+    bridge_subscribed_ = false;
+  }
+  bus_ = &bus;
+  if (!subscriptions_.empty()) {
+    if (bridge_ == nullptr) {
+      bridge_ = std::make_unique<BusBridge>(*this);
+    }
+    bus_->subscribe(*bridge_);
+    bridge_subscribed_ = true;
+  }
+}
 
 void GatewayConsole::emit(const std::string& line) {
   if (output_) {
     output_(line);
   }
+}
+
+void GatewayConsole::deliver_async(std::uint64_t id, bool ok,
+                                   const std::string& text) {
+  ++async_results_;
+  if (async_sink_) {
+    async_sink_(id, ok, text);
+  }
+  emit("async#" + std::to_string(id) + ": " + text);
+}
+
+void GatewayConsole::deliver_event(const std::string& kind,
+                                   const std::string& text) {
+  if (event_sink_) {
+    event_sink_(kind, text);
+  }
+  emit("event: " + kind + " " + text);
+}
+
+const std::vector<std::string>& GatewayConsole::event_kinds() {
+  static const std::vector<std::string> kinds = {
+      "agent", "tuple", "node", "frame", "battery"};
+  return kinds;
 }
 
 bool GatewayConsole::parse_tuple(const std::vector<std::string>& tokens,
@@ -176,7 +324,8 @@ bool GatewayConsole::parse_template(const std::vector<std::string>& tokens,
 }
 
 std::string GatewayConsole::cmd_inject(
-    const std::vector<std::string>& tokens, const std::string& raw_line) {
+    const std::vector<std::string>& tokens, const std::string& raw_line,
+    std::uint64_t id) {
   if (tokens.size() < 2) {
     return "error: inject needs a mode (agent/asm/at)";
   }
@@ -206,12 +355,12 @@ std::string GatewayConsole::cmd_inject(
     } else {
       return "error: unknown agent '" + name + "'";
     }
-    const auto id = base_.inject(source);
-    if (!id.has_value()) {
+    const auto agent = base_.inject(source);
+    if (!agent.has_value()) {
       return "error: injection failed (resources?)";
     }
     return "ok: injected " + name + " as agent#" +
-           std::to_string(id->value);
+           std::to_string(agent->value);
   }
 
   if (tokens[1] == "asm" || (tokens[1] == "at" && tokens.size() >= 5)) {
@@ -241,24 +390,34 @@ std::string GatewayConsole::cmd_inject(
       return "error: " + assembled.error_text();
     }
     if (remote) {
-      base_.inject_at(assembled.code, dest, [this, dest](bool ok) {
-        emit(std::string("async: remote injection toward (") +
-             std::to_string(dest.x) + "," + std::to_string(dest.y) + ") " +
-             (ok ? "handed off" : "FAILED"));
-      });
-      return "ok: agent dispatched";
+      base_.inject_at(
+          assembled.code, dest,
+          [this, alive = std::weak_ptr<bool>(alive_), dest, id](bool ok) {
+            // The middleware can outlive this console (gateway session
+            // closed with the hand-off in flight) — deliver only if alive.
+            const auto guard = alive.lock();
+            if (guard == nullptr || !*guard) {
+              return;
+            }
+            deliver_async(id, ok,
+                          "remote injection toward " +
+                              format_location(dest) +
+                              (ok ? " handed off" : " FAILED"));
+          });
+      return "ok: agent dispatched (cmd#" + std::to_string(id) + ")";
     }
-    const auto id = base_.inject_code(assembled.code);
-    if (!id.has_value()) {
+    const auto agent = base_.inject_code(assembled.code);
+    if (!agent.has_value()) {
       return "error: injection failed (resources?)";
     }
-    return "ok: injected agent#" + std::to_string(id->value);
+    return "ok: injected agent#" + std::to_string(agent->value);
   }
   return "error: inject needs a mode (agent/asm/at)";
 }
 
 std::string GatewayConsole::cmd_remote(
-    const std::string& op, const std::vector<std::string>& tokens) {
+    const std::string& op, const std::vector<std::string>& tokens,
+    std::uint64_t id) {
   if (tokens.size() < 4) {
     return "error: " + op + " <x> <y> <fields>";
   }
@@ -268,14 +427,20 @@ std::string GatewayConsole::cmd_remote(
     return "error: bad destination";
   }
   std::string error;
-  auto completion = [this, op](bool success, std::optional<ts::Tuple> t) {
-    ++async_results_;
+  auto completion = [this, alive = std::weak_ptr<bool>(alive_), op, id](
+                        bool success, std::optional<ts::Tuple> t) {
+    // The middleware can outlive this console (gateway session closed
+    // with the remote op in flight) — deliver only if still alive.
+    const auto guard = alive.lock();
+    if (guard == nullptr || !*guard) {
+      return;
+    }
     if (!success) {
-      emit("async: " + op + " failed");
+      deliver_async(id, false, op + " failed");
     } else if (t.has_value()) {
-      emit("async: " + op + " -> " + t->to_string());
+      deliver_async(id, true, op + " -> " + t->to_string());
     } else {
-      emit("async: " + op + " ok");
+      deliver_async(id, true, op + " ok");
     }
   };
   if (op == "rout") {
@@ -295,7 +460,7 @@ std::string GatewayConsole::cmd_remote(
       base_.rrdp(dest, templ, completion);
     }
   }
-  return "ok: " + op + " dispatched";
+  return "ok: " + op + " dispatched (cmd#" + std::to_string(id) + ")";
 }
 
 std::string GatewayConsole::cmd_region(
@@ -341,7 +506,61 @@ std::string GatewayConsole::cmd_status() const {
   return os.str();
 }
 
+std::string GatewayConsole::cmd_subscribe(
+    const std::vector<std::string>& tokens, bool subscribe) {
+  if (bus_ == nullptr) {
+    return "error: no event bus attached (subscriptions unavailable)";
+  }
+  if (!subscribe && tokens.size() < 2) {
+    // Bare `unsubscribe` drops everything.
+    subscriptions_.clear();
+    if (bridge_subscribed_) {
+      bus_->unsubscribe(*bridge_);
+      bridge_subscribed_ = false;
+    }
+    return "ok: unsubscribed all";
+  }
+  if (tokens.size() < 2) {
+    return "error: subscribe <agent|tuple|node|frame|battery>";
+  }
+  const std::string& kind = tokens[1];
+  bool known = false;
+  for (const std::string& candidate : event_kinds()) {
+    known = known || candidate == kind;
+  }
+  if (!known) {
+    return "error: unknown event kind '" + kind +
+           "' (agent|tuple|node|frame|battery)";
+  }
+  if (subscribe) {
+    if (!subscriptions_.insert(kind).second) {
+      return "ok: already subscribed " + kind;
+    }
+    if (!bridge_subscribed_) {
+      if (bridge_ == nullptr) {
+        bridge_ = std::make_unique<BusBridge>(*this);
+      }
+      bus_->subscribe(*bridge_);
+      bridge_subscribed_ = true;
+    }
+    return "ok: subscribed " + kind;
+  }
+  if (subscriptions_.erase(kind) == 0) {
+    return "error: not subscribed to '" + kind + "'";
+  }
+  if (subscriptions_.empty() && bridge_subscribed_) {
+    bus_->unsubscribe(*bridge_);
+    bridge_subscribed_ = false;
+  }
+  return "ok: unsubscribed " + kind;
+}
+
 std::string GatewayConsole::execute(const std::string& line) {
+  return execute(line, ++next_id_);
+}
+
+std::string GatewayConsole::execute(const std::string& line,
+                                    std::uint64_t id) {
   const auto tokens = tokenize(line);
   if (tokens.empty()) {
     return "";
@@ -351,13 +570,17 @@ std::string GatewayConsole::execute(const std::string& line) {
   if (cmd == "help") {
     response = kHelp;
   } else if (cmd == "inject") {
-    response = cmd_inject(tokens, line);
+    response = cmd_inject(tokens, line, id);
   } else if (cmd == "rout" || cmd == "rinp" || cmd == "rrdp") {
-    response = cmd_remote(cmd, tokens);
+    response = cmd_remote(cmd, tokens, id);
   } else if (cmd == "region") {
     response = cmd_region(tokens);
   } else if (cmd == "status") {
     response = cmd_status();
+  } else if (cmd == "subscribe") {
+    response = cmd_subscribe(tokens, true);
+  } else if (cmd == "unsubscribe") {
+    response = cmd_subscribe(tokens, false);
   } else {
     response = "error: unknown command '" + cmd + "' (try help)";
   }

@@ -46,15 +46,18 @@ sim::SimTime DutyCycler::max_preamble_extension() const {
   return preamble_extension();
 }
 
-bool DutyCycler::observe(std::uint32_t frames_heard) {
+bool DutyCycler::observe(std::uint32_t frames_heard,
+                         std::uint32_t tx_pending) {
   if (!options_.adaptive) {
     return false;
   }
+  const bool congested =
+      options_.tx_busy_depth > 0 && tx_pending >= options_.tx_busy_depth;
   const double before = fraction_;
-  if (frames_heard == 0) {
-    fraction_ = std::max(fraction_ / 2.0, options_.min_fraction);
-  } else if (frames_heard >= options_.busy_frames) {
+  if (frames_heard >= options_.busy_frames || congested) {
     fraction_ = std::min(fraction_ * 2.0, options_.max_fraction);
+  } else if (frames_heard == 0) {
+    fraction_ = std::max(fraction_ / 2.0, options_.min_fraction);
   }
   return fraction_ != before;
 }

@@ -38,6 +38,12 @@ class DutyCycler {
     /// Frames heard per settle tick at or above which the controller
     /// narrows the check period; a tick with zero frames widens it.
     std::uint32_t busy_frames = 4;
+    /// Congestion coupling (`lpl_tx_busy` knob): a settle tick whose TX
+    /// queue depth is at or above this counts as busy even if nothing
+    /// was heard — a congested node keeps its radio duty up so its own
+    /// backlog (and its neighbours' retries) drain instead of paying
+    /// ever-longer preambles. 0 disables the signal.
+    std::uint32_t tx_busy_depth = 0;
   };
 
   DutyCycler() = default;
@@ -69,10 +75,11 @@ class DutyCycler {
   /// timeouts must absorb per frame.
   [[nodiscard]] sim::SimTime max_preamble_extension() const;
 
-  /// Feeds the controller one settle tick's traffic observation. Returns
-  /// true when the listen fraction changed (the caller re-bases the idle
-  /// draw). No-op unless `adaptive`.
-  bool observe(std::uint32_t frames_heard);
+  /// Feeds the controller one settle tick's traffic observation: frames
+  /// heard plus the node's own pending-TX depth (the congestion signal).
+  /// Returns true when the listen fraction changed (the caller re-bases
+  /// the idle draw). No-op unless `adaptive`.
+  bool observe(std::uint32_t frames_heard, std::uint32_t tx_pending = 0);
 
   [[nodiscard]] const Options& options() const { return options_; }
 

@@ -242,8 +242,13 @@ void Network::schedule_settle_tick() {
       // and re-base the idle draw when the listen fraction moved.
       const std::uint32_t heard =
           std::exchange(node.frames_heard, std::uint32_t{0});
+      // Congestion signal: the node's own pending TX backlog (queued
+      // frames plus the one on air) counts toward "busy" so a loaded
+      // node does not widen its check period mid-burst.
+      const auto tx_pending = static_cast<std::uint32_t>(
+          node.tx_queue.size() + (node.in_flight ? 1 : 0));
       const bool fraction_changed =
-          node.alive && node.duty.observe(heard);
+          node.alive && node.duty.observe(heard, tx_pending);
       if (node.battery == nullptr) {
         continue;
       }

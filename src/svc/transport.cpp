@@ -1,0 +1,97 @@
+#include "svc/transport.h"
+
+namespace agilla::svc {
+
+Transport::~Transport() = default;
+
+// ------------------------------------------------------------- loopback
+
+LoopbackTransport::Client LoopbackTransport::connect() {
+  const ConnId id = next_id_++;
+  endpoints_.emplace(id, Endpoint{});
+  pending_.push_back(Event{EventKind::kConnect, id, {}});
+  return Client(this, id);
+}
+
+void LoopbackTransport::poll(const TransportCallbacks& callbacks) {
+  // Swap first: a callback may enqueue new client traffic (e.g. a test
+  // reacting synchronously), which then waits for the next poll — the
+  // same one-batch-per-poll shape the TCP transport has.
+  std::deque<Event> batch;
+  batch.swap(pending_);
+  for (Event& event : batch) {
+    switch (event.kind) {
+      case EventKind::kConnect:
+        if (callbacks.on_connect) {
+          callbacks.on_connect(event.conn);
+        }
+        break;
+      case EventKind::kData:
+        if (callbacks.on_data) {
+          callbacks.on_data(event.conn, event.bytes.data(),
+                            event.bytes.size());
+        }
+        break;
+      case EventKind::kDisconnect:
+        if (callbacks.on_disconnect) {
+          callbacks.on_disconnect(event.conn);
+        }
+        break;
+    }
+  }
+}
+
+void LoopbackTransport::send(ConnId conn, const std::uint8_t* data,
+                             std::size_t size) {
+  const auto it = endpoints_.find(conn);
+  if (it == endpoints_.end() || !it->second.open) {
+    return;
+  }
+  it->second.to_client.insert(it->second.to_client.end(), data,
+                              data + size);
+}
+
+void LoopbackTransport::close(ConnId conn) {
+  const auto it = endpoints_.find(conn);
+  if (it != endpoints_.end()) {
+    it->second.open = false;
+  }
+}
+
+void LoopbackTransport::Client::send(
+    const std::vector<std::uint8_t>& bytes) {
+  if (transport_ == nullptr || closed()) {
+    return;
+  }
+  transport_->pending_.push_back(
+      Event{EventKind::kData, id_, bytes});
+}
+
+std::vector<std::uint8_t> LoopbackTransport::Client::drain() {
+  if (transport_ == nullptr) {
+    return {};
+  }
+  const auto it = transport_->endpoints_.find(id_);
+  if (it == transport_->endpoints_.end()) {
+    return {};
+  }
+  return std::move(it->second.to_client);
+}
+
+void LoopbackTransport::Client::disconnect() {
+  if (transport_ == nullptr || closed()) {
+    return;
+  }
+  transport_->endpoints_[id_].open = false;
+  transport_->pending_.push_back(Event{EventKind::kDisconnect, id_, {}});
+}
+
+bool LoopbackTransport::Client::closed() const {
+  if (transport_ == nullptr) {
+    return true;
+  }
+  const auto it = transport_->endpoints_.find(id_);
+  return it == transport_->endpoints_.end() || !it->second.open;
+}
+
+}  // namespace agilla::svc

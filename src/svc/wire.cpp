@@ -1,0 +1,177 @@
+#include "svc/wire.h"
+
+#include <cstring>
+
+namespace agilla::svc::wire {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = v << 8 | p[i];
+  }
+  return v;
+}
+
+bool known_type(std::uint8_t raw) {
+  const auto type = static_cast<MsgType>(raw);
+  return is_client_type(type) || is_server_type(type);
+}
+
+}  // namespace
+
+bool is_client_type(MsgType type) {
+  switch (type) {
+    case MsgType::kHello:
+    case MsgType::kCommand:
+    case MsgType::kSubscribe:
+    case MsgType::kUnsubscribe:
+    case MsgType::kPing:
+    case MsgType::kBye:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_server_type(MsgType type) {
+  switch (type) {
+    case MsgType::kWelcome:
+    case MsgType::kReply:
+    case MsgType::kAsyncResult:
+    case MsgType::kEvent:
+    case MsgType::kError:
+    case MsgType::kPong:
+    case MsgType::kByeAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kHello:
+      return "hello";
+    case MsgType::kCommand:
+      return "command";
+    case MsgType::kSubscribe:
+      return "subscribe";
+    case MsgType::kUnsubscribe:
+      return "unsubscribe";
+    case MsgType::kPing:
+      return "ping";
+    case MsgType::kBye:
+      return "bye";
+    case MsgType::kWelcome:
+      return "welcome";
+    case MsgType::kReply:
+      return "reply";
+    case MsgType::kAsyncResult:
+      return "async";
+    case MsgType::kEvent:
+      return "event";
+    case MsgType::kError:
+      return "error";
+    case MsgType::kPong:
+      return "pong";
+    case MsgType::kByeAck:
+      return "byeack";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode(const Message& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + kHeaderBytes + message.payload.size());
+  put_u32(out,
+          static_cast<std::uint32_t>(kHeaderBytes + message.payload.size()));
+  out.push_back('A');
+  out.push_back('G');
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(message.type));
+  put_u32(out, message.request_id);
+  put_u64(out, message.vtime);
+  out.insert(out.end(), message.payload.begin(), message.payload.end());
+  return out;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t size) {
+  if (poisoned_) {
+    return;
+  }
+  // Compact once the consumed prefix dominates, so long-lived sessions
+  // do not grow the buffer without bound.
+  if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+FrameReader::Status FrameReader::next(Message* out) {
+  if (poisoned_) {
+    return Status::kError;
+  }
+  const std::size_t avail = buffer_.size() - pos_;
+  if (avail < 4) {
+    return Status::kNeedMore;
+  }
+  const std::uint8_t* frame = buffer_.data() + pos_;
+  const std::uint32_t length = get_u32(frame);
+  if (length < kHeaderBytes || length > kHeaderBytes + kMaxPayload) {
+    poisoned_ = true;
+    error_ = "bad frame length " + std::to_string(length);
+    return Status::kError;
+  }
+  if (avail < 4 + length) {
+    return Status::kNeedMore;
+  }
+  const std::uint8_t* header = frame + 4;
+  if (header[0] != 'A' || header[1] != 'G') {
+    poisoned_ = true;
+    error_ = "bad magic";
+    return Status::kError;
+  }
+  if (header[2] != kWireVersion) {
+    poisoned_ = true;
+    error_ = "unsupported version " + std::to_string(header[2]);
+    return Status::kError;
+  }
+  if (!known_type(header[3])) {
+    poisoned_ = true;
+    error_ = "unknown message type " + std::to_string(header[3]);
+    return Status::kError;
+  }
+  out->type = static_cast<MsgType>(header[3]);
+  out->request_id = get_u32(header + 4);
+  out->vtime = get_u64(header + 8);
+  out->payload.assign(
+      reinterpret_cast<const char*>(header + kHeaderBytes),
+      length - kHeaderBytes);
+  pos_ += 4 + length;
+  return Status::kMessage;
+}
+
+}  // namespace agilla::svc::wire

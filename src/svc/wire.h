@@ -1,0 +1,94 @@
+// Wire codec of the gateway service (paper Sec. 3.1: the base station is
+// "an RMI server that allows anyone on the Internet to remotely access
+// the sensor network" — ours speaks a small framed protocol instead of
+// RMI).
+//
+// Frame layout, little-endian:
+//
+//   offset size
+//   0      4   u32 length of everything after this field (header + payload)
+//   4      2   magic "AG"
+//   6      1   protocol version (kWireVersion)
+//   7      1   message type (MsgType)
+//   8      4   u32 request id — client-chosen per-session correlation id;
+//              responses echo the id of the request (or, for kAsyncResult,
+//              the id of the originating command; for kEvent, the id of
+//              the subscribe that opened the stream)
+//   12     8   u64 virtual timestamp (µs) — stamped by the server when a
+//              response is enqueued; clients send 0
+//   20     ... payload (UTF-8 text: command line, reply text, event line)
+//
+// The decoder is strict: bad magic, unknown version, unknown type, or an
+// oversized length are connection-fatal (FrameReader::Status::kError);
+// a truncated frame is simply incomplete (kNeedMore) until more bytes
+// arrive. tests/test_gateway_service.cpp fuzzes truncation and mutation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace agilla::svc::wire {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 16;  ///< after the length field
+inline constexpr std::size_t kMaxPayload = 64 * 1024;
+
+enum class MsgType : std::uint8_t {
+  // client -> server
+  kHello = 1,        ///< payload: "" (new session) or a resume token
+  kCommand = 2,      ///< payload: one GatewayConsole command line
+  kSubscribe = 3,    ///< payload: event kind (agent|tuple|node|frame|battery)
+  kUnsubscribe = 4,  ///< payload: event kind, or "" for all
+  kPing = 5,         ///< payload: ignored
+  kBye = 6,          ///< orderly close; the session is destroyed
+  // server -> client
+  kWelcome = 16,      ///< payload: "session=<id> token=<hex> resumed=<0|1>"
+  kReply = 17,        ///< immediate response to kCommand/kSubscribe/...
+  kAsyncResult = 18,  ///< async remote-op result; id = originating command
+  kEvent = 19,        ///< streamed event; id = the owning subscribe
+  kError = 20,        ///< protocol error text; usually followed by close
+  kPong = 21,         ///< payload: "drops=<events dropped on this session>"
+  kByeAck = 22,       ///< final frame of an orderly close / server drain
+};
+
+[[nodiscard]] bool is_client_type(MsgType type);
+[[nodiscard]] bool is_server_type(MsgType type);
+[[nodiscard]] const char* to_string(MsgType type);
+
+struct Message {
+  MsgType type = MsgType::kPing;
+  std::uint32_t request_id = 0;
+  std::uint64_t vtime = 0;  ///< virtual µs; server-stamped on responses
+  std::string payload;
+};
+
+/// Encodes one frame (length prefix included).
+[[nodiscard]] std::vector<std::uint8_t> encode(const Message& message);
+
+/// Incremental decoder over a reassembly buffer: feed() arbitrary byte
+/// chunks, then next() until it stops returning kMessage. After kError
+/// the stream is poisoned (the connection must be dropped).
+class FrameReader {
+ public:
+  enum class Status : std::uint8_t {
+    kMessage,   ///< *out holds the next complete frame
+    kNeedMore,  ///< no complete frame buffered yet
+    kError,     ///< malformed stream; `error()` says why
+  };
+
+  void feed(const std::uint8_t* data, std::size_t size);
+  Status next(Message* out);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;  ///< consumed prefix, compacted opportunistically
+  std::string error_;
+  bool poisoned_ = false;
+};
+
+}  // namespace agilla::svc::wire

@@ -126,6 +126,33 @@ TEST(DutyCycler, AdaptiveStaysWithinConfiguredBounds) {
                 .preamble_extension());
 }
 
+TEST(DutyCycler, CongestedTxQueueCountsAsBusy) {
+  DutyCycler lpl{DutyCycler::Options{.listen_fraction = 0.1,
+                                     .adaptive = true,
+                                     .min_fraction = 0.02,
+                                     .max_fraction = 0.4,
+                                     .busy_frames = 4,
+                                     .tx_busy_depth = 3}};
+  const sim::SimTime initial = lpl.check_period();
+  // A silent tick with a congested TX queue NARROWS the period (the
+  // node keeps its radio duty up so its backlog can drain) instead of
+  // widening it the way a plain silent tick would.
+  EXPECT_TRUE(lpl.observe(0, /*tx_pending=*/3));
+  EXPECT_EQ(lpl.check_period(), initial / 2);
+  // Below the depth threshold the silent-tick widening applies again.
+  EXPECT_TRUE(lpl.observe(0, /*tx_pending=*/2));
+  EXPECT_EQ(lpl.check_period(), initial);
+  // With the coupling disabled (depth 0) backlog is ignored entirely.
+  DutyCycler uncoupled{DutyCycler::Options{.listen_fraction = 0.1,
+                                           .adaptive = true,
+                                           .min_fraction = 0.02,
+                                           .max_fraction = 0.4,
+                                           .busy_frames = 4}};
+  const sim::SimTime start = uncoupled.check_period();
+  EXPECT_TRUE(uncoupled.observe(0, /*tx_pending=*/100));
+  EXPECT_EQ(uncoupled.check_period(), 2 * start);
+}
+
 /// Property (satellite contract): the converged check period is monotone
 /// non-increasing in offered load — more traffic never yields a LONGER
 /// period, so the controller cannot oscillate against the workload.

@@ -139,6 +139,94 @@ TEST(Gateway, StatusSummarizesGateway) {
   EXPECT_NE(status.find("neighbours"), std::string::npos);
 }
 
+TEST(Gateway, AsyncResultsCarryCommandIds) {
+  ConsoleFixture f;
+  std::vector<std::pair<std::uint64_t, bool>> results;
+  f.console.set_async_sink(
+      [&](std::uint64_t id, bool ok, const std::string&) {
+        results.emplace_back(id, ok);
+      });
+  const std::string r1 =
+      f.console.execute("rout 3 1 str:cmd num:7", /*id=*/41);
+  EXPECT_NE(r1.find("cmd#41"), std::string::npos) << r1;
+  const std::string r2 = f.console.execute("rinp 3 1 ?str", /*id=*/42);
+  EXPECT_NE(r2.find("cmd#42"), std::string::npos) << r2;
+  f.mesh.sim.run_for(5 * sim::kSecond);
+  ASSERT_EQ(results.size(), 2u);
+  // Each async result is tagged with the originating command's id, not
+  // bare text: the rout succeeds, the unmatched rinp fails.
+  EXPECT_EQ(results[0], (std::pair<std::uint64_t, bool>{41, true}));
+  EXPECT_EQ(results[1], (std::pair<std::uint64_t, bool>{42, false}));
+  EXPECT_TRUE(f.saw("async#41:"));
+  EXPECT_TRUE(f.saw("async#42:"));
+}
+
+TEST(Gateway, SubscribeNeedsABus) {
+  ConsoleFixture f;
+  EXPECT_NE(f.console.execute("subscribe node").find("error"),
+            std::string::npos);
+}
+
+TEST(Gateway, SubscribeBridgesBusEvents) {
+  ConsoleFixture f;
+  api::EventBus bus;
+  f.console.attach_bus(bus);
+  std::vector<std::string> events;
+  f.console.set_event_sink(
+      [&](const std::string& kind, const std::string& text) {
+        events.push_back(kind + "|" + text);
+      });
+
+  EXPECT_NE(f.console.execute("subscribe bogus").find("error"),
+            std::string::npos);
+  EXPECT_NE(f.console.execute("subscribe node").find("ok"),
+            std::string::npos);
+  EXPECT_TRUE(f.console.subscribed("node"));
+  EXPECT_EQ(bus.observer_count(), 1u);
+
+  bus.publish_node_down(api::NodeLifecycleEvent{
+      7, sim::NodeId{3}, sim::NodeDownReason::kChurnCrash});
+  bus.publish_agent_spawn(api::AgentSpawnEvent{9, sim::NodeId{1}, 4, false});
+  ASSERT_EQ(events.size(), 1u);  // agent events filtered: not subscribed
+  EXPECT_EQ(events[0], "node|down t=7 node=3 reason=churn");
+  EXPECT_TRUE(f.saw("event: node down t=7 node=3 reason=churn"));
+
+  EXPECT_NE(f.console.execute("subscribe agent").find("ok"),
+            std::string::npos);
+  bus.publish_agent_spawn(api::AgentSpawnEvent{11, sim::NodeId{2}, 5, true});
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1], "agent|spawn t=11 node=2 agent=5 migrated");
+
+  EXPECT_NE(f.console.execute("unsubscribe node").find("ok"),
+            std::string::npos);
+  bus.publish_node_down(api::NodeLifecycleEvent{
+      13, sim::NodeId{3}, sim::NodeDownReason::kBatteryDepleted});
+  EXPECT_EQ(events.size(), 2u);
+
+  // Bare unsubscribe drops everything and detaches the bridge.
+  EXPECT_NE(f.console.execute("unsubscribe").find("ok"),
+            std::string::npos);
+  EXPECT_EQ(f.console.subscription_count(), 0u);
+  EXPECT_EQ(bus.observer_count(), 0u);
+}
+
+TEST(Gateway, ConsoleDestructionDetachesBridgeAndCompletions) {
+  ConsoleFixture f;
+  api::EventBus bus;
+  {
+    GatewayConsole scoped(f.base);
+    scoped.attach_bus(bus);
+    scoped.execute("subscribe tuple");
+    EXPECT_EQ(bus.observer_count(), 1u);
+    // Leave a remote op in flight when the console dies.
+    scoped.execute("rout 3 1 str:lat num:1");
+  }
+  EXPECT_EQ(bus.observer_count(), 0u);
+  // The middleware still completes the op; the dead console's completion
+  // must be a no-op rather than a use-after-free (ASan run enforces it).
+  f.mesh.sim.run_for(5 * sim::kSecond);
+}
+
 TEST(Gateway, FieldParserCoverage) {
   ts::Tuple tuple;
   std::string error;
