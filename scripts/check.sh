@@ -91,6 +91,22 @@ cmp build/shards_1_norm.json build/shards_4_norm.json
 ./build/bench_scale --smoke > /dev/null
 echo "fire_tracking sweep byte-identical across shard counts"
 
+echo "== agent toolchain: corpus round trip + conformance grade =="
+# Every corpus program must survive assemble -> disassemble -> reassemble
+# byte-identically, and the grader must reproduce every .expect dump.
+./build/agilla_as --check tests/agents/*.aga
+./build/agilla_grade tests/agents
+# The xfail program's deliberately wrong .expect must make the grader
+# exit non-zero (with a diff on stdout) when the inversion is disabled:
+# this proves a real regression cannot slip through as a silent pass.
+if ./build/agilla_grade --strict tests/agents/broken_expect_xfail.aga \
+    > build/grade_broken.txt 2>&1; then
+  echo "grader failed to flag a broken .expect"; exit 1
+fi
+grep -q '^  - ' build/grade_broken.txt
+grep -q '^  + ' build/grade_broken.txt
+echo "grader corpus green; broken .expect flagged with a diff"
+
 echo "== gateway smoke: loopback determinism (64 clients, 2 runs) =="
 # The loadgen exits non-zero on any protocol error, failed client, or
 # failed reconnect; two identical-seed runs must produce byte-identical

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "api/knob_registry.h"
+#include "core/assembler.h"
 #include "sim/radio_model.h"
 
 namespace agilla::api {
@@ -160,12 +161,26 @@ void Deployment::wire_instrumentation() {
           [this, id](core::AgentId agent) {
             bus_.publish_agent_resume(
                 AgentResumeEvent{simulator_.now(), id, agent.value});
-          }});
+          },
+      // The instruction taps stay unset here: tools (agilla_grade, the
+      // trace tests) add them later through engine().hooks().
+      .on_pre_insn = {},
+      .on_post_insn = {}});
   mote.tuple_space().set_op_tap(
       [this, id](ts::TupleSpaceOp op, const ts::Tuple& tuple) {
         bus_.publish_tuple_op(
             TupleOpEvent{simulator_.now(), id, op, &tuple});
       });
+}
+
+std::optional<core::AgentId> Deployment::inject_file(
+    const std::string& path, std::size_t mote_index) {
+  core::AssemblyResult assembled = core::assemble_file(path);
+  if (!assembled.ok()) {
+    throw std::runtime_error("inject_file(" + path + ") failed:\n" +
+                             assembled.error_text());
+  }
+  return motes_.at(mote_index)->inject(assembled.code);
 }
 
 core::AgillaMiddleware& Deployment::mote_at(double x, double y) {

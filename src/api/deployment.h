@@ -133,6 +133,14 @@ class Deployment {
   /// Advances virtual time (sugar for simulator().run_for).
   void run_for(sim::SimTime duration) { simulator_.run_for(duration); }
 
+  /// Assembles a `.aga` source file (macros, includes, `.tuple` literals —
+  /// see core/assembler.h) and injects the agent on `mote_index` (default:
+  /// the gateway mote). Throws std::runtime_error carrying the assembler's
+  /// file:line diagnostics when the source does not assemble; returns
+  /// nullopt when the mote is out of resources.
+  std::optional<core::AgentId> inject_file(const std::string& path,
+                                           std::size_t mote_index = 0);
+
   /// Empties every mote's tuple store (between dependent sub-runs, so
   /// result markers cannot fill the 600-byte stores).
   void clear_all_stores();

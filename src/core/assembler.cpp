@@ -5,8 +5,12 @@
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "net/packet.h"
 #include "sim/environment.h"
@@ -14,6 +18,10 @@
 
 namespace agilla::core {
 namespace {
+
+/// Combined include + macro expansion depth bound: deep enough for any
+/// real program, small enough to stop runaway recursive macros.
+constexpr int kMaxExpandDepth = 64;
 
 std::string to_lower(std::string_view s) {
   std::string out(s);
@@ -109,15 +117,6 @@ std::optional<std::uint8_t> field_type_constant(const std::string& token) {
   return static_cast<std::uint8_t>(it->second);
 }
 
-struct ParsedLine {
-  std::size_t source_line = 0;
-  std::optional<std::string> label;
-  std::string mnemonic;  // lowercase; empty for label-only lines
-  std::vector<std::string> operands;
-  std::uint16_t address = 0;  // filled in pass 1
-  std::size_t size = 0;
-};
-
 void strip_comment(std::string& line) {
   for (const std::string_view marker : {"//", "#", ";"}) {
     const auto pos = line.find(marker);
@@ -150,10 +149,384 @@ bool is_mnemonic(const std::string& token) {
   return opcode_by_mnemonic(token).has_value();
 }
 
-/// getvar/setvar embed the heap slot in the opcode; everything else takes
-/// instruction_length() of its base opcode.
+std::string unquote(const std::string& token, bool* was_quoted = nullptr) {
+  if (token.size() >= 2 && token.front() == '"' && token.back() == '"') {
+    if (was_quoted != nullptr) {
+      *was_quoted = true;
+    }
+    return token.substr(1, token.size() - 2);
+  }
+  if (was_quoted != nullptr) {
+    *was_quoted = false;
+  }
+  return token;
+}
+
+/// One logical source line after include/macro/.tuple expansion, carrying
+/// its provenance so every later error still points at real source.
+struct SourceLine {
+  std::string file;
+  std::size_t line = 0;
+  std::string context;  ///< appended to error messages (macro expansions)
+  std::optional<std::string> label;
+  std::vector<std::string> tokens;  ///< mnemonic (or ".byte") + operands
+};
+
+struct ParsedLine {
+  std::string file;
+  std::size_t source_line = 0;
+  std::string context;
+  std::optional<std::string> label;
+  std::string mnemonic;  // lowercase; ".byte" emits raw bytes
+  std::vector<std::string> operands;
+  std::uint16_t address = 0;  // filled in pass 1
+  std::size_t size = 0;
+};
+
+// --------------------------------------------------------------------------
+// Expansion stage: comments, labels, .include / .macro / .const / .tuple
+// --------------------------------------------------------------------------
+
+class Expander {
+ public:
+  explicit Expander(std::vector<AssemblyError>& errors) : errors_(errors) {}
+
+  std::vector<SourceLine> lines;
+  std::unordered_map<std::string, long> consts;
+
+  void expand_source(std::string_view source, const std::string& file,
+                     int depth) {
+    std::istringstream stream{std::string(source)};
+    std::string raw;
+    std::size_t line_no = 0;
+    while (std::getline(stream, raw)) {
+      ++line_no;
+      strip_comment(raw);
+      auto tokens = tokenize(raw);
+      // The paper prefixes some lines with a numeric listing index ("7:
+      // FIRE pop"); tolerate and drop it.
+      if (!tokens.empty() && tokens[0].size() >= 2 &&
+          tokens[0].back() == ':' &&
+          parse_int(tokens[0].substr(0, tokens[0].size() - 1)).has_value()) {
+        tokens.erase(tokens.begin());
+      }
+      if (tokens.empty()) {
+        continue;
+      }
+      process_tokens(std::move(tokens), file, line_no, depth, "");
+    }
+  }
+
+  /// End-of-input checks (unterminated .macro).
+  void finish() {
+    if (recording_.has_value()) {
+      fail(recording_->def_file, recording_->def_line,
+           "missing .endm for macro '" + recording_->name + "'", "");
+      recording_.reset();
+    }
+  }
+
+ private:
+  struct Macro {
+    std::string name;
+    std::vector<std::string> params;
+    struct BodyLine {
+      std::string file;
+      std::size_t line = 0;
+      std::vector<std::string> tokens;
+    };
+    std::vector<BodyLine> body;
+    std::string def_file;
+    std::size_t def_line = 0;
+  };
+
+  void fail(const std::string& file, std::size_t line, std::string message,
+            const std::string& context) {
+    errors_.push_back({line, std::move(message) + context, file});
+  }
+
+  /// Words that may follow a bare-word label (the paper's label style).
+  bool starts_statement(const std::string& token) const {
+    return is_mnemonic(token) || macros_.contains(token) ||
+           token == ".tuple" || token == ".byte";
+  }
+
+  void process_tokens(std::vector<std::string> tokens,
+                      const std::string& file, std::size_t line, int depth,
+                      const std::string& context) {
+    if (depth > kMaxExpandDepth) {
+      fail(file, line, "macro/include expansion too deep (recursive macro?)",
+           context);
+      return;
+    }
+
+    // Inside a .macro body: record verbatim until .endm.
+    if (recording_.has_value()) {
+      if (tokens[0] == ".endm") {
+        macros_[recording_->name] = std::move(*recording_);
+        recording_.reset();
+      } else if (tokens[0] == ".macro") {
+        fail(file, line, ".macro inside a macro body is not supported",
+             context);
+      } else {
+        recording_->body.push_back({file, line, std::move(tokens)});
+      }
+      return;
+    }
+
+    // --- label-less directives --------------------------------------------
+    if (tokens[0] == ".endm") {
+      fail(file, line, ".endm without a matching .macro", context);
+      return;
+    }
+    if (tokens[0] == ".macro") {
+      if (tokens.size() < 2) {
+        fail(file, line, ".macro needs a name", context);
+        return;
+      }
+      const std::string& name = tokens[1];
+      if (is_mnemonic(name) || name.front() == '.') {
+        fail(file, line, "macro name '" + name + "' shadows an instruction",
+             context);
+        return;
+      }
+      if (macros_.contains(name)) {
+        fail(file, line, "macro '" + name + "' redefined", context);
+        return;
+      }
+      recording_.emplace();
+      recording_->name = name;
+      recording_->params.assign(tokens.begin() + 2, tokens.end());
+      recording_->def_file = file;
+      recording_->def_line = line;
+      return;
+    }
+    if (tokens[0] == ".const" || tokens[0] == ".equ") {
+      if (tokens.size() != 3) {
+        fail(file, line, tokens[0] + " needs a name and a value", context);
+        return;
+      }
+      const std::string& name = tokens[1];
+      if (is_mnemonic(name) || parse_int(name).has_value()) {
+        fail(file, line, "constant name '" + name + "' is not usable",
+             context);
+        return;
+      }
+      if (consts.contains(name)) {
+        fail(file, line, "constant '" + name + "' redefined", context);
+        return;
+      }
+      const auto value = int_or_const(tokens[2]);
+      if (!value.has_value()) {
+        fail(file, line,
+             tokens[0] + " value '" + tokens[2] + "' is not a number",
+             context);
+        return;
+      }
+      consts[name] = *value;
+      return;
+    }
+    if (tokens[0] == ".include") {
+      if (tokens.size() != 2) {
+        fail(file, line, ".include needs one file name", context);
+        return;
+      }
+      include_file(unquote(tokens[1]), file, line, depth, context);
+      return;
+    }
+
+    // --- optional label: "NAME:" or a bare non-mnemonic word followed by
+    // something executable (the paper's style) -----------------------------
+    std::optional<std::string> label;
+    if (tokens[0].back() == ':') {
+      label = tokens[0].substr(0, tokens[0].size() - 1);
+      tokens.erase(tokens.begin());
+    } else if (!starts_statement(tokens[0]) && tokens.size() >= 2 &&
+               starts_statement(tokens[1])) {
+      label = tokens[0];
+      tokens.erase(tokens.begin());
+    }
+    if (tokens.empty()) {
+      lines.push_back({file, line, context, std::move(label), {}});
+      return;
+    }
+
+    if (tokens[0] == ".tuple") {
+      expand_tuple(tokens, file, line, std::move(label), context);
+      return;
+    }
+
+    if (const auto it = macros_.find(tokens[0]); it != macros_.end()) {
+      if (label.has_value()) {
+        // The label lands on the first expanded instruction.
+        lines.push_back({file, line, context, std::move(label), {}});
+      }
+      invoke_macro(it->second, tokens, file, line, depth, context);
+      return;
+    }
+
+    lines.push_back({file, line, context, std::move(label),
+                     std::move(tokens)});
+  }
+
+  void include_file(const std::string& name, const std::string& from_file,
+                    std::size_t line, int depth, const std::string& context) {
+    namespace fs = std::filesystem;
+    fs::path path(name);
+    if (path.is_relative() && !from_file.empty()) {
+      path = fs::path(from_file).parent_path() / path;
+    }
+    std::error_code ec;
+    fs::path canonical = fs::weakly_canonical(path, ec);
+    const std::string key = ec ? path.string() : canonical.string();
+    if (std::find(include_stack_.begin(), include_stack_.end(), key) !=
+        include_stack_.end()) {
+      fail(from_file, line, "include cycle through '" + path.string() + "'",
+           context);
+      return;
+    }
+    std::ifstream in(path);
+    if (!in) {
+      fail(from_file, line, "cannot open include file '" + path.string() +
+                                "'",
+           context);
+      return;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    include_stack_.push_back(key);
+    expand_source(content.str(), path.string(), depth + 1);
+    include_stack_.pop_back();
+  }
+
+  void invoke_macro(const Macro& macro,
+                    const std::vector<std::string>& tokens,
+                    const std::string& file, std::size_t line, int depth,
+                    const std::string& context) {
+    if (tokens.size() - 1 != macro.params.size()) {
+      fail(file, line,
+           "macro '" + macro.name + "' expects " +
+               std::to_string(macro.params.size()) + " argument(s), got " +
+               std::to_string(tokens.size() - 1),
+           context);
+      return;
+    }
+    std::unordered_map<std::string, std::string> args;
+    for (std::size_t i = 0; i < macro.params.size(); ++i) {
+      args[macro.params[i]] = tokens[i + 1];
+    }
+    const std::string body_context =
+        " (in macro '" + macro.name + "' invoked from " +
+        (file.empty() ? "<source>" : file) + ":" + std::to_string(line) +
+        ")";
+    for (const Macro::BodyLine& body : macro.body) {
+      std::vector<std::string> expanded = body.tokens;
+      for (std::string& token : expanded) {
+        if (const auto it = args.find(token); it != args.end()) {
+          token = it->second;
+        }
+      }
+      process_tokens(std::move(expanded), body.file, body.line, depth + 1,
+                     body_context);
+    }
+  }
+
+  /// `.tuple f1, f2, ...` expands to the push sequence for a tuple literal
+  /// plus the trailing field count the tuple-space opcodes pop first.
+  void expand_tuple(const std::vector<std::string>& tokens,
+                    const std::string& file, std::size_t line,
+                    std::optional<std::string> label,
+                    const std::string& context) {
+    std::vector<std::vector<std::string>> pushes;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      bool quoted = false;
+      const std::string text = unquote(tokens[i], &quoted);
+      if (quoted) {
+        if (text.empty() || text.size() > 3) {
+          fail(file, line,
+               ".tuple string field '" + text + "' must be 1..3 characters",
+               context);
+          return;
+        }
+        pushes.push_back({"pushn", text});
+        continue;
+      }
+      if (const auto n = int_or_const(text); n.has_value()) {
+        if (*n >= 0 && *n <= 255) {
+          pushes.push_back({"pushc", std::to_string(*n)});
+        } else if (*n >= -32768 && *n <= 32767) {
+          pushes.push_back({"pushcl", std::to_string(*n)});
+        } else {
+          fail(file, line,
+               ".tuple numeric field " + std::to_string(*n) +
+                   " does not fit 16 bits",
+               context);
+          return;
+        }
+        continue;
+      }
+      if (to_lower(text) == "loc") {
+        pushes.push_back({"loc"});
+        continue;
+      }
+      if (field_type_constant(text).has_value()) {
+        pushes.push_back({"pusht", text});
+        continue;
+      }
+      if (sensor_constant(text).has_value()) {
+        pushes.push_back({"pushrt", text});
+        continue;
+      }
+      if (!text.empty() && text.size() <= 3) {
+        pushes.push_back({"pushn", text});
+        continue;
+      }
+      fail(file, line,
+           ".tuple field '" + tokens[i] +
+               "' is not a string, number, type, sensor, or loc",
+           context);
+      return;
+    }
+    for (auto& push : pushes) {
+      lines.push_back({file, line, context, std::move(label),
+                       std::move(push)});
+      label.reset();
+    }
+    lines.push_back({file, line, context, std::move(label),
+                     {"pushc", std::to_string(pushes.size())}});
+  }
+
+  std::optional<long> int_or_const(const std::string& token) const {
+    if (const auto n = parse_int(token); n.has_value()) {
+      return n;
+    }
+    if (const auto it = consts.find(token); it != consts.end()) {
+      return it->second;
+    }
+    return std::nullopt;
+  }
+
+  std::vector<AssemblyError>& errors_;
+  std::unordered_map<std::string, Macro> macros_;
+  std::vector<std::string> include_stack_;  ///< canonical active includes
+  std::optional<Macro> recording_;
+};
+
+// --------------------------------------------------------------------------
+// Pass 1 sizing / pass 2 emission
+// --------------------------------------------------------------------------
+
+/// getvar/setvar embed the heap slot in the opcode; .byte is one byte per
+/// operand; everything else takes instruction_length() of its base opcode.
 std::optional<std::size_t> line_size(const ParsedLine& line,
                                      std::string* error) {
+  if (line.mnemonic == ".byte") {
+    if (line.operands.empty()) {
+      *error = ".byte needs at least one value";
+      return std::nullopt;
+    }
+    return line.operands.size();
+  }
   const auto op = opcode_by_mnemonic(line.mnemonic);
   if (!op.has_value()) {
     *error = "unknown instruction '" + line.mnemonic + "'";
@@ -168,12 +541,13 @@ std::optional<std::size_t> line_size(const ParsedLine& line,
 class Emitter {
  public:
   Emitter(const std::unordered_map<std::string, std::uint16_t>& labels,
+          const std::unordered_map<std::string, long>& consts,
           std::vector<std::uint8_t>& code)
-      : labels_(labels), code_(code) {}
+      : labels_(labels), consts_(consts), code_(code) {}
 
-  /// Resolves `token` as number first, then label.
+  /// Resolves `token` as number first, then named constant, then label.
   std::optional<long> value_or_label(const std::string& token) const {
-    if (const auto n = parse_int(token); n.has_value()) {
+    if (const auto n = int_or_const(token); n.has_value()) {
       return n;
     }
     const auto it = labels_.find(token);
@@ -181,6 +555,21 @@ class Emitter {
       return static_cast<long>(it->second);
     }
     return std::nullopt;
+  }
+
+  std::optional<long> int_or_const(const std::string& token) const {
+    if (const auto n = parse_int(token); n.has_value()) {
+      return n;
+    }
+    if (const auto it = consts_.find(token); it != consts_.end()) {
+      return it->second;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool is_label(const std::string& token) const {
+    return !parse_int(token).has_value() && !consts_.contains(token) &&
+           labels_.contains(token);
   }
 
   void byte(std::uint8_t b) { code_.push_back(b); }
@@ -191,94 +580,74 @@ class Emitter {
 
  private:
   const std::unordered_map<std::string, std::uint16_t>& labels_;
+  const std::unordered_map<std::string, long>& consts_;
   std::vector<std::uint8_t>& code_;
 };
 
-}  // namespace
-
-std::string AssemblyResult::error_text() const {
-  std::ostringstream os;
-  for (const auto& e : errors) {
-    os << "line " << e.line << ": " << e.message << "\n";
-  }
-  return os.str();
-}
-
-AssemblyResult assemble(std::string_view source) {
+AssemblyResult assemble_impl(std::string_view source,
+                             const std::string& file_name) {
   AssemblyResult result;
+  Expander expander(result.errors);
+  expander.expand_source(source, file_name, 0);
+  expander.finish();
+
+  // --- pass 1: size and collect labels -------------------------------------
   std::vector<ParsedLine> lines;
   std::unordered_map<std::string, std::uint16_t> labels;
-
-  // --- pass 1: parse, size, and collect labels -----------------------------
-  std::size_t line_no = 0;
-  std::uint16_t address = 0;
-  std::istringstream stream{std::string(source)};
-  std::string raw;
+  std::size_t address = 0;
   std::optional<std::string> pending_label;
-  while (std::getline(stream, raw)) {
-    ++line_no;
-    strip_comment(raw);
-    auto tokens = tokenize(raw);
-    // The paper prefixes some lines with a numeric listing index ("7: FIRE
-    // pop"); tolerate and drop it.
-    if (!tokens.empty() && tokens[0].size() >= 2 &&
-        tokens[0].back() == ':' &&
-        parse_int(tokens[0].substr(0, tokens[0].size() - 1)).has_value()) {
-      tokens.erase(tokens.begin());
-    }
-    if (tokens.empty()) {
-      continue;
-    }
-
-    ParsedLine line;
-    line.source_line = line_no;
-
-    // Optional label: "NAME:" or a bare non-mnemonic word followed by a
-    // mnemonic (the paper's style).
-    if (tokens[0].back() == ':') {
-      line.label = tokens[0].substr(0, tokens[0].size() - 1);
-      tokens.erase(tokens.begin());
-    } else if (!is_mnemonic(tokens[0]) && tokens.size() >= 2 &&
-               is_mnemonic(tokens[1])) {
-      line.label = tokens[0];
-      tokens.erase(tokens.begin());
-    }
-
-    if (tokens.empty()) {
+  const SourceLine* last = nullptr;
+  for (SourceLine& src : expander.lines) {
+    last = &src;
+    if (src.tokens.empty()) {
       // Label-only line: attach to the next instruction.
-      if (line.label.has_value()) {
-        pending_label = line.label;
+      if (src.label.has_value()) {
+        pending_label = src.label;
       }
       continue;
     }
+    ParsedLine line;
+    line.file = src.file;
+    line.source_line = src.line;
+    line.context = src.context;
+    line.label = std::move(src.label);
     if (pending_label.has_value()) {
       if (line.label.has_value()) {
-        result.errors.push_back(
-            {line_no, "instruction has two labels ('" + *pending_label +
-                          "' and '" + *line.label + "')"});
+        result.errors.push_back({src.line,
+                                 "instruction has two labels ('" +
+                                     *pending_label + "' and '" +
+                                     *line.label + "')" + src.context,
+                                 src.file});
       } else {
         line.label = pending_label;
       }
       pending_label.reset();
     }
-
-    line.mnemonic = to_lower(tokens[0]);
-    line.operands.assign(tokens.begin() + 1, tokens.end());
+    line.mnemonic = to_lower(src.tokens[0]);
+    line.operands.assign(src.tokens.begin() + 1, src.tokens.end());
 
     std::string error;
     const auto size = line_size(line, &error);
     if (!size.has_value()) {
-      result.errors.push_back({line_no, error});
+      result.errors.push_back({src.line, error + src.context, src.file});
       continue;
     }
-    line.address = address;
+    line.address = static_cast<std::uint16_t>(address);
     line.size = *size;
-    address = static_cast<std::uint16_t>(address + *size);
+    address += *size;
+    if (address > 0xFFFF) {
+      result.errors.push_back(
+          {src.line, "program exceeds the 64 KiB address space" + src.context,
+           src.file});
+      return result;
+    }
 
     if (line.label.has_value()) {
       if (labels.contains(*line.label)) {
-        result.errors.push_back(
-            {line_no, "duplicate label '" + *line.label + "'"});
+        result.errors.push_back({src.line,
+                                 "duplicate label '" + *line.label + "'" +
+                                     src.context,
+                                 src.file});
       } else {
         labels[*line.label] = line.address;
       }
@@ -286,19 +655,21 @@ AssemblyResult assemble(std::string_view source) {
     lines.push_back(std::move(line));
   }
   if (pending_label.has_value()) {
-    result.errors.push_back(
-        {line_no, "label '" + *pending_label + "' has no instruction"});
+    result.errors.push_back({last != nullptr ? last->line : 0,
+                             "label '" + *pending_label +
+                                 "' has no instruction",
+                             last != nullptr ? last->file : file_name});
   }
   if (!result.ok()) {
     return result;
   }
 
   // --- pass 2: emit ---------------------------------------------------------
-  Emitter emit(labels, result.code);
+  Emitter emit(labels, expander.consts, result.code);
   for (const ParsedLine& line : lines) {
-    const Opcode op = *opcode_by_mnemonic(line.mnemonic);
     auto fail = [&](const std::string& message) {
-      result.errors.push_back({line.source_line, message});
+      result.errors.push_back(
+          {line.source_line, message + line.context, line.file});
     };
     auto want_operands = [&](std::size_t n) {
       if (line.operands.size() != n) {
@@ -309,13 +680,26 @@ AssemblyResult assemble(std::string_view source) {
       return true;
     };
 
+    if (line.mnemonic == ".byte") {
+      for (const std::string& operand : line.operands) {
+        const auto v = emit.int_or_const(operand);
+        if (!v.has_value() || *v < 0 || *v > 255) {
+          fail(".byte value '" + operand + "' must be 0..255");
+          break;
+        }
+        emit.byte(static_cast<std::uint8_t>(*v));
+      }
+      continue;
+    }
+
+    const Opcode op = *opcode_by_mnemonic(line.mnemonic);
     switch (op) {
       case Opcode::kGetVar0:
       case Opcode::kSetVar0: {
         if (!want_operands(1)) {
           break;
         }
-        const auto slot = parse_int(line.operands[0]);
+        const auto slot = emit.int_or_const(line.operands[0]);
         if (!slot.has_value() || *slot < 0 ||
             *slot >= static_cast<long>(kHeapSlots)) {
           fail("heap slot must be 0.." + std::to_string(kHeapSlots - 1));
@@ -360,10 +744,7 @@ AssemblyResult assemble(std::string_view source) {
         if (!want_operands(1)) {
           break;
         }
-        std::string text = line.operands[0];
-        if (text.size() >= 2 && text.front() == '"' && text.back() == '"') {
-          text = text.substr(1, text.size() - 2);
-        }
+        const std::string text = unquote(line.operands[0]);
         if (text.empty() || text.size() > 3) {
           fail("pushn takes a 1..3 character string");
           break;
@@ -392,7 +773,7 @@ AssemblyResult assemble(std::string_view source) {
         }
         auto s = sensor_constant(line.operands[0]);
         if (!s.has_value()) {
-          if (const auto n = parse_int(line.operands[0]);
+          if (const auto n = emit.int_or_const(line.operands[0]);
               n.has_value() && *n >= 0 &&
               *n < static_cast<long>(sim::kNumSensorTypes)) {
             s = static_cast<std::uint8_t>(*n);
@@ -432,7 +813,7 @@ AssemblyResult assemble(std::string_view source) {
           break;
         }
         long offset = *target;
-        if (labels.contains(line.operands[0])) {
+        if (emit.is_label(line.operands[0])) {
           // Label targets are absolute; encode relative to the next
           // instruction.
           offset = *target - (static_cast<long>(line.address) + 2);
@@ -474,6 +855,42 @@ AssemblyResult assemble(std::string_view source) {
   return result;
 }
 
+}  // namespace
+
+std::string AssemblyResult::error_text() const {
+  std::ostringstream os;
+  for (const auto& e : errors) {
+    if (e.file.empty()) {
+      os << "line " << e.line << ": " << e.message << "\n";
+    } else {
+      os << e.file << ":" << e.line << ": " << e.message << "\n";
+    }
+  }
+  return os.str();
+}
+
+AssemblyResult assemble(std::string_view source) {
+  return assemble_impl(source, "");
+}
+
+AssemblyResult assemble(std::string_view source,
+                        std::string_view file_name) {
+  return assemble_impl(source, std::string(file_name));
+}
+
+AssemblyResult assemble_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    AssemblyResult result;
+    result.errors.push_back({0, "cannot open source file '" + path + "'",
+                             path});
+    return result;
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  return assemble_impl(content.str(), path);
+}
+
 std::vector<std::uint8_t> assemble_or_die(std::string_view source) {
   AssemblyResult result = assemble(source);
   if (!result.ok()) {
@@ -484,29 +901,223 @@ std::vector<std::uint8_t> assemble_or_die(std::string_view source) {
   return std::move(result.code);
 }
 
+// --------------------------------------------------------------------------
+// Disassembly: re-assemblable text with synthetic labels
+// --------------------------------------------------------------------------
+
+namespace {
+
+/// One decoded region: a canonical instruction, or a `.byte` run covering
+/// exactly the same bytes (undefined opcode, truncated tail, or an operand
+/// encoding the assembler cannot reproduce from a mnemonic).
+struct DisRecord {
+  std::size_t addr = 0;
+  std::size_t length = 1;
+  bool raw_bytes = false;  ///< emit as .byte
+};
+
+const char* field_type_name(std::uint8_t t) {
+  switch (static_cast<ts::ValueType>(t)) {
+    case ts::ValueType::kNumber:
+      return "NUMBER";
+    case ts::ValueType::kString:
+      return "STRING";
+    case ts::ValueType::kReading:
+      return "READING";
+    case ts::ValueType::kLocation:
+      return "LOCATION";
+    case ts::ValueType::kAgentId:
+      return "AGENTID";
+    case ts::ValueType::kReadingType:
+      return "READINGTYPE";
+    default:
+      return nullptr;  // kInvalid / kTypeWildcard have no pusht spelling
+  }
+}
+
+const char* sensor_name(std::uint8_t s) {
+  switch (static_cast<sim::SensorType>(s)) {
+    case sim::SensorType::kTemperature:
+      return "TEMPERATURE";
+    case sim::SensorType::kPhoto:
+      return "PHOTO";
+    case sim::SensorType::kMicrophone:
+      return "MIC";
+    case sim::SensorType::kMagnetometer:
+      return "MAGNETOMETER";
+    case sim::SensorType::kAccelerometer:
+      return "ACCEL";
+    default:
+      return nullptr;
+  }
+}
+
+/// True when the assembler would regenerate exactly these operand bytes
+/// from the instruction's textual spelling.
+bool operands_canonical(std::uint8_t raw,
+                        std::span<const std::uint8_t> operand) {
+  switch (static_cast<Opcode>(raw)) {
+    case Opcode::kPusht:
+      return field_type_name(operand[0]) != nullptr;
+    case Opcode::kPushrt:
+      return sensor_name(operand[0]) != nullptr;
+    case Opcode::kPushn: {
+      const std::uint16_t packed =
+          static_cast<std::uint16_t>(operand[0] | (operand[1] << 8));
+      const std::string text = ts::unpack_string(packed);
+      return !text.empty() && ts::pack_string(text) == packed;
+    }
+    default:
+      // pushc/pushcl/pushloc/jumps accept every byte value; coordinates
+      // are exact in double (1/64 fixed point), so they re-encode exactly.
+      return true;
+  }
+}
+
+}  // namespace
+
 std::string disassemble(std::span<const std::uint8_t> code) {
-  std::ostringstream os;
+  // Decode once to fix instruction boundaries and .byte fallbacks.
+  std::vector<DisRecord> records;
   std::size_t pc = 0;
   while (pc < code.size()) {
     const std::uint8_t raw = code[pc];
-    const std::size_t len = instruction_length(raw);
-    char addr[24];
-    std::snprintf(addr, sizeof(addr), "0x%02zx: ", pc);
-    os << addr << opcode_name(raw);
-    if (len == 0) {
-      os << "  ; undefined, aborting\n";
-      break;
+    const std::size_t length = instruction_length(raw);
+    if (length == 0 || pc + length > code.size()) {
+      records.push_back({pc, 1, true});
+      ++pc;
+      continue;
     }
-    if (len > 1 && pc + len <= code.size()) {
-      os << " ";
-      for (std::size_t i = 1; i < len; ++i) {
-        char byte[8];
-        std::snprintf(byte, sizeof(byte), "%02x", code[pc + i]);
-        os << byte;
+    const bool canonical =
+        operands_canonical(raw, code.subspan(pc + 1, length - 1));
+    records.push_back({pc, length, !canonical});
+    pc += length;
+  }
+
+  // Label every jump target that lands on a decoded boundary; everything
+  // else is emitted as a numeric offset/address (still assemblable).
+  std::set<std::size_t> boundaries;
+  for (const DisRecord& rec : records) {
+    boundaries.insert(rec.addr);
+  }
+  std::set<std::size_t> label_addrs;
+  for (const DisRecord& rec : records) {
+    if (rec.raw_bytes) {
+      continue;
+    }
+    const Opcode op = static_cast<Opcode>(code[rec.addr]);
+    long target = -1;
+    if (op == Opcode::kRjump || op == Opcode::kRjumpc) {
+      target = static_cast<long>(rec.addr) + 2 +
+               static_cast<std::int8_t>(code[rec.addr + 1]);
+    } else if (op == Opcode::kJump) {
+      target = code[rec.addr + 1];
+    } else {
+      continue;
+    }
+    if (target >= 0 && boundaries.contains(static_cast<std::size_t>(target))) {
+      label_addrs.insert(static_cast<std::size_t>(target));
+    }
+  }
+  const auto jump_operand = [&](long target, long fallback) {
+    char buf[32];
+    if (target >= 0 &&
+        label_addrs.contains(static_cast<std::size_t>(target))) {
+      std::snprintf(buf, sizeof(buf), "L_%ld", target);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%ld", fallback);
+    }
+    return std::string(buf);
+  };
+
+  std::ostringstream os;
+  for (const DisRecord& rec : records) {
+    if (label_addrs.contains(rec.addr)) {
+      os << "L_" << rec.addr << ":\n";
+    }
+    std::string text;
+    const std::uint8_t raw = code[rec.addr];
+    if (rec.raw_bytes) {
+      text = ".byte";
+      for (std::size_t i = 0; i < rec.length; ++i) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), " 0x%02x", code[rec.addr + i]);
+        text += buf;
+      }
+    } else {
+      std::uint8_t slot = 0;
+      char buf[64];
+      if (is_getvar(raw, &slot)) {
+        std::snprintf(buf, sizeof(buf), "getvar %u", slot);
+        text = buf;
+      } else if (is_setvar(raw, &slot)) {
+        std::snprintf(buf, sizeof(buf), "setvar %u", slot);
+        text = buf;
+      } else {
+        const std::uint8_t* operand = code.data() + rec.addr + 1;
+        switch (static_cast<Opcode>(raw)) {
+          case Opcode::kPushc:
+            std::snprintf(buf, sizeof(buf), "pushc %u", operand[0]);
+            break;
+          case Opcode::kPushcl:
+            std::snprintf(buf, sizeof(buf), "pushcl %d",
+                          static_cast<std::int16_t>(
+                              operand[0] | (operand[1] << 8)));
+            break;
+          case Opcode::kPushn:
+            std::snprintf(buf, sizeof(buf), "pushn %s",
+                          ts::unpack_string(static_cast<std::uint16_t>(
+                                                operand[0] |
+                                                (operand[1] << 8)))
+                              .c_str());
+            break;
+          case Opcode::kPusht:
+            std::snprintf(buf, sizeof(buf), "pusht %s",
+                          field_type_name(operand[0]));
+            break;
+          case Opcode::kPushrt:
+            std::snprintf(buf, sizeof(buf), "pushrt %s",
+                          sensor_name(operand[0]));
+            break;
+          case Opcode::kPushloc:
+            std::snprintf(
+                buf, sizeof(buf), "pushloc %.10g %.10g",
+                net::decode_coordinate(static_cast<std::int16_t>(
+                    operand[0] | (operand[1] << 8))),
+                net::decode_coordinate(static_cast<std::int16_t>(
+                    operand[2] | (operand[3] << 8))));
+            break;
+          case Opcode::kRjump:
+          case Opcode::kRjumpc: {
+            const long offset = static_cast<std::int8_t>(operand[0]);
+            const long target = static_cast<long>(rec.addr) + 2 + offset;
+            std::snprintf(buf, sizeof(buf), "%s %s",
+                          raw == static_cast<std::uint8_t>(Opcode::kRjump)
+                              ? "rjump"
+                              : "rjumpc",
+                          jump_operand(target, offset).c_str());
+            break;
+          }
+          case Opcode::kJump:
+            std::snprintf(buf, sizeof(buf), "jump %s",
+                          jump_operand(operand[0], operand[0]).c_str());
+            break;
+          default:
+            std::snprintf(buf, sizeof(buf), "%s",
+                          opcode_info(raw)->mnemonic);
+            break;
+        }
+        text = buf;
       }
     }
-    os << "\n";
-    pc += len;
+    char addr_comment[32];
+    std::snprintf(addr_comment, sizeof(addr_comment), "; 0x%02zx",
+                  rec.addr);
+    os << "  " << text;
+    for (std::size_t pad = text.size(); pad < 24; ++pad) {
+      os << ' ';
+    }
+    os << addr_comment << "\n";
   }
   return os.str();
 }

@@ -18,6 +18,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "core/agent_manager.h"
 #include "core/agent_serializer.h"
@@ -75,6 +76,22 @@ struct EngineStats {
   std::uint64_t reactions_fired = 0;
 };
 
+/// One dispatched instruction, as seen by the pre/post taps and the trace
+/// ring. `pc` is the instruction's own address (before the advance).
+struct InsnEvent {
+  AgentId agent{};
+  std::uint16_t pc = 0;
+  std::uint8_t opcode = 0;  ///< raw opcode byte (getvar/setvar keep slot)
+};
+
+/// One executed instruction kept by the bounded trace ring.
+struct TraceRecord {
+  sim::SimTime at = 0;
+  AgentId agent{};
+  std::uint16_t pc = 0;
+  std::uint8_t opcode = 0;
+};
+
 /// Pure-observation taps on the agent lifecycle, wired by the embedding
 /// facade (api::Deployment). All optional; never affect VM behaviour.
 struct EngineHooks {
@@ -92,6 +109,14 @@ struct EngineHooks {
   std::function<void(AgentId, std::string_view reason)> on_block;
   /// A previously blocked agent re-entered the ready queue.
   std::function<void(AgentId)> on_resume;
+  /// About to dispatch one instruction (fires for undefined/truncated
+  /// encodings too — they are dispatched and kill the agent). Purely
+  /// observational: no simulated cost, no RNG, so sweeps stay
+  /// byte-identical whether set or not, in both dispatch modes.
+  std::function<void(const InsnEvent&)> on_pre_insn;
+  /// The instruction retired and the agent survived it (skipped after
+  /// halt, fatal VM errors, and completed migrations — the agent is gone).
+  std::function<void(const InsnEvent&)> on_post_insn;
 };
 
 class AgillaEngine {
@@ -145,6 +170,26 @@ class AgillaEngine {
   /// Installs the lifecycle instrumentation taps (api::EventBus seam).
   void set_hooks(EngineHooks hooks) { hooks_ = std::move(hooks); }
 
+  /// Mutable hook access, so a tool (debugger, grader) can add the
+  /// instruction taps without replacing the lifecycle taps the embedding
+  /// facade already installed.
+  [[nodiscard]] EngineHooks& hooks() { return hooks_; }
+
+  /// Keeps the last `capacity` dispatched instructions in a bounded ring
+  /// (0 disables and drops the buffer). Observational only: simulated
+  /// behaviour is unchanged whether the ring is on or off.
+  void enable_trace_ring(std::size_t capacity);
+
+  /// Ring contents, oldest first (at most the configured capacity).
+  [[nodiscard]] std::vector<TraceRecord> trace_ring() const;
+
+  /// Caps execution at one instruction per scheduler slice (debugger
+  /// stepping). Slice accounting — context-switch costs, yields — is
+  /// unchanged; each slice simply retires a single instruction, so
+  /// simulated timing stretches but per-instruction behaviour does not.
+  void set_single_step(bool on) { single_step_ = on; }
+  [[nodiscard]] bool single_step() const { return single_step_; }
+
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
 
   /// Per-opcode execution profile (key: raw opcode byte; getvar/setvar
@@ -168,6 +213,16 @@ class AgillaEngine {
 
  private:
   friend class VmDispatcher;
+
+  /// One branch per instruction when everything is off: the dispatch
+  /// loops hoist this per slice and skip both note_* calls entirely.
+  [[nodiscard]] bool insn_taps_active() const {
+    return trace_capacity_ != 0 ||
+           static_cast<bool>(hooks_.on_pre_insn) ||
+           static_cast<bool>(hooks_.on_post_insn);
+  }
+  void note_pre_insn(AgentId id, std::uint16_t pc, std::uint8_t opcode);
+  void note_post_insn(AgentId id, std::uint16_t pc, std::uint8_t opcode);
 
   void make_ready(Agent& agent);
   void block_agent(Agent& agent, AgentRunState state,
@@ -210,6 +265,10 @@ class AgillaEngine {
       pending_reactions_;
   std::uint8_t leds_ = 0;
   EngineStats stats_;
+  bool single_step_ = false;
+  std::size_t trace_capacity_ = 0;
+  std::vector<TraceRecord> trace_ring_;
+  std::size_t trace_next_ = 0;  ///< overwrite cursor once the ring is full
   /// Flat per-opcode-byte table: O(1) updates on the instruction hot path.
   std::array<OpcodeProfile, 256> profile_{};
 };

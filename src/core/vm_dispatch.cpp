@@ -323,13 +323,22 @@ bool VmDispatcher::fetch_decode(Agent& agent, DecodedInsn* out) {
 }
 
 void VmDispatcher::run_slice_switch(Agent& agent, sim::SimTime& cost) {
-  const std::size_t per_slice = e_.options_.instructions_per_slice;
+  const std::size_t per_slice =
+      e_.single_step_ ? 1 : e_.options_.instructions_per_slice;
+  // Hoisted per slice: with no taps installed this is the only branch the
+  // trace machinery costs on the hot path.
+  const bool taps = e_.insn_taps_active();
+  const AgentId insn_agent = agent.id();
   StepResult result = StepResult::kContinue;
   for (std::size_t i = 0; i < per_slice && result == StepResult::kContinue;
        ++i) {
     DecodedInsn d;
     if (!fetch_decode(agent, &d)) {
       return;  // PC out of range: the agent died, nothing is profiled
+    }
+    const std::uint16_t insn_pc = agent.pc();
+    if (taps) {
+      e_.note_pre_insn(insn_agent, insn_pc, d.raw);
     }
     const sim::SimTime cost_before = cost;
     if (d.cls != OpClass::kUndefined && d.cls != OpClass::kTruncated) {
@@ -342,13 +351,23 @@ void VmDispatcher::run_slice_switch(Agent& agent, sim::SimTime& cost) {
     OpcodeProfile& entry = e_.profile_[d.profile_key];
     entry.count++;
     entry.total_cost += cost - cost_before;
+    if (taps && result != StepResult::kGone) {
+      // kGone means the instruction destroyed the agent (halt, fatal
+      // error, completed migration): no post tap for a dead agent.
+      e_.note_post_insn(insn_agent, insn_pc, d.raw);
+    }
   }
 }
 
 void VmDispatcher::run_slice_threaded(Agent& agent,
                                       const DecodedProgram& program,
                                       sim::SimTime& cost) {
-  const std::size_t per_slice = e_.options_.instructions_per_slice;
+  const std::size_t per_slice =
+      e_.single_step_ ? 1 : e_.options_.instructions_per_slice;
+  // Hoisted per slice, exactly as in run_slice_switch: one branch per
+  // instruction when no taps are installed.
+  const bool taps = e_.insn_taps_active();
+  const AgentId insn_agent = agent.id();
   std::size_t executed = 0;
 
 #if AGILLA_COMPUTED_GOTO
@@ -369,6 +388,7 @@ void VmDispatcher::run_slice_threaded(Agent& agent,
 
   const DecodedInsn* d = nullptr;
   sim::SimTime cost_before = 0;
+  std::uint16_t insn_pc = 0;
   StepResult result = StepResult::kContinue;
 
 next_insn : {
@@ -378,6 +398,10 @@ next_insn : {
     return;
   }
   d = &program.at(pc);
+  insn_pc = pc;
+  if (taps) {
+    e_.note_pre_insn(insn_agent, pc, d->raw);
+  }
   cost_before = cost;
   if (d->cls != OpClass::kUndefined && d->cls != OpClass::kTruncated) {
     agent.set_pc(static_cast<std::uint16_t>(pc + d->length));
@@ -425,6 +449,9 @@ insn_done : {
   OpcodeProfile& entry = e_.profile_[d->profile_key];
   entry.count++;
   entry.total_cost += cost - cost_before;
+  if (taps && result != StepResult::kGone) {
+    e_.note_post_insn(insn_agent, insn_pc, d->raw);
+  }
   if (result == StepResult::kContinue && ++executed < per_slice) {
     goto next_insn;
   }
@@ -464,6 +491,9 @@ insn_done : {
       return;
     }
     const DecodedInsn& d = program.at(pc);
+    if (taps) {
+      e_.note_pre_insn(insn_agent, pc, d.raw);
+    }
     const sim::SimTime cost_before = cost;
     if (d.cls != OpClass::kUndefined && d.cls != OpClass::kTruncated) {
       agent.set_pc(static_cast<std::uint16_t>(pc + d.length));
@@ -474,6 +504,9 @@ insn_done : {
     OpcodeProfile& entry = e_.profile_[d.profile_key];
     entry.count++;
     entry.total_cost += cost - cost_before;
+    if (taps && result != StepResult::kGone) {
+      e_.note_post_insn(insn_agent, pc, d.raw);
+    }
     if (result != StepResult::kContinue || ++executed >= per_slice) {
       return;
     }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "net/packet.h"
 #include "tuplespace/value.h"
 
@@ -237,6 +240,203 @@ TEST(Disassembler, RoundTripReadable) {
 
 TEST(AssembleOrDie, ReturnsCodeForValidSource) {
   EXPECT_EQ(assemble_or_die("halt").size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Source-language directives: .const, .macro, .tuple, .byte, .include.
+// ---------------------------------------------------------------------------
+
+TEST(AssemblerDirectives, ConstSubstitutesInOperands) {
+  const AssemblyResult r = assemble(R"(
+      .const THRESH 200
+      .equ SLOT 3
+      pushc THRESH
+      setvar SLOT
+  )");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(r.code, assemble("pushc 200\nsetvar 3").code);
+}
+
+TEST(AssemblerDirectives, ConstUnknownNameStillErrors) {
+  const AssemblyResult r = assemble("pushc NOPE");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(AssemblerDirectives, MacroGoldenMatchesHandWritten) {
+  const AssemblyResult expanded = assemble(R"(
+      .macro OUT2 name value
+          pushn name
+          pushc value
+          pushc 2
+          out
+      .endm
+      BEGIN OUT2 fir 7
+            OUT2 hab 9
+            halt
+  )");
+  const AssemblyResult hand = assemble(R"(
+      BEGIN pushn fir
+            pushc 7
+            pushc 2
+            out
+            pushn hab
+            pushc 9
+            pushc 2
+            out
+            halt
+  )");
+  ASSERT_TRUE(expanded.ok()) << expanded.error_text();
+  ASSERT_TRUE(hand.ok());
+  EXPECT_EQ(expanded.code, hand.code);
+}
+
+TEST(AssemblerDirectives, MacroLabelOperandsResolve) {
+  // A macro body can reference labels that only exist at the call site.
+  const AssemblyResult r = assemble(R"(
+      .macro JUMPTO where
+          rjump where
+      .endm
+      BEGIN JUMPTO END
+            halt
+      END   halt
+  )");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(static_cast<std::int8_t>(r.code[1]), 1);
+}
+
+TEST(AssemblerDirectives, MacroErrorNamesInvocationSite) {
+  const AssemblyResult r = assemble(R"(.macro BAD
+pushc 999
+.endm
+BAD)");
+  ASSERT_FALSE(r.ok());
+  ASSERT_EQ(r.errors.size(), 1u);
+  // The faulty line is line 2 (the body), with context naming line 4 (the
+  // invocation).
+  EXPECT_EQ(r.errors[0].line, 2u);
+  EXPECT_NE(r.errors[0].message.find("in macro 'BAD'"), std::string::npos)
+      << r.errors[0].message;
+  EXPECT_NE(r.errors[0].message.find("invoked from <source>:4"),
+            std::string::npos)
+      << r.errors[0].message;
+}
+
+TEST(AssemblerDirectives, MacroArgumentCountChecked) {
+  const AssemblyResult r = assemble(R"(
+      .macro PAIR a b
+          pushc a
+          pushc b
+      .endm
+      PAIR 1
+  )");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_text().find("argument"), std::string::npos)
+      << r.error_text();
+}
+
+TEST(AssemblerDirectives, TupleLiteralExpandsToPushSequence) {
+  const AssemblyResult tuple = assemble(".tuple \"fir\", 7\nout");
+  const AssemblyResult hand = assemble("pushn fir\npushc 7\npushc 2\nout");
+  ASSERT_TRUE(tuple.ok()) << tuple.error_text();
+  EXPECT_EQ(tuple.code, hand.code);
+}
+
+TEST(AssemblerDirectives, TupleWideAndTypedFields) {
+  const AssemblyResult tuple = assemble(".tuple \"b\", 300, NUMBER, loc");
+  const AssemblyResult hand =
+      assemble("pushn b\npushcl 300\npusht NUMBER\nloc\npushc 4");
+  ASSERT_TRUE(tuple.ok()) << tuple.error_text();
+  EXPECT_EQ(tuple.code, hand.code);
+}
+
+TEST(AssemblerDirectives, TupleStringFieldLengthChecked) {
+  const AssemblyResult r = assemble(".tuple \"toolong\", 1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_text().find("1..3"), std::string::npos) << r.error_text();
+}
+
+TEST(AssemblerDirectives, ByteEmitsRawBytes) {
+  const AssemblyResult r = assemble("halt\n.byte 0x70 0xff 2\nhalt");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(r.code, (std::vector<std::uint8_t>{0x00, 0x70, 0xFF, 2, 0x00}));
+}
+
+TEST(AssemblerDirectives, ByteRangeValidated) {
+  EXPECT_FALSE(assemble(".byte 256").ok());
+  EXPECT_FALSE(assemble(".byte -1").ok());
+}
+
+namespace fs = std::filesystem;
+
+class AssemblerIncludeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) / "agilla_as_test";
+    fs::create_directories(dir_ / "lib");
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path write(const std::string& rel, const std::string& text) {
+    const fs::path p = dir_ / rel;
+    std::ofstream(p) << text;
+    return p;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(AssemblerIncludeTest, IncludeResolvesRelativeToIncludingFile) {
+  write("lib/util.aga", ".macro HALT2\nhalt\nhalt\n.endm\n");
+  const fs::path main =
+      write("main.aga", ".include \"lib/util.aga\"\nHALT2\n");
+  const AssemblyResult r = assemble_file(main.string());
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(r.code, (std::vector<std::uint8_t>{0x00, 0x00}));
+}
+
+TEST_F(AssemblerIncludeTest, ErrorsKeepIncludedFileAndLine) {
+  write("lib/bad.aga", "halt\nbogus\n");
+  const fs::path main = write("main.aga", ".include \"lib/bad.aga\"\n");
+  const AssemblyResult r = assemble_file(main.string());
+  ASSERT_FALSE(r.ok());
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_EQ(r.errors[0].line, 2u);
+  EXPECT_NE(r.errors[0].file.find("bad.aga"), std::string::npos)
+      << r.errors[0].file;
+  // error_text renders file:line for file-based sources.
+  EXPECT_NE(r.error_text().find("bad.aga:2:"), std::string::npos)
+      << r.error_text();
+}
+
+TEST_F(AssemblerIncludeTest, MacroErrorNamesCrossFileInvocation) {
+  write("lib/util.aga", ".macro OUT1 v\npushc v\n.endm\n");
+  const fs::path main =
+      write("main.aga", ".include \"lib/util.aga\"\nOUT1 999\n");
+  const AssemblyResult r = assemble_file(main.string());
+  ASSERT_FALSE(r.ok());
+  // Fault is in the macro body (util.aga:2), invoked from main.aga:2.
+  EXPECT_NE(r.error_text().find("util.aga:2:"), std::string::npos)
+      << r.error_text();
+  EXPECT_NE(r.error_text().find("invoked from"), std::string::npos);
+  EXPECT_NE(r.error_text().find("main.aga:2"), std::string::npos)
+      << r.error_text();
+}
+
+TEST_F(AssemblerIncludeTest, IncludeCycleDetected) {
+  write("a.aga", ".include \"b.aga\"\n");
+  write("b.aga", ".include \"a.aga\"\n");
+  const AssemblyResult r = assemble_file((dir_ / "a.aga").string());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_text().find("cycle"), std::string::npos)
+      << r.error_text();
+}
+
+TEST_F(AssemblerIncludeTest, MissingIncludeReportsIncludingLine) {
+  const fs::path main = write("main.aga", "halt\n.include \"gone.aga\"\n");
+  const AssemblyResult r = assemble_file(main.string());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_text().find("main.aga:2:"), std::string::npos)
+      << r.error_text();
 }
 
 }  // namespace
